@@ -1,0 +1,180 @@
+// Package asyncg is the public facade of the AsyncG reproduction: it
+// assembles the simulated Node.js runtime (event loop, timers, promises,
+// emitters, network, HTTP, database) with the Async Graph builder and
+// the automatic bug detectors, exactly the tool pipeline of the paper
+// "Reasoning about the Node.js Event Loop using Async Graphs" (CGO'19).
+//
+// Typical use:
+//
+//	session := asyncg.New(asyncg.Options{})
+//	report, err := session.Run(func(ctx *asyncg.Context) {
+//	    ctx.NextTick(asyncg.F("hello", func(args []asyncg.Value) asyncg.Value {
+//	        fmt.Println("hello from the nextTick queue")
+//	        return asyncg.Undefined
+//	    }))
+//	})
+//	fmt.Print(report.Graph.DOT("hello"))
+//	for _, w := range report.Warnings { fmt.Println(w) }
+package asyncg
+
+import (
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/detect"
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/mongosim"
+	"asyncg/internal/netio"
+	"asyncg/internal/vm"
+)
+
+// Value is the runtime's dynamic value type.
+type Value = vm.Value
+
+// Undefined is the runtime's "no value" value.
+var Undefined = vm.Undefined
+
+// F creates a callback function value named name, capturing the caller's
+// source location for Async Graph labels.
+func F(name string, impl func(args []Value) Value) *vm.Function {
+	return vm.NewFuncAt(name, loc.Caller(0), impl)
+}
+
+// Throw raises a simulated JavaScript exception.
+func Throw(v Value) { vm.ThrowAt(v, loc.Caller(0)) }
+
+// Options configures a Session.
+type Options struct {
+	// Loop configures the event-loop simulator (tick/time limits,
+	// virtual costs).
+	Loop eventloop.Options
+	// Graph configures what the Async Graph builder tracks; zero value
+	// means track everything.
+	Graph asyncgraph.Config
+	// Detect configures the bug detectors; zero value means all
+	// detectors with the paper's thresholds.
+	Detect detect.Config
+	// DisableTool runs the program without AsyncG attached (the
+	// "baseline" setting of the paper's overhead evaluation).
+	DisableTool bool
+	// Network configures the simulated network.
+	Network netio.Options
+	// DB configures the simulated database.
+	DB mongosim.Options
+}
+
+// Report is the outcome of a Session run.
+type Report struct {
+	// Graph is the Async Graph built during the run (nil when the tool
+	// was disabled).
+	Graph *asyncgraph.Graph
+	// Warnings are the detector findings, online and post-hoc.
+	Warnings []asyncgraph.Warning
+	// Uncaught lists exceptions that escaped top-level callbacks.
+	Uncaught []eventloop.UncaughtError
+	// Ticks is the number of top-level callback executions.
+	Ticks int
+	// Anomalies lists context-validator mismatches (should be empty).
+	Anomalies []string
+}
+
+// WarningsOf filters the report's warnings by category.
+func (r *Report) WarningsOf(category string) []asyncgraph.Warning {
+	var out []asyncgraph.Warning
+	for _, w := range r.Warnings {
+		if w.Category == category {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// HasWarning reports whether any warning of the category was found.
+func (r *Report) HasWarning(category string) bool { return len(r.WarningsOf(category)) > 0 }
+
+// Session owns one runtime instance plus the attached tool.
+type Session struct {
+	opts     Options
+	loop     *eventloop.Loop
+	builder  *asyncgraph.Builder
+	analyzer *detect.Analyzer
+	ctx      *Context
+}
+
+// New creates a session. The zero Options enable full tracking and all
+// detectors.
+func New(opts Options) *Session {
+	if !opts.DisableTool {
+		zero := asyncgraph.Config{}
+		if opts.Graph == zero {
+			opts.Graph = asyncgraph.DefaultConfig()
+		}
+		zeroD := detect.Config{}
+		if opts.Detect == zeroD {
+			opts.Detect = detect.DefaultConfig()
+		}
+	}
+	s := &Session{opts: opts, loop: eventloop.New(opts.Loop)}
+	if !opts.DisableTool {
+		s.builder = asyncgraph.NewBuilder(opts.Graph)
+		s.analyzer = detect.NewAnalyzer(s.builder, opts.Detect)
+		// Order matters: the builder must see each event first so the
+		// analyzer can annotate the nodes it creates.
+		s.loop.Probes().Attach(s.builder)
+		s.loop.Probes().Attach(s.analyzer)
+	}
+	s.ctx = newContext(s.loop, opts)
+	return s
+}
+
+// Loop exposes the underlying event loop (e.g. to attach extra hooks).
+func (s *Session) Loop() *eventloop.Loop { return s.loop }
+
+// Disable detaches AsyncG's hooks at runtime — the tool is pluggable and
+// "once disabled, introduces no overhead". Callable from inside
+// callbacks; events while disabled are simply not observed.
+func (s *Session) Disable() {
+	if s.builder != nil {
+		s.loop.Probes().Detach(s.builder)
+	}
+	if s.analyzer != nil {
+		s.loop.Probes().Detach(s.analyzer)
+	}
+}
+
+// Enable re-attaches AsyncG's hooks. The builder resynchronizes its
+// shadow stack at the next tick boundary, as the paper describes for
+// mid-run activation.
+func (s *Session) Enable() {
+	if s.builder != nil {
+		s.loop.Probes().Attach(s.builder)
+	}
+	if s.analyzer != nil {
+		s.loop.Probes().Attach(s.analyzer)
+	}
+}
+
+// Context exposes the runtime API bundle without running (advanced use).
+func (s *Session) Context() *Context { return s.ctx }
+
+// Run executes program as the main tick and processes the event loop to
+// completion (or to a configured limit, returned as the error — the
+// report is still valid in that case, covering the truncated prefix).
+func (s *Session) Run(program func(ctx *Context)) (*Report, error) {
+	main := vm.NewFuncAt("main", loc.Caller(0), func([]Value) Value {
+		program(s.ctx)
+		return Undefined
+	})
+	err := s.loop.Run(main)
+	report := &Report{
+		Uncaught: s.loop.Uncaught(),
+		Ticks:    s.loop.Tick(),
+	}
+	if s.builder != nil {
+		report.Graph = s.builder.Graph()
+		report.Anomalies = s.builder.Anomalies()
+	}
+	if s.analyzer != nil {
+		report.Warnings = s.analyzer.Finish()
+	}
+	return report, err
+}

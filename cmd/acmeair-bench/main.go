@@ -1,0 +1,75 @@
+// Command acmeair-bench regenerates the paper's Fig. 6: the AcmeAir
+// throughput comparison under three instrumentation settings (6a) and
+// the per-request async-API usage (6b) — the equivalent of the
+// artifact's scripts/figure6.sh.
+//
+// Usage:
+//
+//	acmeair-bench                 both figures with the default load
+//	acmeair-bench -fig 6a         throughput only
+//	acmeair-bench -fig 6b         API usage only
+//	acmeair-bench -requests 5000 -clients 32 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncg/internal/acmeair"
+	"asyncg/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 6a, 6b, or all")
+		requests = flag.Int("requests", 0, "total client requests (default from harness)")
+		clients  = flag.Int("clients", 0, "concurrent virtual clients")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+
+	load := experiments.DefaultLoad()
+	if *requests > 0 {
+		load.Requests = *requests
+	}
+	if *clients > 0 {
+		load.Clients = *clients
+	}
+	load.Seed = *seed
+	load.Data = acmeair.DefaultDataSpec()
+
+	switch *fig {
+	case "6a":
+		run6a(load)
+	case "6b":
+		run6b(load)
+	case "all":
+		run6a(load)
+		fmt.Println()
+		run6b(load)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func run6a(load experiments.LoadSpec) {
+	fmt.Printf("running AcmeAir: %d requests, %d clients, seed %d\n",
+		load.Requests, load.Clients, load.Seed)
+	rows, err := experiments.RunFig6a(load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.WriteFig6a(os.Stdout, rows)
+}
+
+func run6b(load experiments.LoadSpec) {
+	row, err := experiments.RunFig6b(load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.WriteFig6b(os.Stdout, row)
+}

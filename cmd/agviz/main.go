@@ -1,0 +1,56 @@
+// Command agviz converts an Async Graph JSON log (as dumped by the
+// asyncg command or Graph.WriteJSON) into DOT for rendering — the
+// offline equivalent of the artifact's visualization website.
+//
+// Usage:
+//
+//	agviz graph.json > graph.dot
+//	agviz -title "fig4" graph.json > graph.dot
+//	asyncg -case fig4 -json /dev/stdout | agviz - > fig5.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asyncg/internal/asyncgraph"
+)
+
+func main() {
+	title := flag.String("title", "", "graph title")
+	svg := flag.Bool("svg", false, "emit a standalone SVG instead of DOT")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: agviz [-title t] <graph.json|->")
+		os.Exit(2)
+	}
+	var in io.Reader
+	if flag.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := asyncgraph.ReadJSON(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agviz: parse:", err)
+		os.Exit(1)
+	}
+	var werr error
+	if *svg {
+		werr = g.WriteSVG(os.Stdout, *title)
+	} else {
+		werr = g.WriteDOT(os.Stdout, *title)
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "agviz: write:", werr)
+		os.Exit(1)
+	}
+}

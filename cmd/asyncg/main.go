@@ -1,0 +1,177 @@
+// Command asyncg runs the reproduced bug case studies under the AsyncG
+// tool and prints or exports their Async Graphs and warnings — the
+// equivalent of the artifact's runExamples.sh plus Table I/II reporting.
+//
+// Usage:
+//
+//	asyncg -list                       list all case studies
+//	asyncg -case SO-33330277           run a case (buggy version)
+//	asyncg -case SO-33330277 -fixed    run the fixed version
+//	asyncg -case fig4 -dot fig5.dot    export the graph in DOT
+//	asyncg -case fig4 -json fig5.json  export the graph log (website format)
+//	asyncg -table1                     run all Table I cases and summarize
+//	asyncg -table2                     print the related-work matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncg/internal/casestudy"
+	"asyncg/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list case studies")
+		caseID   = flag.String("case", "", "case id to run (see -list)")
+		fixed    = flag.Bool("fixed", false, "run the fixed version")
+		dotOut   = flag.String("dot", "", "write the Async Graph as DOT to this file")
+		jsonOut  = flag.String("json", "", "write the Async Graph log as JSON to this file")
+		svgOut   = flag.String("svg", "", "write the Async Graph as a standalone SVG to this file")
+		table1   = flag.Bool("table1", false, "run all Table I cases")
+		table2   = flag.Bool("table2", false, "print the Table II comparison matrix")
+		timeline = flag.Bool("timeline", false, "print the tick-by-tick Async Graph timeline")
+		dumpAll  = flag.String("dump-all", "", "run every case and write <dir>/<id>.{json,dot,svg} (the artifact's runExamples.sh)")
+		maxTicks = flag.Int("maxticks", 0, "restrict exports to the first N ticks (the paper shows the first 3 ticks of Fig. 3)")
+	)
+	flag.Parse()
+
+	switch {
+	case *dumpAll != "":
+		dumpAllCases(*dumpAll)
+	case *list:
+		for _, c := range casestudy.All() {
+			fmt.Printf("%-14s %-35s %s\n", c.ID, c.Category, c.Title)
+		}
+	case *table2:
+		experiments.WriteTable2(os.Stdout)
+	case *table1:
+		runTable1()
+	case *caseID != "":
+		runCase(*caseID, *fixed, *dotOut, *jsonOut, *svgOut, *timeline, *maxTicks)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// dumpAllCases reproduces the artifact's runExamples.sh: every case is
+// executed under AsyncG and its graph log is written in all three
+// formats, ready for agviz or the original website.
+func dumpAllCases(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range casestudy.All() {
+		res := casestudy.RunBuggy(c)
+		base := dir + "/" + c.ID
+		writeFile(base+".json", func(f *os.File) error {
+			return res.Report.Graph.WriteJSON(f)
+		})
+		writeFile(base+".dot", func(f *os.File) error {
+			return res.Report.Graph.WriteDOT(f, c.ID)
+		})
+		writeFile(base+".svg", func(f *os.File) error {
+			return res.Report.Graph.WriteSVG(f, c.ID+" — "+c.Title)
+		})
+	}
+}
+
+func runTable1() {
+	failures := 0
+	fmt.Println("Table I — detected bugs")
+	for _, c := range casestudy.Table1() {
+		res := casestudy.RunBuggy(c)
+		fmt.Println(res.Summary())
+		if !res.Clean() {
+			failures++
+		}
+		if c.Fixed != nil {
+			fres := casestudy.RunFixed(c)
+			fmt.Println(fres.Summary())
+			if !fres.Clean() {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d case(s) did not meet expectations\n", failures)
+		os.Exit(1)
+	}
+}
+
+func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline bool, maxTicks int) {
+	c, ok := casestudy.ByID(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown case %q (try -list)\n", id)
+		os.Exit(2)
+	}
+	var res casestudy.Result
+	if fixed {
+		if c.Fixed == nil {
+			fmt.Fprintf(os.Stderr, "case %s has no fixed version\n", id)
+			os.Exit(2)
+		}
+		res = casestudy.RunFixed(c)
+	} else {
+		res = casestudy.RunBuggy(c)
+	}
+	fmt.Printf("%s — %s\n", c.ID, c.Title)
+	fmt.Printf("ticks: %d, graph: %d nodes / %d edges / %d ticks\n",
+		res.Report.Ticks, len(res.Report.Graph.Nodes), len(res.Report.Graph.Edges), len(res.Report.Graph.Ticks))
+	if res.Err != nil {
+		fmt.Printf("run stopped: %v (expected for starvation bugs)\n", res.Err)
+	}
+	for _, u := range res.Report.Uncaught {
+		fmt.Printf("uncaught exception in %s tick: %v\n", u.Phase, u.Thrown.Error())
+	}
+	if len(res.Report.Warnings) == 0 {
+		fmt.Println("no warnings")
+	}
+	for _, w := range res.Report.Warnings {
+		fmt.Printf("⚡ %s\n", w)
+	}
+	graph := res.Report.Graph
+	if maxTicks > 0 {
+		graph = graph.TickRange(1, maxTicks)
+		fmt.Printf("(exports restricted to the first %d ticks)\n", maxTicks)
+	}
+	if timeline {
+		fmt.Println()
+		if err := graph.WriteTimeline(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	if dotOut != "" {
+		writeFile(dotOut, func(f *os.File) error {
+			return graph.WriteDOT(f, c.ID)
+		})
+	}
+	if jsonOut != "" {
+		writeFile(jsonOut, func(f *os.File) error {
+			return graph.WriteJSON(f)
+		})
+	}
+	if svgOut != "" {
+		writeFile(svgOut, func(f *os.File) error {
+			return graph.WriteSVG(f, c.ID)
+		})
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

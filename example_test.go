@@ -1,0 +1,94 @@
+package asyncg_test
+
+import (
+	"fmt"
+	"time"
+
+	"asyncg"
+)
+
+// ExampleSession_Run shows the §III ordering surprise: callbacks run by
+// queue priority, not registration order.
+func ExampleSession_Run() {
+	session := asyncg.New(asyncg.Options{})
+	_, _ = session.Run(func(ctx *asyncg.Context) {
+		ctx.Then(ctx.Resolve("p"), asyncg.F("reaction", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("2: promise reaction")
+			return asyncg.Undefined
+		}), nil)
+		ctx.SetTimeout(asyncg.F("timer", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("3: timer")
+			return asyncg.Undefined
+		}), 0)
+		ctx.NextTick(asyncg.F("tick", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("1: nextTick")
+			return asyncg.Undefined
+		}))
+	})
+	// Output:
+	// 1: nextTick
+	// 2: promise reaction
+	// 3: timer
+}
+
+// ExampleReport_HasWarning shows automatic bug detection: a dead emit is
+// flagged because the event fires before any listener exists.
+func ExampleReport_HasWarning() {
+	session := asyncg.New(asyncg.Options{})
+	report, _ := session.Run(func(ctx *asyncg.Context) {
+		e := ctx.NewEmitter("bus")
+		ctx.Emit(e, "ready") // nobody is listening yet
+		ctx.On(e, "ready", asyncg.F("late", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	})
+	fmt.Println("dead emit:", report.HasWarning("dead-emit"))
+	fmt.Println("dead listener:", report.HasWarning("dead-listener"))
+	// Output:
+	// dead emit: true
+	// dead listener: true
+}
+
+// ExampleContext_Async shows async/await over the virtual clock: a
+// one-hour timeout completes instantly in wall time.
+func ExampleContext_Async() {
+	session := asyncg.New(asyncg.Options{})
+	_, _ = session.Run(func(ctx *asyncg.Context) {
+		slow := ctx.NewPromise(nil)
+		ctx.SetTimeout(asyncg.F("resolver", func(args []asyncg.Value) asyncg.Value {
+			slow.Resolve(lochere(), "done after an hour")
+			return asyncg.Undefined
+		}), time.Hour)
+		done := ctx.Async("waiter", func(aw *asyncg.Awaiter) asyncg.Value {
+			v := ctx.Await(aw, slow)
+			fmt.Printf("%v at virtual t=%v\n", v, ctx.Now())
+			return asyncg.Undefined
+		})
+		ctx.Catch(done, asyncg.F("err", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	})
+	// Output:
+	// done after an hour at virtual t=1h0m0s
+}
+
+// ExampleGraph_ticks shows how the Async Graph groups executions into
+// event-loop ticks.
+func Example_graphTicks() {
+	session := asyncg.New(asyncg.Options{})
+	report, _ := session.Run(func(ctx *asyncg.Context) {
+		ctx.NextTick(asyncg.F("a", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+		ctx.SetImmediate(asyncg.F("b", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	})
+	for _, tick := range report.Graph.Ticks {
+		fmt.Println(tick.Name())
+	}
+	// Output:
+	// t1:main
+	// t2:nextTick
+	// t3:immediate
+}

@@ -1,0 +1,141 @@
+// Chat: a broadcast chat server over raw simulated sockets — the
+// net-module style of event-driven Node programming (connection, data,
+// end, close events), exercising the I/O poll and close-handler phases.
+// Three clients connect, exchange messages, and disconnect; the Async
+// Graph timeline of the whole session is printed at the end.
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncg"
+	"asyncg/internal/loc"
+	"asyncg/internal/netio"
+)
+
+func main() {
+	session := asyncg.New(asyncg.Options{})
+	transcript := []string{}
+	report, err := session.Run(func(ctx *asyncg.Context) {
+		net := ctx.Net()
+
+		// --- Server ---
+		var clients []*netio.Socket
+		broadcast := func(from *netio.Socket, msg string) {
+			for _, c := range clients {
+				if c != from && c.Connected() {
+					c.WriteString(loc.Here(), msg)
+				}
+			}
+		}
+		srv, err := net.Listen(loc.Here(), 7000)
+		if err != nil {
+			panic(err)
+		}
+		srv.On(loc.Here(), netio.EventConnection, asyncg.F("acceptClient",
+			func(args []asyncg.Value) asyncg.Value {
+				sock := args[0].(*netio.Socket)
+				clients = append(clients, sock)
+				sock.On(loc.Here(), netio.EventData, asyncg.F("relay",
+					func(args []asyncg.Value) asyncg.Value {
+						broadcast(sock, string(args[0].([]byte)))
+						return asyncg.Undefined
+					}))
+				sock.On(loc.Here(), netio.EventClose, asyncg.F("dropClient",
+					func(args []asyncg.Value) asyncg.Value {
+						for i, c := range clients {
+							if c == sock {
+								clients = append(clients[:i], clients[i+1:]...)
+								break
+							}
+						}
+						broadcast(nil, "* someone left *")
+						return asyncg.Undefined
+					}))
+				return asyncg.Undefined
+			}))
+
+		// --- Clients ---
+		say := func(name string, sock *netio.Socket, text string) {
+			sock.WriteString(loc.Here(), name+": "+text)
+		}
+		join := func(name string) *netio.Socket {
+			sock := net.Connect(loc.Here(), 7000)
+			sock.On(loc.Here(), netio.EventData, asyncg.F(name+".recv",
+				func(args []asyncg.Value) asyncg.Value {
+					transcript = append(transcript, fmt.Sprintf("%-6s got: %s", name, args[0].([]byte)))
+					return asyncg.Undefined
+				}))
+			return sock
+		}
+		alice := join("alice")
+		bob := join("bob")
+		carol := join("carol")
+
+		alice.On(loc.Here(), netio.EventConnect, asyncg.F("aliceTalks",
+			func(args []asyncg.Value) asyncg.Value {
+				say("alice", alice, "hello everyone")
+				return asyncg.Undefined
+			}))
+		bob.On(loc.Here(), netio.EventConnect, asyncg.F("bobTalks",
+			func(args []asyncg.Value) asyncg.Value {
+				say("bob", bob, "hi alice")
+				// Bob leaves after speaking.
+				ctx.SetTimeout(asyncg.F("bobLeaves", func(args []asyncg.Value) asyncg.Value {
+					bob.End(loc.Here(), nil)
+					return asyncg.Undefined
+				}), 5_000_000) // 5ms of virtual time
+				return asyncg.Undefined
+			}))
+		carol.On(loc.Here(), netio.EventConnect, asyncg.F("carolTalks",
+			func(args []asyncg.Value) asyncg.Value {
+				say("carol", carol, "good morning")
+				return asyncg.Undefined
+			}))
+
+		// Shut the room down once the conversation settles.
+		ctx.SetTimeout(asyncg.F("closeRoom", func(args []asyncg.Value) asyncg.Value {
+			alice.End(loc.Here(), nil)
+			carol.End(loc.Here(), nil)
+			srv.Close(loc.Here())
+			return asyncg.Undefined
+		}), 20_000_000) // 20ms of virtual time
+	})
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+
+	fmt.Println("chat transcript:")
+	for _, line := range transcript {
+		fmt.Println(" ", line)
+	}
+	stats := report.Graph.ComputeStats()
+	fmt.Printf("\nsession summary: %d ticks (%v), %d registrations, %d executions\n",
+		stats.Ticks, phaseSummary(stats.ByPhase), stats.Registrations, stats.Executions)
+	fmt.Println("\ntimeline (first 25 lines):")
+	var sb strings.Builder
+	if err := report.Graph.WriteTimeline(&sb); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	lines := strings.Split(sb.String(), "\n")
+	if len(lines) > 25 {
+		lines = lines[:25]
+	}
+	fmt.Println(strings.Join(lines, "\n"))
+}
+
+func phaseSummary(byPhase map[string]int) string {
+	var parts []string
+	for _, phase := range []string{"main", "nextTick", "promise", "timer", "io", "immediate", "close"} {
+		if byPhase[phase] > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", phase, byPhase[phase]))
+		}
+	}
+	return strings.Join(parts, " ")
+}

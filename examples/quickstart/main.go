@@ -1,0 +1,57 @@
+// Quickstart: run a small asynchronous program on the simulated Node.js
+// event loop, build its Async Graph, and print the graph and any
+// detector warnings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"asyncg"
+)
+
+func main() {
+	session := asyncg.New(asyncg.Options{})
+	report, err := session.Run(func(ctx *asyncg.Context) {
+		// The §III motivating snippet: three callbacks registered in
+		// one order, executed in another.
+		ctx.Then(ctx.Resolve("value"), asyncg.F("promiseReaction", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("2. promise reaction:", args[0])
+			return asyncg.Undefined
+		}), nil)
+		ctx.SetTimeout(asyncg.F("timeout", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("3. setTimeout callback")
+			return asyncg.Undefined
+		}), 0)
+		ctx.NextTick(asyncg.F("tick", func(args []asyncg.Value) asyncg.Value {
+			fmt.Println("1. nextTick callback")
+			return asyncg.Undefined
+		}))
+		// Timers on the virtual clock: no real waiting happens.
+		ctx.SetTimeout(asyncg.F("lastWords", func(args []asyncg.Value) asyncg.Value {
+			fmt.Printf("4. one virtual hour later (wall time is instant), t=%v\n", ctx.Now())
+			return asyncg.Undefined
+		}), time.Hour)
+	})
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+
+	fmt.Printf("\nexecuted %d ticks; Async Graph: %d nodes, %d edges, %d ticks\n",
+		report.Ticks, len(report.Graph.Nodes), len(report.Graph.Edges), len(report.Graph.Ticks))
+	for _, tk := range report.Graph.Ticks {
+		fmt.Printf("  %s: %d node(s)\n", tk.Name(), len(tk.Nodes))
+	}
+	fmt.Println("\nwarnings:")
+	if len(report.Warnings) == 0 {
+		fmt.Println("  (none)")
+	}
+	for _, w := range report.Warnings {
+		fmt.Println("  ⚡", w)
+	}
+	fmt.Println("\nDOT (render with: dot -Tsvg):")
+	fmt.Print(report.Graph.DOT("quickstart"))
+}

@@ -1,0 +1,81 @@
+// Racedetect: the paper's §IX ongoing-research extension — detecting
+// race conditions caused by non-deterministic event ordering — run on a
+// small program where two network replies update the same shared state.
+// The Async Graph shows the two callbacks are causally unordered, so
+// which write "wins" depends on timing.
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+
+	"asyncg"
+	"asyncg/internal/detect"
+	"asyncg/internal/loc"
+	"asyncg/internal/mongosim"
+)
+
+func main() {
+	session := asyncg.New(asyncg.Options{})
+	report, err := session.Run(func(ctx *asyncg.Context) {
+		// A "latest result" cache written by two concurrent lookups.
+		latest := ctx.NewCell("latestPrice", asyncg.Undefined)
+
+		prices := ctx.DB().C("prices")
+		prices.InsertSync(mongosim.Document{"sym": "GOOG", "price": 101})
+		prices.InsertSync(mongosim.Document{"sym": "AAPL", "price": 202})
+
+		lookup := func(sym string) {
+			prices.FindOne(loc.Here(), `sym == "`+sym+`"`,
+				asyncg.F("store-"+sym, func(args []asyncg.Value) asyncg.Value {
+					doc := args[1].(mongosim.Document)
+					// RACE: both callbacks write the same cell; the
+					// surviving value depends on I/O completion order.
+					ctx.CellSet(latest, doc["price"])
+					return asyncg.Undefined
+				}))
+		}
+		lookup("GOOG")
+		lookup("AAPL")
+	})
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+
+	fmt.Println("warnings:")
+	for _, w := range report.Warnings {
+		fmt.Println("  ⚡", w)
+	}
+	if !report.HasWarning(detect.CatRace) {
+		fmt.Println("  (no race found — unexpected)")
+	}
+
+	fmt.Println("\nThe fixed pattern chains the lookups, so the graph orders the writes:")
+	fixedReport, err := asyncg.New(asyncg.Options{}).Run(func(ctx *asyncg.Context) {
+		latest := ctx.NewCell("latestPrice", asyncg.Undefined)
+		prices := ctx.DB().C("prices")
+		prices.InsertSync(mongosim.Document{"sym": "GOOG", "price": 101})
+		prices.InsertSync(mongosim.Document{"sym": "AAPL", "price": 202})
+		prices.FindOne(loc.Here(), `sym == "GOOG"`,
+			asyncg.F("first", func(args []asyncg.Value) asyncg.Value {
+				ctx.CellSet(latest, args[1].(mongosim.Document)["price"])
+				prices.FindOne(loc.Here(), `sym == "AAPL"`,
+					asyncg.F("second", func(args []asyncg.Value) asyncg.Value {
+						ctx.CellSet(latest, args[1].(mongosim.Document)["price"])
+						return asyncg.Undefined
+					}))
+				return asyncg.Undefined
+			}))
+	})
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+	if fixedReport.HasWarning(detect.CatRace) {
+		fmt.Println("  still racy — unexpected")
+	} else {
+		fmt.Println("  no race warnings ✓")
+	}
+}

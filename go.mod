@@ -1,0 +1,3 @@
+module asyncg
+
+go 1.22

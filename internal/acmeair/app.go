@@ -1,0 +1,420 @@
+package acmeair
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/httpsim"
+	"asyncg/internal/loc"
+	"asyncg/internal/mongosim"
+	"asyncg/internal/netio"
+	"asyncg/internal/vm"
+)
+
+// Config configures the AcmeAir server.
+type Config struct {
+	Port int
+	// UsePromises selects the promise-version data-access interface
+	// (the paper's modified AcmeAir); false selects classic callbacks.
+	UsePromises bool
+}
+
+// App is the AcmeAir server instance.
+type App struct {
+	loop   *eventloop.Loop
+	net    *netio.Network
+	db     *mongosim.DB
+	cfg    Config
+	server *httpsim.Server
+
+	sessionSeq int
+	bookingSeq int
+	served     int64
+}
+
+// New assembles the application; call Listen from inside the loop's main
+// program to start serving.
+func New(l *eventloop.Loop, n *netio.Network, db *mongosim.DB, cfg Config) *App {
+	if cfg.Port == 0 {
+		cfg.Port = 9080
+	}
+	return &App{loop: l, net: n, db: db, cfg: cfg}
+}
+
+// Served returns the number of requests that have received a response.
+func (a *App) Served() int64 { return a.served }
+
+// Port returns the listening port.
+func (a *App) Port() int { return a.cfg.Port }
+
+// Listen starts the HTTP server.
+func (a *App) Listen(at loc.Loc) error {
+	app := a
+	handler := vm.NewFuncAt("acmeairRouter", at, func(args []vm.Value) vm.Value {
+		req := args[0].(*httpsim.IncomingMessage)
+		res := args[1].(*httpsim.ServerResponse)
+		httpsim.CollectBody(req, func(body []byte) {
+			app.route(req, res, body)
+		})
+		return vm.Undefined
+	})
+	a.server = httpsim.CreateServer(a.net, at, handler)
+	return a.server.Listen(at, a.cfg.Port)
+}
+
+// Close shuts the server down.
+func (a *App) Close(at loc.Loc) {
+	if a.server != nil {
+		a.server.Close(at)
+	}
+}
+
+// route dispatches one request to its endpoint handler.
+func (a *App) route(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, body []byte) {
+	path, query := splitQuery(req.Path)
+	form := parseForm(body)
+	switch {
+	case req.Method == "POST" && path == "/rest/api/login":
+		a.login(res, form)
+	case req.Method == "GET" && path == "/rest/api/login/logout":
+		a.logout(res, parseForm([]byte(query)))
+	case req.Method == "POST" && path == "/rest/api/flights/queryflights":
+		a.queryFlights(res, form)
+	case req.Method == "POST" && path == "/rest/api/bookings/bookflights":
+		a.bookFlights(req, res, form)
+	case req.Method == "GET" && strings.HasPrefix(path, "/rest/api/bookings/byuser/"):
+		a.bookingsByUser(req, res, strings.TrimPrefix(path, "/rest/api/bookings/byuser/"))
+	case req.Method == "POST" && path == "/rest/api/bookings/cancelbooking":
+		a.cancelBooking(req, res, form)
+	case req.Method == "GET" && strings.HasPrefix(path, "/rest/api/customer/byid/"):
+		a.customerByID(req, res, strings.TrimPrefix(path, "/rest/api/customer/byid/"))
+	case req.Method == "POST" && strings.HasPrefix(path, "/rest/api/customer/byid/"):
+		a.updateCustomer(req, res, strings.TrimPrefix(path, "/rest/api/customer/byid/"), form)
+	case req.Method == "GET" && strings.HasPrefix(path, "/rest/api/config/count"):
+		a.countConfig(res, strings.TrimPrefix(path, "/rest/api/config/count"))
+	case req.Method == "GET" && path == "/rest/api/loader/load":
+		a.loadData(res, parseForm([]byte(query)))
+	default:
+		a.fail(res, 404, "no such endpoint: "+req.Method+" "+path)
+	}
+}
+
+func splitQuery(path string) (string, string) {
+	if idx := strings.IndexByte(path, '?'); idx >= 0 {
+		return path[:idx], path[idx+1:]
+	}
+	return path, ""
+}
+
+// --- Response helpers ---
+
+func (a *App) respond(res *httpsim.ServerResponse, status int, payload any) {
+	a.served++
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		status = 500
+	}
+	res.SetHeader("content-type", "application/json")
+	res.WriteHead(status).End(loc.Internal, data)
+}
+
+func (a *App) fail(res *httpsim.ServerResponse, status int, msg string) {
+	a.respond(res, status, map[string]string{"error": msg})
+}
+
+// dbFail maps a DB error (callback err argument) to a 500.
+func (a *App) dbFail(res *httpsim.ServerResponse, err vm.Value) bool {
+	if vm.IsUndefined(err) || err == nil {
+		return false
+	}
+	a.fail(res, 500, vm.ToString(err))
+	return true
+}
+
+// cb wraps a Go closure as a DB callback function value.
+func cb(name string, f func(err, res vm.Value)) *vm.Function {
+	return vm.NewFunc(name, func(args []vm.Value) vm.Value {
+		f(vm.Arg(args, 0), vm.Arg(args, 1))
+		return vm.Undefined
+	})
+}
+
+// validateSession checks the request's session header against the
+// session store and calls next(customerID) on success. Endpoints under
+// /bookings and /customer require a valid session, adding the
+// per-request session lookup the real benchmark performs.
+func (a *App) validateSession(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, next func(customer string)) {
+	sid := req.Headers["x-session"]
+	if sid == "" {
+		a.fail(res, 403, "missing session")
+		return
+	}
+	a.db.C(ColSessions).FindOne(loc.Here(), `sessionid == "`+sid+`"`,
+		cb("sessionCheck", func(err, doc vm.Value) {
+			if a.dbFail(res, err) {
+				return
+			}
+			if vm.IsUndefined(doc) {
+				a.fail(res, 403, "invalid session")
+				return
+			}
+			next(doc.(mongosim.Document)["customerid"].(string))
+		}))
+}
+
+// --- Endpoints (callback data access; promise variants live in
+// handlers_promise.go and are selected by Config.UsePromises) ---
+
+// login authenticates the customer and creates a session.
+func (a *App) login(res *httpsim.ServerResponse, form map[string]string) {
+	user, pass := form["login"], form["password"]
+	a.db.C(ColCustomers).FindOne(loc.Here(), `username == "`+user+`"`,
+		cb("loginLookup", func(err, doc vm.Value) {
+			if a.dbFail(res, err) {
+				return
+			}
+			if vm.IsUndefined(doc) || doc.(mongosim.Document)["password"] != pass {
+				a.fail(res, 401, "invalid credentials")
+				return
+			}
+			a.sessionSeq++
+			sid := fmt.Sprintf("s%d", a.sessionSeq)
+			a.db.C(ColSessions).Insert(loc.Here(), mongosim.Document{
+				"sessionid":  sid,
+				"customerid": user,
+			}, cb("sessionInsert", func(err, _ vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				a.respond(res, 200, map[string]string{"status": "logged in", "sessionid": sid})
+			}))
+		}))
+}
+
+// logout removes the customer's sessions.
+func (a *App) logout(res *httpsim.ServerResponse, query map[string]string) {
+	user := query["login"]
+	a.db.C(ColSessions).Remove(loc.Here(), `customerid == "`+user+`"`,
+		cb("logout", func(err, n vm.Value) {
+			if a.dbFail(res, err) {
+				return
+			}
+			a.respond(res, 200, map[string]any{"status": "logged out", "sessions": n})
+		}))
+}
+
+// queryFlights finds the segment for the requested airport pair and
+// streams its flights through a cursor (the driver's cursor interface,
+// as the real data layer does for multi-document results).
+func (a *App) queryFlights(res *httpsim.ServerResponse, form map[string]string) {
+	if a.cfg.UsePromises {
+		a.queryFlightsP(res, form)
+		return
+	}
+	from, to := form["fromAirport"], form["toAirport"]
+	a.db.C(ColSegments).FindOne(loc.Here(),
+		`originPort == "`+from+`" && destPort == "`+to+`"`,
+		cb("segmentLookup", func(err, seg vm.Value) {
+			if a.dbFail(res, err) {
+				return
+			}
+			if vm.IsUndefined(seg) {
+				a.respond(res, 200, map[string]any{"flights": []any{}})
+				return
+			}
+			sid := seg.(mongosim.Document)["segmentId"].(string)
+			cursor := a.db.C(ColFlights).FindCursor(loc.Here(), `flightSegmentId == "`+sid+`"`)
+			var flights []mongosim.Document
+			cursor.On(loc.Here(), "data", vm.NewFunc("flightRow", func(args []vm.Value) vm.Value {
+				flights = append(flights, args[0].(mongosim.Document))
+				return vm.Undefined
+			}))
+			cursor.On(loc.Here(), "end", vm.NewFunc("flightsDone", func(args []vm.Value) vm.Value {
+				a.respond(res, 200, map[string]any{
+					"segment": seg,
+					"flights": flights,
+				})
+				return vm.Undefined
+			}))
+		}))
+}
+
+// bookFlights books a flight for the session's customer and credits
+// miles.
+func (a *App) bookFlights(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, form map[string]string) {
+	a.validateSession(req, res, func(customer string) {
+		if a.cfg.UsePromises {
+			a.bookFlightsP(res, customer, form)
+			return
+		}
+		flightID := form["flightId"]
+		a.db.C(ColFlights).FindOne(loc.Here(), `flightId == "`+flightID+`"`,
+			cb("flightLookup", func(err, flight vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				if vm.IsUndefined(flight) {
+					a.fail(res, 404, "no such flight "+flightID)
+					return
+				}
+				a.bookingSeq++
+				bid := fmt.Sprintf("b%d", a.bookingSeq)
+				a.db.C(ColBookings).Insert(loc.Here(), mongosim.Document{
+					"bookingId":  bid,
+					"customerId": customer,
+					"flightId":   flightID,
+				}, cb("bookingInsert", func(err, _ vm.Value) {
+					if a.dbFail(res, err) {
+						return
+					}
+					a.db.C(ColCustomers).Update(loc.Here(), `username == "`+customer+`"`,
+						mongosim.Document{"miles_ytd": 2000},
+						cb("milesUpdate", func(err, _ vm.Value) {
+							if a.dbFail(res, err) {
+								return
+							}
+							a.respond(res, 200, map[string]string{"bookingId": bid})
+						}))
+				}))
+			}))
+	})
+}
+
+// bookingsByUser lists the customer's bookings.
+func (a *App) bookingsByUser(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, user string) {
+	a.validateSession(req, res, func(customer string) {
+		a.db.C(ColBookings).FindWith(loc.Here(), `customerId == "`+user+`"`,
+			mongosim.FindOptions{SortBy: "bookingId"},
+			cb("bookingList", func(err, docs vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				list, _ := docs.([]mongosim.Document)
+				a.respond(res, 200, map[string]any{"bookings": list})
+			}))
+	})
+}
+
+// cancelBooking removes one booking.
+func (a *App) cancelBooking(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, form map[string]string) {
+	a.validateSession(req, res, func(customer string) {
+		number := form["number"]
+		a.db.C(ColBookings).Remove(loc.Here(),
+			`bookingId == "`+number+`" && customerId == "`+customer+`"`,
+			cb("cancel", func(err, n vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				a.respond(res, 200, map[string]any{"removed": n})
+			}))
+	})
+}
+
+// customerByID returns a customer profile.
+func (a *App) customerByID(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, id string) {
+	a.validateSession(req, res, func(customer string) {
+		if a.cfg.UsePromises {
+			a.customerByIDP(res, id)
+			return
+		}
+		a.db.C(ColCustomers).FindOne(loc.Here(), `username == "`+id+`"`,
+			cb("customerLookup", func(err, doc vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				if vm.IsUndefined(doc) {
+					a.fail(res, 404, "no such customer "+id)
+					return
+				}
+				a.respond(res, 200, doc.(mongosim.Document))
+			}))
+	})
+}
+
+// countConfig serves the benchmark's config endpoints
+// (/rest/api/config/countCustomers and friends), which report collection
+// sizes — the loader's sanity checks.
+func (a *App) countConfig(res *httpsim.ServerResponse, what string) {
+	col := map[string]string{
+		"Customers":      ColCustomers,
+		"Sessions":       ColSessions,
+		"Flights":        ColFlights,
+		"FlightSegments": ColSegments,
+		"Bookings":       ColBookings,
+	}[what]
+	if col == "" {
+		a.fail(res, 404, "unknown count "+what)
+		return
+	}
+	a.db.C(col).Count(loc.Here(), ``, cb("count", func(err, n vm.Value) {
+		if a.dbFail(res, err) {
+			return
+		}
+		a.respond(res, 200, map[string]any{"count": n})
+	}))
+}
+
+// loadData serves the benchmark's loader endpoint
+// (/rest/api/loader/load?numCustomers=N): it wipes the customer-facing
+// collections and regenerates the sample data set asynchronously,
+// responding once the wipe completes.
+func (a *App) loadData(res *httpsim.ServerResponse, query map[string]string) {
+	spec := DefaultDataSpec()
+	if n, ok := query["numCustomers"]; ok {
+		count := 0
+		for _, ch := range n {
+			if ch < '0' || ch > '9' {
+				count = 0
+				break
+			}
+			count = count*10 + int(ch-'0')
+		}
+		if count > 0 {
+			spec.Customers = count
+		}
+	}
+	wipe := func(col string, next *vm.Function) {
+		a.db.C(col).Remove(loc.Here(), ``, next)
+	}
+	app := a
+	finish := cb("loadFinish", func(err, _ vm.Value) {
+		if app.dbFail(res, err) {
+			return
+		}
+		LoadSampleData(app.db, spec)
+		app.respond(res, 200, map[string]any{
+			"status":    "loaded",
+			"customers": spec.Customers,
+		})
+	})
+	// Chain the wipes; the final one triggers the reload.
+	wipe(ColBookings, cb("w1", func(err, _ vm.Value) {
+		wipe(ColSessions, cb("w2", func(err, _ vm.Value) {
+			wipe(ColCustomers, cb("w3", func(err, _ vm.Value) {
+				wipe(ColFlights, cb("w4", func(err, _ vm.Value) {
+					wipe(ColSegments, finish)
+				}))
+			}))
+		}))
+	}))
+}
+
+// updateCustomer merges profile fields.
+func (a *App) updateCustomer(req *httpsim.IncomingMessage, res *httpsim.ServerResponse, id string, form map[string]string) {
+	a.validateSession(req, res, func(customer string) {
+		set := mongosim.Document{}
+		for k, v := range form {
+			set[k] = v
+		}
+		a.db.C(ColCustomers).Update(loc.Here(), `username == "`+id+`"`, set,
+			cb("customerUpdate", func(err, n vm.Value) {
+				if a.dbFail(res, err) {
+					return
+				}
+				a.respond(res, 200, map[string]any{"updated": n})
+			}))
+	})
+}

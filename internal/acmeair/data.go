@@ -1,0 +1,96 @@
+package acmeair
+
+import (
+	"fmt"
+
+	"asyncg/internal/mongosim"
+)
+
+// Collection names, matching the acmeair-nodejs schema.
+const (
+	ColCustomers = "customer"
+	ColSessions  = "customerSession"
+	ColFlights   = "flight"
+	ColSegments  = "flightSegment"
+	ColBookings  = "booking"
+)
+
+// airports used by the sample data generator (the benchmark's default
+// data set uses a fixed airport list).
+var airports = []string{
+	"SFO", "JFK", "LAX", "ORD", "CDG", "FRA", "NRT", "SIN", "SYD", "GRU",
+}
+
+// DataSpec sizes the generated sample data.
+type DataSpec struct {
+	Customers         int
+	FlightsPerSegment int
+}
+
+// DefaultDataSpec mirrors a small AcmeAir default load.
+func DefaultDataSpec() DataSpec {
+	return DataSpec{Customers: 200, FlightsPerSegment: 5}
+}
+
+// LoadSampleData populates the database deterministically: every ordered
+// airport pair becomes a flight segment with FlightsPerSegment flights,
+// and Customers customers named uid0..uidN-1 with password "password"
+// (the benchmark's convention).
+func LoadSampleData(db *mongosim.DB, spec DataSpec) {
+	segments := db.C(ColSegments)
+	flights := db.C(ColFlights)
+	customers := db.C(ColCustomers)
+
+	segID := 0
+	for _, from := range airports {
+		for _, to := range airports {
+			if from == to {
+				continue
+			}
+			segID++
+			sid := fmt.Sprintf("AA%d", segID)
+			miles := 500 + (segID*137)%9000
+			segments.InsertSync(mongosim.Document{
+				"segmentId":  sid,
+				"originPort": from,
+				"destPort":   to,
+				"miles":      miles,
+			})
+			for f := 0; f < spec.FlightsPerSegment; f++ {
+				flights.InsertSync(mongosim.Document{
+					"flightId":        fmt.Sprintf("%s-%d", sid, f),
+					"flightSegmentId": sid,
+					"scheduledHour":   (6 + f*4) % 24,
+					"price":           100 + (segID*31+f*97)%900,
+					"firstClassPrice": 500 + (segID*53+f*11)%2000,
+					"numSeats":        180,
+				})
+			}
+		}
+	}
+	for i := 0; i < spec.Customers; i++ {
+		customers.InsertSync(mongosim.Document{
+			"username":    fmt.Sprintf("uid%d", i),
+			"password":    "password",
+			"status":      "GOLD",
+			"total_miles": 1_000_000,
+			"miles_ytd":   1000,
+			"address": mongosim.Document{
+				"streetAddress1": "123 Main St.",
+				"city":           "Anytown",
+				"stateProvince":  "NC",
+				"country":        "USA",
+				"postalCode":     "27617",
+			},
+			"phoneNumber":     "919-123-4567",
+			"phoneNumberType": "BUSINESS",
+		})
+	}
+}
+
+// Airports returns the airport codes the sample data uses.
+func Airports() []string {
+	out := make([]string, len(airports))
+	copy(out, airports)
+	return out
+}

@@ -1,0 +1,107 @@
+// Package acmeair reimplements the AcmeAir flight-booking benchmark —
+// the server the paper's evaluation (§VII-B) measures — on top of the
+// simulated HTTP, network and MongoDB layers. The service exposes the
+// benchmark's REST endpoints (login, query flights, book, cancel, view
+// bookings, customer profile) and can run its data access either through
+// the classic callback interface or through the promise interface, the
+// two configurations the paper compares.
+package acmeair
+
+import "strings"
+
+// parseForm decodes an application/x-www-form-urlencoded body
+// ("login=uid0&password=pw") into a map. It implements the subset the
+// benchmark driver produces: %XX escapes and '+' for space.
+func parseForm(body []byte) map[string]string {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(string(body), "&") {
+		if pair == "" {
+			continue
+		}
+		key, val := pair, ""
+		if idx := strings.IndexByte(pair, '='); idx >= 0 {
+			key, val = pair[:idx], pair[idx+1:]
+		}
+		out[unescape(key)] = unescape(val)
+	}
+	return out
+}
+
+// encodeForm is the inverse of parseForm, used by the workload driver.
+func encodeForm(fields map[string]string) string {
+	// Deterministic order keeps wire bytes reproducible.
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(escape(k))
+		sb.WriteByte('=')
+		sb.WriteString(escape(fields[k]))
+	}
+	return sb.String()
+}
+
+func unescape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			sb.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if ok1 && ok2 {
+				sb.WriteByte(hi<<4 | lo)
+				i += 2
+			} else {
+				sb.WriteByte(s[i])
+			}
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+func escape(s string) string {
+	const hexDigits = "0123456789ABCDEF"
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
+			c == '-' || c == '_' || c == '.' || c == '~':
+			sb.WriteByte(c)
+		case c == ' ':
+			sb.WriteByte('+')
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(hexDigits[c>>4])
+			sb.WriteByte(hexDigits[c&0xf])
+		}
+	}
+	return sb.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

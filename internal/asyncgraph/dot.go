@@ -1,0 +1,89 @@
+package asyncgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in the DOT language, one cluster per
+// event-loop tick, matching the visual conventions of the paper's
+// figures: boxes for CR, ellipses for CE, stars for CT, triangles for
+// OB; solid arrows for direct causal edges and dashed (optionally
+// labelled) arrows for binding and relation edges. Nodes carrying
+// warnings are highlighted.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("digraph AsyncGraph {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  fontname=\"Helvetica\";\n")
+	b.WriteString("  node [fontname=\"Helvetica\", fontsize=10];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=9];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	}
+	inTick := make(map[NodeID]bool)
+	for _, t := range g.Ticks {
+		fmt.Fprintf(&b, "  subgraph cluster_t%d {\n", t.Index)
+		fmt.Fprintf(&b, "    label=%q;\n    style=dashed;\n", t.Name())
+		for _, id := range t.Nodes {
+			inTick[id] = true
+			b.WriteString("    " + g.nodeDOT(id) + "\n")
+		}
+		b.WriteString("  }\n")
+	}
+	// Nodes from an uncommitted tick (truncated run) still render.
+	for _, n := range g.Nodes {
+		if !inTick[n.ID] {
+			b.WriteString("  " + g.nodeDOT(n.ID) + "\n")
+		}
+	}
+	for _, e := range g.Edges {
+		b.WriteString("  " + edgeDOT(e) + "\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT returns the DOT rendering as a string.
+func (g *Graph) DOT(title string) string {
+	var sb strings.Builder
+	_ = g.WriteDOT(&sb, title) // strings.Builder never fails
+	return sb.String()
+}
+
+func (g *Graph) nodeDOT(id NodeID) string {
+	n := g.Node(id)
+	shape, style := "box", "solid"
+	switch n.Kind {
+	case CE:
+		shape = "ellipse"
+	case CT:
+		shape = "star"
+	case OB:
+		shape = "triangle"
+	}
+	label := n.Label
+	color := "black"
+	if len(n.Warnings) > 0 {
+		color = "red"
+		label = "⚡ " + label + "\\n" + strings.Join(n.Warnings, "\\n")
+	}
+	if n.Removed {
+		style = "dotted"
+	}
+	return fmt.Sprintf("n%d [shape=%s, style=%s, color=%s, label=%q];",
+		n.ID, shape, style, color, label)
+}
+
+func edgeDOT(e Edge) string {
+	switch e.Kind {
+	case EdgeBinding:
+		return fmt.Sprintf("n%d -> n%d [style=dashed, arrowhead=onormal];", e.From, e.To)
+	case EdgeRelation:
+		return fmt.Sprintf("n%d -> n%d [style=dashed, label=%q];", e.From, e.To, e.Label)
+	default:
+		return fmt.Sprintf("n%d -> n%d;", e.From, e.To)
+	}
+}

@@ -1,0 +1,300 @@
+// Package asyncgraph implements the Async Graph (AG) of the paper — a
+// time-oriented graph describing the asynchronous flow of a program on
+// the simulated Node.js event loop — together with the builder that
+// constructs it from probe events (the paper's Algorithms 1–3) and DOT
+// and JSON exporters.
+//
+// Nodes come in four kinds: Callback Registration (CR, □), Callback
+// Execution (CE, ○), Callback Trigger (CT, ★) and Object Binding (OB, △).
+// Nodes are grouped into event-loop ticks; edges are either direct causal
+// edges (→) or dashed binding/relation edges (⇠).
+package asyncgraph
+
+import (
+	"fmt"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// NodeKind distinguishes the four Async Graph node types.
+type NodeKind int
+
+// Async Graph node kinds (paper §IV-A).
+const (
+	CR NodeKind = iota // □ callback registration
+	CE                 // ○ callback execution
+	CT                 // ★ callback trigger (emit / resolve / reject)
+	OB                 // △ object binding (promise / emitter creation)
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case CR:
+		return "CR"
+	case CE:
+		return "CE"
+	case CT:
+		return "CT"
+	case OB:
+		return "OB"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// NodeID indexes into Graph.Nodes.
+type NodeID int
+
+// NoNode is the absent-node sentinel.
+const NoNode NodeID = -1
+
+// Node is one Async Graph node.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Tick is the 1-based index of the containing tick, or 0 until the
+	// tick is committed.
+	Tick int
+	// Loc is the source location of the originating API use.
+	Loc loc.Loc
+	// API is the async API that produced the node ("setTimeout",
+	// "emitter.on", "promise.then", ...).
+	API string
+	// Event is the emitter event name or promise relation detail.
+	Event string
+	// Label is the display name ("L7: createServer", "P1", "E2").
+	Label string
+	// Obj is the bound runtime object, if any.
+	Obj vm.ObjRef
+	// Func names the registered/executed callback (CR and CE nodes).
+	Func string
+	// RegSeq is the registration sequence for CR nodes.
+	RegSeq uint64
+	// TrigSeq is the trigger sequence for CT nodes.
+	TrigSeq uint64
+	// Executions counts CE nodes mapped to this CR node.
+	Executions int
+	// Removed marks CR nodes whose registration was explicitly
+	// retired (clearTimeout, removeListener) before executing.
+	Removed bool
+	// Warnings lists bug-detector annotations (the ⚡ marks of the
+	// paper's figures).
+	Warnings []string
+	// ValueStr is the rendered settlement value for promise trigger
+	// nodes (Fig. 5 labels the value flowing from p1 to p2).
+	ValueStr string
+	// Stack is the resolved creation stack captured for promise nodes
+	// when chain analysis is on — the async-stack-trace provenance a
+	// promise debugger shows. Capturing and resolving it on every
+	// promise operation is the dominant cost of promise tracking
+	// (the paper's "withpromise" overhead).
+	Stack []string
+}
+
+// EdgeKind distinguishes Async Graph edge styles.
+type EdgeKind int
+
+// Edge kinds (paper §IV-A).
+const (
+	// EdgeDirect is the solid causal edge →: CR→CE, CT→CE, and the
+	// happens-in edge CE→(nodes created during it).
+	EdgeDirect EdgeKind = iota
+	// EdgeBinding is the dashed CE⇠CR edge binding an execution to its
+	// registration.
+	EdgeBinding
+	// EdgeRelation is a dashed labelled edge between object-binding
+	// nodes and related nodes ("then", "link", "connection", ...).
+	EdgeRelation
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeBinding:
+		return "binding"
+	case EdgeRelation:
+		return "relation"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge connects two Async Graph nodes.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+	Label    string
+}
+
+// Tick is one committed event-loop tick: a single top-level callback
+// execution (or the main program), labelled with its phase.
+type Tick struct {
+	Index int    // 1-based
+	Phase string // "main", "nextTick", "promise", "timer", "io", ...
+	Nodes []NodeID
+}
+
+// Name renders the paper's tick label, e.g. "t3:io".
+func (t *Tick) Name() string { return fmt.Sprintf("t%d:%s", t.Index, t.Phase) }
+
+// Warning is a bug-detector finding attached to a node.
+type Warning struct {
+	Category string
+	Message  string
+	Node     NodeID
+	Loc      loc.Loc
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("[%s] %s (%s)", w.Category, w.Message, w.Loc)
+}
+
+// Graph is a complete Async Graph.
+type Graph struct {
+	Ticks    []*Tick
+	Nodes    []*Node
+	Edges    []Edge
+	Warnings []Warning
+
+	objNodes map[uint64]NodeID // OB node per runtime object
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{objNodes: make(map[uint64]NodeID)}
+}
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(g.Nodes) {
+		return nil
+	}
+	return g.Nodes[id]
+}
+
+// ObjNode returns the OB node for a runtime object id, or NoNode.
+func (g *Graph) ObjNode(objID uint64) NodeID {
+	if id, ok := g.objNodes[objID]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// addNode appends a node and returns it.
+func (g *Graph) addNode(n *Node) *Node {
+	n.ID = NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, n)
+	if n.Kind == OB && !n.Obj.IsZero() {
+		g.objNodes[n.Obj.ID] = n.ID
+	}
+	return n
+}
+
+// AddEdge appends an edge between existing nodes.
+func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind, label string) {
+	if from == NoNode || to == NoNode {
+		return
+	}
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind, Label: label})
+}
+
+// AddWarning attaches a detector finding to a node (NoNode allowed for
+// program-level warnings).
+func (g *Graph) AddWarning(node NodeID, category, message string, at loc.Loc) {
+	g.Warnings = append(g.Warnings, Warning{Category: category, Message: message, Node: node, Loc: at})
+	if n := g.Node(node); n != nil {
+		n.Warnings = append(n.Warnings, fmt.Sprintf("%s: %s", category, message))
+	}
+}
+
+// NodesOfKind returns all nodes of the given kind, in creation order.
+func (g *Graph) NodesOfKind(kind NodeKind) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EdgesFrom returns the edges leaving a node.
+func (g *Graph) EdgesFrom(id NodeID) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgesTo returns the edges entering a node.
+func (g *Graph) EdgesTo(id NodeID) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TickRange extracts the sub-graph of ticks from..to (1-based,
+// inclusive): the view the paper's figures use ("as the graph grows
+// infinitely ... we only show the first 3 ticks"). Nodes keep their
+// original labels and warnings; edges with an endpoint outside the
+// window are dropped; node ids are re-assigned densely.
+func (g *Graph) TickRange(from, to int) *Graph {
+	if from < 1 {
+		from = 1
+	}
+	if to > len(g.Ticks) {
+		to = len(g.Ticks)
+	}
+	out := NewGraph()
+	remap := make(map[NodeID]NodeID)
+	for _, tk := range g.Ticks {
+		if tk.Index < from || tk.Index > to {
+			continue
+		}
+		newTick := &Tick{Index: len(out.Ticks) + 1, Phase: tk.Phase}
+		for _, id := range tk.Nodes {
+			orig := g.Node(id)
+			copied := *orig
+			copied.Warnings = append([]string(nil), orig.Warnings...)
+			copied.Stack = append([]string(nil), orig.Stack...)
+			node := out.addNode(&copied)
+			node.Tick = newTick.Index
+			newTick.Nodes = append(newTick.Nodes, node.ID)
+			remap[id] = node.ID
+		}
+		out.Ticks = append(out.Ticks, newTick)
+	}
+	for _, e := range g.Edges {
+		nf, okF := remap[e.From]
+		nt, okT := remap[e.To]
+		if okF && okT {
+			out.AddEdge(nf, nt, e.Kind, e.Label)
+		}
+	}
+	for _, w := range g.Warnings {
+		if id, ok := remap[w.Node]; ok {
+			out.Warnings = append(out.Warnings, Warning{
+				Category: w.Category, Message: w.Message, Node: id, Loc: w.Loc,
+			})
+		}
+	}
+	return out
+}
+
+// TickOf returns the committed tick containing the node, or nil.
+func (g *Graph) TickOf(id NodeID) *Tick {
+	n := g.Node(id)
+	if n == nil || n.Tick == 0 || n.Tick > len(g.Ticks) {
+		return nil
+	}
+	return g.Ticks[n.Tick-1]
+}

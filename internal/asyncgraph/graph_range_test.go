@@ -1,0 +1,101 @@
+package asyncgraph
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// buildChain produces a graph with N nextTick ticks.
+func buildChain(t *testing.T, n int) *Builder {
+	t.Helper()
+	return build(t, DefaultConfig(), func(l *eventloop.Loop) {
+		var step func(k int)
+		step = func(k int) {
+			if k == 0 {
+				return
+			}
+			l.NextTick(loc.Here(), vm.NewFunc("step", func([]vm.Value) vm.Value {
+				step(k - 1)
+				return vm.Undefined
+			}))
+		}
+		step(n)
+	})
+}
+
+func TestTickRangeExtractsWindow(t *testing.T) {
+	b := buildChain(t, 8) // main + 8 nextTick ticks
+	g := b.Graph()
+	if len(g.Ticks) != 9 {
+		t.Fatalf("ticks = %d", len(g.Ticks))
+	}
+	sub := g.TickRange(1, 3)
+	if len(sub.Ticks) != 3 {
+		t.Fatalf("sub ticks = %d", len(sub.Ticks))
+	}
+	if sub.Ticks[0].Phase != "main" || sub.Ticks[1].Phase != "nextTick" {
+		t.Fatalf("phases = %v %v", sub.Ticks[0].Phase, sub.Ticks[1].Phase)
+	}
+	// Indexes are re-densified.
+	for i, tk := range sub.Ticks {
+		if tk.Index != i+1 {
+			t.Fatalf("tick %d index %d", i, tk.Index)
+		}
+	}
+	// Every edge endpoint lives in the window.
+	for _, e := range sub.Edges {
+		if sub.Node(e.From) == nil || sub.Node(e.To) == nil {
+			t.Fatalf("dangling edge %+v", e)
+		}
+	}
+	// The window renders.
+	if !strings.Contains(sub.DOT("w"), "t3:nextTick") {
+		t.Fatal("DOT of window missing tick")
+	}
+}
+
+func TestTickRangeMiddleWindowDropsCrossEdges(t *testing.T) {
+	b := buildChain(t, 8)
+	g := b.Graph()
+	sub := g.TickRange(4, 5)
+	if len(sub.Ticks) != 2 {
+		t.Fatalf("sub ticks = %d", len(sub.Ticks))
+	}
+	// Each middle tick holds one CE and one CR; the CE's binding edge
+	// targets the previous tick's CR, which is outside for tick 4 —
+	// so tick 4's CE has no binding edge here, while tick 5's does.
+	stats := sub.ComputeStats()
+	if stats.ByKind["CE"] != 2 || stats.ByKind["CR"] != 2 {
+		t.Fatalf("kinds = %v", stats.ByKind)
+	}
+}
+
+func TestTickRangeClampsBounds(t *testing.T) {
+	b := buildChain(t, 3)
+	g := b.Graph()
+	sub := g.TickRange(-5, 99)
+	if len(sub.Ticks) != len(g.Ticks) {
+		t.Fatalf("clamped range ticks = %d, want %d", len(sub.Ticks), len(g.Ticks))
+	}
+}
+
+func TestTickRangePreservesWarnings(t *testing.T) {
+	b := buildChain(t, 3)
+	g := b.Graph()
+	target := g.Ticks[1].Nodes[0]
+	g.AddWarning(target, "test-cat", "windowed", loc.Internal)
+	sub := g.TickRange(1, 2)
+	found := false
+	for _, w := range sub.Warnings {
+		if w.Category == "test-cat" && sub.Node(w.Node) != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warning lost in window: %v", sub.Warnings)
+	}
+}

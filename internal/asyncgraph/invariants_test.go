@@ -1,0 +1,258 @@
+package asyncgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/events"
+	"asyncg/internal/loc"
+	"asyncg/internal/promise"
+	"asyncg/internal/vm"
+)
+
+// randomProgram schedules a random mix of async operations, including
+// nested scheduling from callbacks, driven deterministically by seed.
+func randomProgram(l *eventloop.Loop, seed int64, ops int) *vm.Function {
+	rng := rand.New(rand.NewSource(seed))
+	var emitters []*events.Emitter
+	var promises []*promise.Promise
+	var schedule func(budget *int)
+	oneOp := func(budget *int) {
+		if *budget <= 0 {
+			return
+		}
+		*budget--
+		switch rng.Intn(10) {
+		case 0:
+			l.NextTick(loc.Here(), vm.NewFunc("tick", func([]vm.Value) vm.Value {
+				schedule(budget)
+				return vm.Undefined
+			}))
+		case 1:
+			l.SetTimeout(loc.Here(), vm.NewFunc("timer", func([]vm.Value) vm.Value {
+				schedule(budget)
+				return vm.Undefined
+			}), time.Duration(rng.Intn(5))*time.Millisecond)
+		case 2:
+			l.SetImmediate(loc.Here(), vm.NewFunc("imm", func([]vm.Value) vm.Value {
+				schedule(budget)
+				return vm.Undefined
+			}))
+		case 3:
+			emitters = append(emitters, events.New(l, fmt.Sprintf("e%d", len(emitters)), loc.Here()))
+		case 4:
+			if len(emitters) > 0 {
+				e := emitters[rng.Intn(len(emitters))]
+				e.On(loc.Here(), fmt.Sprintf("ev%d", rng.Intn(3)), vm.NewFunc("listener", func([]vm.Value) vm.Value {
+					schedule(budget)
+					return vm.Undefined
+				}))
+			}
+		case 5:
+			if len(emitters) > 0 {
+				e := emitters[rng.Intn(len(emitters))]
+				e.Emit(loc.Here(), fmt.Sprintf("ev%d", rng.Intn(3)), rng.Intn(100))
+			}
+		case 6:
+			promises = append(promises, promise.New(l, loc.Here(), nil))
+		case 7:
+			if len(promises) > 0 {
+				p := promises[rng.Intn(len(promises))]
+				derived := p.Then(loc.Here(), vm.NewFunc("reaction", func(args []vm.Value) vm.Value {
+					schedule(budget)
+					return args[0]
+				}), nil)
+				promises = append(promises, derived)
+			}
+		case 8:
+			if len(promises) > 0 {
+				p := promises[rng.Intn(len(promises))]
+				if rng.Intn(2) == 0 {
+					p.Resolve(loc.Here(), rng.Intn(100))
+				} else {
+					p.Reject(loc.Here(), "err")
+				}
+			}
+		case 9:
+			if len(promises) > 0 {
+				p := promises[rng.Intn(len(promises))]
+				promises = append(promises, p.Catch(loc.Here(), vm.NewFunc("onerr", func(args []vm.Value) vm.Value {
+					return vm.Undefined
+				})))
+			}
+		}
+	}
+	schedule = func(budget *int) {
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			oneOp(budget)
+		}
+	}
+	return vm.NewFunc("main", func([]vm.Value) vm.Value {
+		budget := ops
+		for budget > 0 {
+			oneOp(&budget)
+		}
+		return vm.Undefined
+	})
+}
+
+// buildRandom runs a random program under a builder and returns it.
+func buildRandom(seed int64, ops int) (*Builder, error) {
+	l := eventloop.New(eventloop.Options{TickLimit: 50_000})
+	b := NewBuilder(DefaultConfig())
+	l.Probes().Attach(b)
+	err := l.Run(randomProgram(l, seed, ops))
+	return b, err
+}
+
+// checkInvariants asserts the structural invariants every Async Graph
+// must satisfy, regardless of program.
+func checkInvariants(t *testing.T, b *Builder) {
+	t.Helper()
+	g := b.Graph()
+	if anomalies := b.Anomalies(); len(anomalies) != 0 {
+		t.Fatalf("validator anomalies: %v", anomalies)
+	}
+	// Edges reference valid nodes.
+	for _, e := range g.Edges {
+		if g.Node(e.From) == nil || g.Node(e.To) == nil {
+			t.Fatalf("dangling edge %+v", e)
+		}
+	}
+	// Tick indexes are dense and 1-based; nodes in a tick point back.
+	seen := make(map[NodeID]int)
+	for i, tk := range g.Ticks {
+		if tk.Index != i+1 {
+			t.Fatalf("tick %d has index %d", i, tk.Index)
+		}
+		if len(tk.Nodes) == 0 {
+			t.Fatalf("empty tick committed: %+v", tk)
+		}
+		for _, id := range tk.Nodes {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("node %d in ticks %d and %d", id, prev, tk.Index)
+			}
+			seen[id] = tk.Index
+			if g.Node(id).Tick != tk.Index {
+				t.Fatalf("node %d says tick %d, contained in %d", id, g.Node(id).Tick, tk.Index)
+			}
+		}
+	}
+	// Every CE has exactly one binding edge, targeting a CR.
+	bindingFrom := make(map[NodeID]int)
+	for _, e := range g.Edges {
+		if e.Kind == EdgeBinding {
+			bindingFrom[e.From]++
+			if g.Node(e.To).Kind != CR {
+				t.Fatalf("binding edge to non-CR node %+v", g.Node(e.To))
+			}
+			if g.Node(e.From).Kind != CE {
+				t.Fatalf("binding edge from non-CE node %+v", g.Node(e.From))
+			}
+		}
+	}
+	for _, n := range g.NodesOfKind(CE) {
+		if bindingFrom[n.ID] != 1 {
+			t.Fatalf("CE %d has %d binding edges", n.ID, bindingFrom[n.ID])
+		}
+	}
+	// CR execution counters match incoming binding edges.
+	bindingsTo := make(map[NodeID]int)
+	for _, e := range g.Edges {
+		if e.Kind == EdgeBinding {
+			bindingsTo[e.To]++
+		}
+	}
+	for _, n := range g.NodesOfKind(CR) {
+		if n.Executions != bindingsTo[n.ID] {
+			t.Fatalf("CR %d: Executions=%d, binding edges=%d", n.ID, n.Executions, bindingsTo[n.ID])
+		}
+	}
+	// Valid phases only.
+	valid := map[string]bool{
+		"main": true, "nextTick": true, "promise": true,
+		"timer": true, "io": true, "immediate": true, "close": true,
+	}
+	for _, tk := range g.Ticks {
+		if !valid[tk.Phase] {
+			t.Fatalf("invalid phase %q", tk.Phase)
+		}
+	}
+}
+
+// TestQuickGraphInvariants: the structural invariants hold for random
+// programs.
+func TestQuickGraphInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		b, err := buildRandom(seed, 40)
+		if err != nil {
+			return false
+		}
+		checkInvariants(t, b)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterministicGraphs: the same seed yields the same graph
+// shape (node kind/API sequence and tick phases).
+func TestQuickDeterministicGraphs(t *testing.T) {
+	shape := func(b *Builder) string {
+		out := ""
+		for _, n := range b.Graph().Nodes {
+			out += fmt.Sprintf("%s:%s;", n.Kind, n.API)
+		}
+		for _, tk := range b.Graph().Ticks {
+			out += tk.Phase + ","
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		b1, err1 := buildRandom(seed, 30)
+		b2, err2 := buildRandom(seed, 30)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return shape(b1) == shape(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExportsNeverFail: DOT and JSON generation succeed on any
+// random graph, and the JSON round-trips with identical node counts.
+func TestQuickExportsNeverFail(t *testing.T) {
+	f := func(seed int64) bool {
+		b, err := buildRandom(seed, 30)
+		if err != nil {
+			return false
+		}
+		g := b.Graph()
+		if len(g.DOT("q")) == 0 {
+			return false
+		}
+		var sb strings.Builder
+		if err := g.WriteJSON(&sb); err != nil {
+			return false
+		}
+		back, err := ReadJSON(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return len(back.Nodes) == len(g.Nodes) &&
+			len(back.Edges) == len(g.Edges) &&
+			len(back.Ticks) == len(g.Ticks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

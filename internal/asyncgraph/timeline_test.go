@@ -1,0 +1,94 @@
+package asyncgraph
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/events"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+func buildSmall(t *testing.T) *Builder {
+	t.Helper()
+	return build(t, DefaultConfig(), func(l *eventloop.Loop) {
+		e := events.New(l, "srv", loc.Here())
+		e.On(loc.Here(), "req", vm.NewFunc("handler", func([]vm.Value) vm.Value { return vm.Undefined }))
+		e.Emit(loc.Here(), "req")
+		e.On(loc.Here(), "never", vm.NewFunc("dead", func([]vm.Value) vm.Value { return vm.Undefined }))
+		l.NextTick(loc.Here(), vm.NewFunc("tick", func([]vm.Value) vm.Value { return vm.Undefined }))
+	})
+}
+
+func TestWriteTimeline(t *testing.T) {
+	b := buildSmall(t)
+	g := b.Graph()
+	g.AddWarning(g.NodesOfKind(CR)[1].ID, "dead-listener", "never executed", loc.Internal)
+	var sb strings.Builder
+	if err := g.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"t1:main", "t2:nextTick",
+		"△ E1:srv", "□", "○", "★",
+		"(ran 1×)",
+		"⚡ dead-listener: never executed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineRendersUncommittedNodes(t *testing.T) {
+	// A truncated run leaves the last tick uncommitted; the timeline
+	// must still show its nodes.
+	l := eventloop.New(eventloop.Options{TickLimit: 3})
+	b := NewBuilder(DefaultConfig())
+	l.Probes().Attach(b)
+	var again *vm.Function
+	again = vm.NewFunc("again", func([]vm.Value) vm.Value {
+		l.NextTick(loc.Here(), again)
+		return vm.Undefined
+	})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		l.NextTick(loc.Here(), again)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != eventloop.ErrTickLimit {
+		t.Fatal(err)
+	}
+	// Force an uncommitted node situation by checking output renders.
+	var sb strings.Builder
+	if err := b.Graph().WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t1:main") {
+		t.Fatalf("timeline:\n%s", sb.String())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := buildSmall(t)
+	s := b.Graph().ComputeStats()
+	if s.Ticks != 2 {
+		t.Errorf("Ticks = %d", s.Ticks)
+	}
+	if s.Registrations != 3 { // two listeners + one nextTick
+		t.Errorf("Registrations = %d", s.Registrations)
+	}
+	if s.Executions != 2 { // handler + tick
+		t.Errorf("Executions = %d", s.Executions)
+	}
+	if s.DeadCRs != 1 { // the 'never' listener
+		t.Errorf("DeadCRs = %d", s.DeadCRs)
+	}
+	if s.ByKind["OB"] != 1 || s.ByKind["CT"] != 1 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+	if s.ByPhase["main"] != 1 || s.ByPhase["nextTick"] != 1 {
+		t.Errorf("ByPhase = %v", s.ByPhase)
+	}
+}

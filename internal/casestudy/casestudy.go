@@ -1,0 +1,158 @@
+// Package casestudy reproduces the paper's bug corpus: the fourteen
+// StackOverflow / GitHub issues of Table I, the motivating examples of
+// Fig. 1 / Fig. 4 (with their Async Graphs, Fig. 3 / Fig. 5), and the
+// §III ordering snippet. Each case is a small runnable program written
+// against the asyncg facade, with its buggy version (expected to trigger
+// specific detector categories) and, where the paper shows one, the
+// fixed version (expected to be clean of those categories).
+package casestudy
+
+import (
+	"fmt"
+
+	"asyncg"
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/eventloop"
+)
+
+// Case is one reproduced bug report.
+type Case struct {
+	// ID is the paper's identifier, e.g. "SO-33330277".
+	ID string
+	// Title summarizes the bug.
+	Title string
+	// Category is the paper's Table I classification.
+	Category string
+	// Expect lists the detector categories the buggy version must
+	// trigger (usually one; the Table I category's detector).
+	Expect []string
+	// TickLimit bounds non-terminating programs; 0 means 500.
+	TickLimit int
+	// Buggy is the program as reported.
+	Buggy func(ctx *asyncg.Context)
+	// Fixed is the repaired program (nil when the paper shows none);
+	// it must not trigger any category in Expect.
+	Fixed func(ctx *asyncg.Context)
+	// Manual, when set, performs the §VI-B graph-assisted query for
+	// categories that need developer-driven inspection, returning the
+	// warnings it derives from the graph.
+	Manual func(r *asyncg.Report) []asyncgraph.Warning
+}
+
+// Result bundles a case run.
+type Result struct {
+	Case    Case
+	Report  *asyncg.Report
+	Err     error // ErrTickLimit is expected for starvation bugs
+	Fixed   bool
+	Matched []string // which Expect categories were found (buggy runs)
+	Missing []string // Expect categories not found (buggy runs)
+	Leaked  []string // Expect categories found in a fixed run
+}
+
+// Clean reports whether the run met its expectation.
+func (r Result) Clean() bool {
+	if r.Fixed {
+		return len(r.Leaked) == 0
+	}
+	return len(r.Missing) == 0
+}
+
+// All returns every reproduced case: Table I first (paper order), then
+// the extra §VI / §VII cases and the figure examples.
+func All() []Case {
+	return []Case{
+		caseSO38140113(),
+		caseSO32559324(),
+		caseSO33330277(),
+		caseSO30515037(),
+		caseSO50996870(),
+		caseSO28830663(),
+		caseSO30724625(),
+		caseSO43422932(),
+		caseSO10444077(),
+		caseSO45881685(),
+		caseSO31978347(),
+		caseGHVuex2(),
+		caseGHFlock13(),
+		caseGHNpm12754(),
+		caseSO17894000(),
+		caseFig4(),
+		caseMotivation(),
+	}
+}
+
+// Table1 returns the fourteen Table I entries only.
+func Table1() []Case { return All()[:14] }
+
+// ByID finds a case by identifier.
+func ByID(id string) (Case, bool) {
+	for _, c := range All() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// session creates the analysis session for a case.
+func session(c Case) *asyncg.Session {
+	limit := c.TickLimit
+	if limit == 0 {
+		limit = 500
+	}
+	return asyncg.New(asyncg.Options{
+		Loop: eventloop.Options{TickLimit: limit},
+	})
+}
+
+// RunBuggy executes the buggy program under AsyncG and checks the
+// expected categories.
+func RunBuggy(c Case) Result {
+	report, err := session(c).Run(c.Buggy)
+	if c.Manual != nil {
+		report.Warnings = append(report.Warnings, c.Manual(report)...)
+	}
+	res := Result{Case: c, Report: report, Err: err}
+	for _, cat := range c.Expect {
+		if report.HasWarning(cat) {
+			res.Matched = append(res.Matched, cat)
+		} else {
+			res.Missing = append(res.Missing, cat)
+		}
+	}
+	return res
+}
+
+// RunFixed executes the fixed program (when present) and checks that the
+// buggy categories are gone.
+func RunFixed(c Case) Result {
+	if c.Fixed == nil {
+		return Result{Case: c, Fixed: true}
+	}
+	report, err := session(c).Run(c.Fixed)
+	res := Result{Case: c, Report: report, Err: err, Fixed: true}
+	for _, cat := range c.Expect {
+		if report.HasWarning(cat) {
+			res.Leaked = append(res.Leaked, cat)
+		}
+	}
+	return res
+}
+
+// Summary renders a Table I-style row.
+func (r Result) Summary() string {
+	status := "ok"
+	if !r.Clean() {
+		status = "FAIL"
+	}
+	kind := "buggy"
+	if r.Fixed {
+		kind = "fixed"
+	}
+	warnings := 0
+	if r.Report != nil {
+		warnings = len(r.Report.Warnings)
+	}
+	return fmt.Sprintf("%-14s %-30s %-6s %-4s warnings=%d", r.Case.ID, r.Case.Category, kind, status, warnings)
+}

@@ -1,0 +1,214 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/detect"
+)
+
+// TestTableI reproduces the paper's Table I: every reproduced bug
+// triggers its detector category, and every fixed version is clean of
+// those categories.
+func TestTableI(t *testing.T) {
+	cases := Table1()
+	if len(cases) != 14 {
+		t.Fatalf("Table I has %d cases, want 14", len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			res := RunBuggy(c)
+			if len(res.Missing) != 0 {
+				t.Errorf("buggy run missed categories %v; warnings: %v",
+					res.Missing, res.Report.Warnings)
+			}
+			if len(res.Report.Anomalies) != 0 {
+				t.Errorf("validator anomalies: %v", res.Report.Anomalies)
+			}
+			fixed := RunFixed(c)
+			if len(fixed.Leaked) != 0 {
+				t.Errorf("fixed run still triggers %v; warnings: %v",
+					fixed.Leaked, fixed.Report.Warnings)
+			}
+		})
+	}
+}
+
+func TestExtraCases(t *testing.T) {
+	for _, id := range []string{"SO-17894000", "fig4", "motivation"} {
+		c, ok := ByID(id)
+		if !ok {
+			t.Fatalf("case %s missing", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			res := RunBuggy(c)
+			if len(res.Missing) != 0 {
+				t.Errorf("missed %v; warnings: %v", res.Missing, res.Report.Warnings)
+			}
+			fixed := RunFixed(c)
+			if len(fixed.Leaked) != 0 {
+				t.Errorf("fixed still triggers %v; warnings: %v", fixed.Leaked, fixed.Report.Warnings)
+			}
+		})
+	}
+}
+
+func TestMotivationCrashesBuggyOnly(t *testing.T) {
+	c, _ := ByID("motivation")
+	buggy := RunBuggy(c)
+	if len(buggy.Report.Uncaught) != 1 {
+		t.Fatalf("buggy uncaught = %d, want 1 (the TypeError)", len(buggy.Report.Uncaught))
+	}
+	fixed := RunFixed(c)
+	if len(fixed.Report.Uncaught) != 0 {
+		t.Fatalf("fixed uncaught = %v", fixed.Report.Uncaught)
+	}
+}
+
+// TestFig3GraphShape checks the Async Graph of the Fig. 1 program
+// against Fig. 3(a): t1 is main with the createServer registration, the
+// following ticks are all nextTick ticks of the recursing compute, and
+// the server callback never executes.
+func TestFig3GraphShape(t *testing.T) {
+	c, _ := ByID("SO-33330277")
+	res := RunBuggy(c)
+	g := res.Report.Graph
+	if g.Ticks[0].Phase != "main" {
+		t.Fatalf("t1 = %s", g.Ticks[0].Phase)
+	}
+	for _, tk := range g.Ticks[1:] {
+		if tk.Phase != "nextTick" {
+			t.Fatalf("tick %d phase = %s, want nextTick (starvation)", tk.Index, tk.Phase)
+		}
+	}
+	var serverCR *asyncgraph.Node
+	for _, n := range g.NodesOfKind(asyncgraph.CR) {
+		if n.API == "http.createServer" {
+			serverCR = n
+		}
+	}
+	if serverCR == nil {
+		t.Fatal("no createServer CR node")
+	}
+	if serverCR.Tick != 1 || serverCR.Executions != 0 {
+		t.Fatalf("createServer CR: tick=%d executions=%d", serverCR.Tick, serverCR.Executions)
+	}
+	hasDead := false
+	for _, w := range serverCR.Warnings {
+		if strings.Contains(w, detect.CatDeadListener) {
+			hasDead = true
+		}
+	}
+	if !hasDead {
+		t.Fatalf("createServer node lacks dead-listener annotation: %v", serverCR.Warnings)
+	}
+}
+
+// TestFig3FixedGraphShape checks Fig. 3(b): with setImmediate, the graph
+// interleaves immediate ticks with the io tick that serves the request.
+func TestFig3FixedGraphShape(t *testing.T) {
+	c, _ := ByID("SO-33330277")
+	res := RunFixed(c)
+	g := res.Report.Graph
+	var sawImmediate, sawIO bool
+	for _, tk := range g.Ticks {
+		switch tk.Phase {
+		case "immediate":
+			sawImmediate = true
+		case "io":
+			sawIO = true
+		}
+	}
+	if !sawImmediate || !sawIO {
+		t.Fatalf("fixed graph: immediate=%v io=%v (phases: %v)", sawImmediate, sawIO, phases(g))
+	}
+	var serverCR *asyncgraph.Node
+	for _, n := range g.NodesOfKind(asyncgraph.CR) {
+		if n.API == "http.createServer" {
+			serverCR = n
+		}
+	}
+	if serverCR == nil || serverCR.Executions == 0 {
+		t.Fatal("createServer callback never executed in the fixed version")
+	}
+}
+
+// TestFig5GraphShape checks the Fig. 4 example's graph against Fig. 5:
+// the promise OB and its resolve trigger sit in t1 together with the
+// dead emit; the reaction (and the listener registration inside it) run
+// in a later promise tick.
+func TestFig5GraphShape(t *testing.T) {
+	c, _ := ByID("fig4")
+	res := RunBuggy(c)
+	g := res.Report.Graph
+	var resolveCT, emitCT *asyncgraph.Node
+	var reactionCE *asyncgraph.Node
+	var listenerCR *asyncgraph.Node
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == asyncgraph.CT && n.API == "promise.resolve":
+			resolveCT = n
+		case n.Kind == asyncgraph.CT && n.API == "emitter.emit":
+			emitCT = n
+		case n.Kind == asyncgraph.CE && n.Func == "reaction":
+			reactionCE = n
+		case n.Kind == asyncgraph.CR && n.Event == "foo" && n.Func == "fooListener":
+			listenerCR = n
+		}
+	}
+	if resolveCT == nil || emitCT == nil || reactionCE == nil || listenerCR == nil {
+		t.Fatalf("missing nodes: resolve=%v emit=%v reaction=%v listener=%v",
+			resolveCT, emitCT, reactionCE, listenerCR)
+	}
+	if resolveCT.Tick != 1 || emitCT.Tick != 1 {
+		t.Fatalf("resolve tick=%d emit tick=%d, want both in t1", resolveCT.Tick, emitCT.Tick)
+	}
+	if reactionCE.Tick <= 1 {
+		t.Fatalf("reaction tick = %d, want after t1", reactionCE.Tick)
+	}
+	if tk := g.TickOf(reactionCE.ID); tk.Phase != "promise" {
+		t.Fatalf("reaction phase = %s", tk.Phase)
+	}
+	if listenerCR.Tick != reactionCE.Tick {
+		t.Fatalf("listener CR tick %d, reaction CE tick %d (must be inside the reaction)",
+			listenerCR.Tick, reactionCE.Tick)
+	}
+}
+
+// TestGraphsExport ensures every case produces exportable DOT and JSON.
+func TestGraphsExport(t *testing.T) {
+	for _, c := range All() {
+		res := RunBuggy(c)
+		dot := res.Report.Graph.DOT(c.ID)
+		if !strings.Contains(dot, "digraph AsyncGraph") {
+			t.Fatalf("%s: bad DOT", c.ID)
+		}
+		var sb strings.Builder
+		if err := res.Report.Graph.WriteJSON(&sb); err != nil {
+			t.Fatalf("%s: JSON: %v", c.ID, err)
+		}
+	}
+}
+
+// TestSummaries exercises the reporting helpers.
+func TestSummaries(t *testing.T) {
+	c, _ := ByID("SO-33330277")
+	res := RunBuggy(c)
+	s := res.Summary()
+	if !strings.Contains(s, "SO-33330277") || !strings.Contains(s, "ok") {
+		t.Fatalf("summary = %q", s)
+	}
+	if !res.Clean() {
+		t.Fatal("expected clean result")
+	}
+}
+
+func phases(g *asyncgraph.Graph) []string {
+	out := make([]string, len(g.Ticks))
+	for i, tk := range g.Ticks {
+		out[i] = tk.Phase
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package casestudy
+
+import (
+	"asyncg"
+	"asyncg/internal/detect"
+	"asyncg/internal/loc"
+	"asyncg/internal/netio"
+)
+
+// caseSO38140113: a constructor that emits its event synchronously; the
+// listener registered after construction never hears it. The working
+// variant defers the emission with process.nextTick.
+func caseSO38140113() Case {
+	build := func(ctx *asyncg.Context, deferEmit bool) {
+		makeMyEmitter := func() *asyncg.Emitter {
+			e := ctx.NewEmitter("MyEmitter")
+			if deferEmit {
+				ctx.NextTick(asyncg.F("emitLater", func(args []asyncg.Value) asyncg.Value {
+					ctx.Emit(e, "e")
+					return asyncg.Undefined
+				}))
+			} else {
+				ctx.Emit(e, "e") // BUG: nobody is listening yet
+			}
+			return e
+		}
+		e := makeMyEmitter()
+		ctx.On(e, "e", asyncg.F("onE", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	}
+	return Case{
+		ID:       "SO-38140113",
+		Title:    "emit inside the constructor vs inside nextTick",
+		Category: "Dead Emits",
+		Expect:   []string{detect.CatDeadEmit},
+		Buggy:    func(ctx *asyncg.Context) { build(ctx, false) },
+		Fixed:    func(ctx *asyncg.Context) { build(ctx, true) },
+	}
+}
+
+// caseSO32559324: a function that starts producing data and emits
+// synchronously before the caller had a chance to attach listeners.
+func caseSO32559324() Case {
+	build := func(ctx *asyncg.Context, deferEmit bool) {
+		startStream := func() *asyncg.Emitter {
+			s := ctx.NewEmitter("stream")
+			emitAll := asyncg.F("produce", func(args []asyncg.Value) asyncg.Value {
+				ctx.Emit(s, "data", "chunk-1")
+				ctx.Emit(s, "data", "chunk-2")
+				ctx.Emit(s, "end")
+				return asyncg.Undefined
+			})
+			if deferEmit {
+				ctx.SetImmediate(emitAll)
+			} else {
+				ctx.Call(emitAll) // BUG: emits before listeners exist
+			}
+			return s
+		}
+		s := startStream()
+		ctx.On(s, "data", asyncg.F("onData", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+		ctx.On(s, "end", asyncg.F("onEnd", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	}
+	return Case{
+		ID:       "SO-32559324",
+		Title:    "stream emits synchronously before listeners attach",
+		Category: "Dead Emits",
+		Expect:   []string{detect.CatDeadEmit, detect.CatDeadListener},
+		Buggy:    func(ctx *asyncg.Context) { build(ctx, false) },
+		Fixed:    func(ctx *asyncg.Context) { build(ctx, true) },
+	}
+}
+
+// caseSO30724625: the listener is attached to one emitter instance while
+// the event is emitted on a freshly created second instance.
+func caseSO30724625() Case {
+	return Case{
+		ID:       "SO-30724625",
+		Title:    "listener and emit on different emitter instances",
+		Category: "Dead Emits",
+		Expect:   []string{detect.CatDeadEmit, detect.CatDeadListener},
+		Buggy: func(ctx *asyncg.Context) {
+			newClient := func() *asyncg.Emitter { return ctx.NewEmitter("client") }
+			a := newClient()
+			ctx.On(a, "ready", asyncg.F("onReady", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			b := newClient() // BUG: a second instance
+			ctx.Emit(b, "ready")
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			client := ctx.NewEmitter("client")
+			ctx.On(client, "ready", asyncg.F("onReady", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			ctx.Emit(client, "ready")
+		},
+	}
+}
+
+// caseSO10444077: removeListener is passed a fresh closure that merely
+// looks like the registered one, so nothing is removed.
+func caseSO10444077() Case {
+	return Case{
+		ID:       "SO-10444077",
+		Title:    "removeListener with a different function identity",
+		Category: "Invalid Listener Removal",
+		Expect:   []string{detect.CatInvalidRemoval},
+		Buggy: func(ctx *asyncg.Context) {
+			e := ctx.NewEmitter("e")
+			makeHandler := func() *asyncg.Function {
+				return asyncg.F("handler", func(args []asyncg.Value) asyncg.Value {
+					return asyncg.Undefined
+				})
+			}
+			ctx.On(e, "tick", makeHandler())
+			// BUG: a new closure — not the registered listener.
+			ctx.RemoveListener(e, "tick", makeHandler())
+			ctx.Emit(e, "tick") // the "removed" handler still runs
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			e := ctx.NewEmitter("e")
+			handler := asyncg.F("handler", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			})
+			ctx.On(e, "tick", handler)
+			ctx.Emit(e, "tick")
+			ctx.RemoveListener(e, "tick", handler) // same identity
+		},
+	}
+}
+
+// caseSO45881685: a subscribe helper that is called repeatedly keeps
+// adding the same listener.
+func caseSO45881685() Case {
+	return Case{
+		ID:       "SO-45881685",
+		Title:    "the same listener registered on every subscribe call",
+		Category: "Duplicate Listeners",
+		Expect:   []string{detect.CatDuplicateListener},
+		Buggy: func(ctx *asyncg.Context) {
+			bus := ctx.NewEmitter("bus")
+			onUpdate := asyncg.F("onUpdate", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			})
+			subscribe := func() { ctx.On(bus, "update", onUpdate) }
+			subscribe()
+			subscribe()             // BUG: second registration of the same function
+			ctx.Emit(bus, "update") // the handler runs twice
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			bus := ctx.NewEmitter("bus")
+			onUpdate := asyncg.F("onUpdate", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			})
+			subscribe := func() {
+				ctx.RemoveListener(bus, "update", onUpdate)
+				ctx.On(bus, "update", onUpdate)
+			}
+			subscribe()
+			subscribe()
+			ctx.Emit(bus, "update")
+		},
+	}
+}
+
+// caseSO17894000: the 'close' listener is registered inside the 'data'
+// listener of the same connection; if the connection closes before any
+// data arrives, the close handler is lost.
+func caseSO17894000() Case {
+	return Case{
+		ID:       "SO-17894000",
+		Title:    "'close' listener registered inside the 'data' listener",
+		Category: "Add Listener within Listener",
+		Expect:   []string{detect.CatListenerInListener},
+		Buggy: func(ctx *asyncg.Context) {
+			client, server := ctx.Net().Pipe(loc.Here())
+			server.On(loc.Here(), netio.EventData, asyncg.F("onData", func(args []asyncg.Value) asyncg.Value {
+				// BUG: registered only once data has arrived.
+				server.On(loc.Here(), netio.EventClose, asyncg.F("onClose", func(args []asyncg.Value) asyncg.Value {
+					return asyncg.Undefined
+				}))
+				return asyncg.Undefined
+			}))
+			client.WriteString(loc.Here(), "payload")
+			client.End(loc.Here(), nil)
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			client, server := ctx.Net().Pipe(loc.Here())
+			server.On(loc.Here(), netio.EventData, asyncg.F("onData", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			server.On(loc.Here(), netio.EventClose, asyncg.F("onClose", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			client.WriteString(loc.Here(), "payload")
+			client.End(loc.Here(), nil)
+		},
+	}
+}

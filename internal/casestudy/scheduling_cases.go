@@ -1,0 +1,235 @@
+package casestudy
+
+import (
+	"time"
+
+	"asyncg"
+	"asyncg/internal/detect"
+	"asyncg/internal/loc"
+)
+
+// caseSO33330277 is the paper's Fig. 1: an HTTP server starved by a
+// compute function that reschedules itself with process.nextTick. The
+// fix (also Fig. 1) replaces nextTick with setImmediate, giving the
+// Fig. 3(b) graph where I/O is served between compute steps.
+func caseSO33330277() Case {
+	return Case{
+		ID:       "SO-33330277",
+		Title:    "recursive nextTick blocks the event loop (Fig. 1)",
+		Category: "Recursive Micro Tasks",
+		Expect:   []string{detect.CatRecursiveMicrotask, detect.CatDeadListener},
+		// The graph "grows infinitely"; the paper shows the first
+		// ticks, we keep the first ~60.
+		TickLimit: 60,
+		Buggy: func(ctx *asyncg.Context) {
+			var compute *asyncg.Function
+			compute = asyncg.F("compute", func(args []asyncg.Value) asyncg.Value {
+				ctx.Work(100 * time.Microsecond) // performSomeComputation()
+				ctx.NextTick(compute)            // BUG: starves every other phase
+				return asyncg.Undefined
+			})
+			srv := ctx.CreateServer(asyncg.F("handleRequest", func(args []asyncg.Value) asyncg.Value {
+				args[1].(*asyncg.ServerResponse).EndString(loc.Here(), "Hello World!")
+				return asyncg.Undefined
+			}))
+			if err := ctx.ListenHTTP(srv, 5000); err != nil {
+				panic(err)
+			}
+			// A client tries to connect; the request is never served.
+			ctx.HTTPGet(5000, "/", asyncg.F("clientResponse", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			ctx.Call(compute) // the listing's trailing compute();
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			var compute *asyncg.Function
+			rounds := 0
+			compute = asyncg.F("compute", func(args []asyncg.Value) asyncg.Value {
+				ctx.Work(100 * time.Microsecond)
+				rounds++
+				if rounds < 40 {
+					ctx.SetImmediate(compute) // FIX: I/O gets its turn
+				}
+				return asyncg.Undefined
+			})
+			srv := ctx.CreateServer(asyncg.F("handleRequest", func(args []asyncg.Value) asyncg.Value {
+				args[1].(*asyncg.ServerResponse).EndString(loc.Here(), "Hello World!")
+				return asyncg.Undefined
+			}))
+			if err := ctx.ListenHTTP(srv, 5000); err != nil {
+				panic(err)
+			}
+			ctx.HTTPGet(5000, "/", asyncg.F("clientResponse", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+			ctx.Call(compute)
+		},
+	}
+}
+
+// caseSO30515037 busy-waits on a flag with nextTick; the timer that
+// would set the flag never fires.
+func caseSO30515037() Case {
+	buggy := func(ctx *asyncg.Context, useImmediate bool) {
+		done := false
+		ctx.SetTimeout(asyncg.F("setDone", func(args []asyncg.Value) asyncg.Value {
+			done = true
+			return asyncg.Undefined
+		}), 5*time.Millisecond)
+		var wait *asyncg.Function
+		wait = asyncg.F("wait", func(args []asyncg.Value) asyncg.Value {
+			if !done {
+				if useImmediate {
+					ctx.SetImmediate(wait)
+				} else {
+					ctx.NextTick(wait) // BUG: the timer can never fire
+				}
+			}
+			return asyncg.Undefined
+		})
+		ctx.NextTick(wait)
+	}
+	return Case{
+		ID:        "SO-30515037",
+		Title:     "nextTick busy-wait on a flag set by a timer",
+		Category:  "Recursive Micro Tasks",
+		Expect:    []string{detect.CatRecursiveMicrotask},
+		TickLimit: 100,
+		Buggy:     func(ctx *asyncg.Context) { buggy(ctx, false) },
+		Fixed:     func(ctx *asyncg.Context) { buggy(ctx, true) },
+	}
+}
+
+// caseGHNpm12754 reproduces npm's recursive nextTick: a queue drainer
+// reschedules itself with nextTick while waiting for I/O completions
+// that can never be delivered.
+func caseGHNpm12754() Case {
+	return Case{
+		ID:        "GH-npm-12754",
+		Title:     "npm work-queue drainer loops on process.nextTick",
+		Category:  "Recursive Micro Tasks",
+		Expect:    []string{detect.CatRecursiveMicrotask},
+		TickLimit: 100,
+		Buggy: func(ctx *asyncg.Context) {
+			pendingIO := 1
+			db := ctx.DB()
+			db.C("cache").FindOne(loc.Here(), `key == "x"`,
+				asyncg.F("ioDone", func(args []asyncg.Value) asyncg.Value {
+					pendingIO = 0
+					return asyncg.Undefined
+				}))
+			var drain *asyncg.Function
+			drain = asyncg.F("drainQueue", func(args []asyncg.Value) asyncg.Value {
+				if pendingIO > 0 {
+					ctx.NextTick(drain) // BUG: the I/O callback is starved
+				}
+				return asyncg.Undefined
+			})
+			ctx.NextTick(drain)
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			pendingIO := 1
+			db := ctx.DB()
+			db.C("cache").FindOne(loc.Here(), `key == "x"`,
+				asyncg.F("ioDone", func(args []asyncg.Value) asyncg.Value {
+					pendingIO = 0
+					return asyncg.Undefined
+				}))
+			var drain *asyncg.Function
+			drain = asyncg.F("drainQueue", func(args []asyncg.Value) asyncg.Value {
+				if pendingIO > 0 {
+					ctx.SetImmediate(drain)
+				}
+				return asyncg.Undefined
+			})
+			ctx.SetImmediate(drain)
+		},
+	}
+}
+
+// caseSO28830663 mixes setImmediate and nextTick assuming registration
+// order is execution order.
+func caseSO28830663() Case {
+	return Case{
+		ID:       "SO-28830663",
+		Title:    "direct call vs nextTick vs setImmediate ordering",
+		Category: "Mixing Similar APIs",
+		Expect:   []string{detect.CatMixedAPIs},
+		Buggy: func(ctx *asyncg.Context) {
+			var order []string
+			ctx.SetImmediate(asyncg.F("first", func(args []asyncg.Value) asyncg.Value {
+				order = append(order, "first")
+				return asyncg.Undefined
+			}))
+			// Registered second, but nextTick has higher priority —
+			// "first" actually runs last.
+			ctx.NextTick(asyncg.F("second", func(args []asyncg.Value) asyncg.Value {
+				order = append(order, "second")
+				return asyncg.Undefined
+			}))
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			var order []string
+			// Registration order now matches scheduling priority.
+			ctx.NextTick(asyncg.F("first", func(args []asyncg.Value) asyncg.Value {
+				order = append(order, "first")
+				return asyncg.Undefined
+			}))
+			ctx.SetImmediate(asyncg.F("second", func(args []asyncg.Value) asyncg.Value {
+				order = append(order, "second")
+				return asyncg.Undefined
+			}))
+		},
+	}
+}
+
+// caseMotivation is the §III snippet: the programmer assumes the
+// callbacks run in registration order (promise, setTimeout, nextTick),
+// but the actual order is nextTick, promise, setTimeout — and the
+// nextTick callback crashes on the not-yet-assigned variable.
+func caseMotivation() Case {
+	return Case{
+		ID:       "motivation",
+		Title:    "§III: assumed registration order crashes on nextTick",
+		Category: "Mixing Similar APIs",
+		Expect:   []string{detect.CatMixedAPIs},
+		Buggy: func(ctx *asyncg.Context) {
+			var foo asyncg.Value = asyncg.Undefined
+			p := ctx.Resolve(map[string]asyncg.Value{})
+			ctx.Then(p, asyncg.F("assignFoo", func(args []asyncg.Value) asyncg.Value {
+				foo = args[0]
+				return asyncg.Undefined
+			}), nil)
+			ctx.SetTimeout(asyncg.F("defineBar", func(args []asyncg.Value) asyncg.Value {
+				foo.(map[string]asyncg.Value)["bar"] = "function"
+				return asyncg.Undefined
+			}), 0)
+			ctx.NextTick(asyncg.F("callBar", func(args []asyncg.Value) asyncg.Value {
+				if _, ok := foo.(map[string]asyncg.Value); !ok {
+					asyncg.Throw("TypeError: cannot read property 'bar' of undefined")
+				}
+				return asyncg.Undefined
+			}))
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			// Sequence the steps through the promise chain instead of
+			// relying on queue priorities.
+			var foo asyncg.Value = asyncg.Undefined
+			p := ctx.Resolve(map[string]asyncg.Value{})
+			chained := ctx.Then(p, asyncg.F("assignFoo", func(args []asyncg.Value) asyncg.Value {
+				foo = args[0]
+				return foo
+			}), nil)
+			chained = ctx.Then(chained, asyncg.F("defineBar", func(args []asyncg.Value) asyncg.Value {
+				foo.(map[string]asyncg.Value)["bar"] = "function"
+				return foo
+			}), nil)
+			chained = ctx.Then(chained, asyncg.F("callBar", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}), nil)
+			ctx.Catch(chained, asyncg.F("onError", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+		},
+	}
+}

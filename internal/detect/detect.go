@@ -1,0 +1,237 @@
+// Package detect implements AsyncG's automatic bug detection (§VI of the
+// paper) on top of the Async Graph builder: scheduling bugs (recursive
+// micro-tasks, mixing similar APIs, unexpected timeout order), emitter
+// bugs (dead listeners, dead emits, invalid removal, duplicate listeners,
+// add-listener-within-listener), and promise bugs (dead promises, missing
+// reactions, missing exceptional reject reactions, missing returns,
+// double resolve/reject), plus the graph-assisted manual queries of
+// §VI-B.
+//
+// The Analyzer attaches to the same probe stream as the graph builder
+// (attach the builder first so nodes exist when the analyzer annotates
+// them). Some warnings fire online while the program runs; the rest are
+// produced by Finish once the run ends.
+package detect
+
+import (
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/vm"
+)
+
+// Warning categories, one per bug class of the paper's §VI.
+const (
+	CatRecursiveMicrotask   = "recursive-microtask"
+	CatMicroStarvation      = "microtask-starvation"
+	CatMixedAPIs            = "mixing-similar-apis"
+	CatTimeoutOrder         = "unexpected-timeout-order"
+	CatDeadListener         = "dead-listener"
+	CatDeadEmit             = "dead-emit"
+	CatInvalidRemoval       = "invalid-listener-removal"
+	CatDuplicateListener    = "duplicate-listener"
+	CatListenerInListener   = "add-listener-within-listener"
+	CatDeadPromise          = "dead-promise"
+	CatMissingReaction      = "missing-reaction"
+	CatMissingRejectHandler = "missing-reject-handler"
+	CatMissingReturn        = "missing-return"
+	CatDoubleSettle         = "double-settle"
+	CatExpectSyncCallback   = "expect-sync-callback"
+	CatBrokenChain          = "broken-promise-chain"
+)
+
+// Config enables detector families and sets thresholds.
+type Config struct {
+	Scheduling bool
+	Emitters   bool
+	Promises   bool
+	// Races enables the experimental race detector (the paper's §IX
+	// ongoing work) over state.Cell accesses.
+	Races bool
+	// RecursiveMicroThreshold is the number of consecutive
+	// self-reschedules of the same callback in micro-task ticks before
+	// warning. The paper warns from the first recursive tick; 1 keeps
+	// that behaviour.
+	RecursiveMicroThreshold int
+	// MicroStarvationThreshold is the number of consecutive micro-task
+	// ticks (without a macro phase in between) before a starvation
+	// warning, catching recursion cycles that alternate callbacks.
+	MicroStarvationThreshold int
+	// OnTheFlyChains re-evaluates promise-chain structure (chain walk
+	// to the root plus a leaf rescan) on every promise registration and
+	// settlement, as AsyncG's on-the-fly promise analyses do, instead
+	// of only at Finish. It changes when warnings become observable,
+	// and it is the dominant cost of promise tracking — the overhead
+	// the paper's Fig. 6(a) "withpromise" setting measures.
+	OnTheFlyChains bool
+}
+
+// DefaultConfig enables everything with the paper's behaviour.
+func DefaultConfig() Config {
+	return Config{
+		Scheduling:               true,
+		Emitters:                 true,
+		Promises:                 true,
+		Races:                    true,
+		RecursiveMicroThreshold:  1,
+		MicroStarvationThreshold: 1000,
+		OnTheFlyChains:           true,
+	}
+}
+
+// aframe is one analyzer shadow-stack entry.
+type aframe struct {
+	fn       *vm.Function
+	dispatch *vm.Dispatch
+	// floats lists promises created during this reaction frame
+	// (broken-chain candidates); only tracked for promise reactions.
+	floats []uint64
+}
+
+// Analyzer implements vm.Hooks and accumulates warnings into the
+// builder's graph.
+type Analyzer struct {
+	cfg Config
+	b   *asyncgraph.Builder
+	g   *asyncgraph.Graph
+
+	stack []aframe
+
+	sched    *schedState
+	emitters map[uint64]*emState
+	promises map[uint64]*pState
+	races    *raceState
+
+	regRole    map[uint64]string
+	regDerived map[uint64]uint64 // reaction regSeq → derived promise id
+	mrCands    []mrCandidate     // missing-return candidates
+	bcCands    []bcCandidate     // broken-chain candidates
+
+	finished bool
+}
+
+// NewAnalyzer creates an analyzer bound to the builder whose graph it
+// annotates. Attach the builder to the probes before the analyzer.
+func NewAnalyzer(b *asyncgraph.Builder, cfg Config) *Analyzer {
+	return &Analyzer{
+		cfg:        cfg,
+		b:          b,
+		g:          b.Graph(),
+		sched:      newSchedState(cfg),
+		emitters:   make(map[uint64]*emState),
+		promises:   make(map[uint64]*pState),
+		races:      newRaceState(),
+		regRole:    make(map[uint64]string),
+		regDerived: make(map[uint64]uint64),
+	}
+}
+
+// Warnings returns the findings so far (including post-hoc ones after
+// Finish).
+func (a *Analyzer) Warnings() []asyncgraph.Warning { return a.g.Warnings }
+
+// WarningsOf returns the findings in the given category.
+func (a *Analyzer) WarningsOf(category string) []asyncgraph.Warning {
+	var out []asyncgraph.Warning
+	for _, w := range a.g.Warnings {
+		if w.Category == category {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// enclosingReaction returns the innermost frame dispatched as a promise
+// reaction, or nil.
+func (a *Analyzer) enclosingReaction() *aframe {
+	for i := len(a.stack) - 1; i >= 0; i-- {
+		d := a.stack[i].dispatch
+		if d == nil {
+			continue
+		}
+		switch a.regRole[d.RegSeq] {
+		case "fulfill", "reject", "finally", "await":
+			return &a.stack[i]
+		}
+	}
+	return nil
+}
+
+// insideListenerOf reports whether a listener of the given emitter is
+// currently executing.
+func (a *Analyzer) insideListenerOf(emitterID uint64) bool {
+	for i := len(a.stack) - 1; i >= 0; i-- {
+		d := a.stack[i].dispatch
+		if d != nil && d.Obj.Kind == vm.ObjEmitter && d.Obj.ID == emitterID {
+			return true
+		}
+	}
+	return false
+}
+
+// FunctionEnter implements vm.Hooks.
+func (a *Analyzer) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	if len(a.stack) == 0 && a.cfg.Scheduling {
+		a.sched.tickStart(a, fn, info)
+	}
+	if d := info.Dispatch; d != nil {
+		if a.cfg.Scheduling {
+			a.sched.execution(a, d)
+		}
+		if a.cfg.Emitters {
+			a.emitterExecution(d)
+		}
+	}
+	a.stack = append(a.stack, aframe{fn: fn, dispatch: info.Dispatch})
+}
+
+// FunctionExit implements vm.Hooks.
+func (a *Analyzer) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.Thrown) {
+	if len(a.stack) == 0 {
+		return
+	}
+	top := a.stack[len(a.stack)-1]
+	a.stack = a.stack[:len(a.stack)-1]
+	if a.cfg.Promises && top.dispatch != nil {
+		a.reactionExit(top, ret, thrown)
+	}
+	if len(a.stack) == 0 && a.cfg.Scheduling {
+		a.sched.tickEnd(a)
+	}
+}
+
+// APICall implements vm.Hooks.
+func (a *Analyzer) APICall(ev *vm.APIEvent) {
+	if a.cfg.Scheduling {
+		a.sched.apiCall(a, ev)
+	}
+	if a.cfg.Emitters {
+		a.emitterAPICall(ev)
+	}
+	if a.cfg.Promises {
+		a.promiseAPICall(ev)
+	}
+	if a.cfg.Races {
+		a.raceAPICall(ev)
+	}
+	for _, reg := range ev.Regs {
+		a.regRole[reg.Seq] = reg.Role
+	}
+}
+
+// Finish runs the post-hoc analyses over the completed graph and returns
+// all warnings. It is idempotent.
+func (a *Analyzer) Finish() []asyncgraph.Warning {
+	if a.finished {
+		return a.g.Warnings
+	}
+	a.finished = true
+	if a.cfg.Emitters {
+		a.finishEmitters()
+	}
+	if a.cfg.Promises {
+		a.finishPromises()
+	}
+	if a.cfg.Races {
+		a.finishRaces()
+	}
+	return a.g.Warnings
+}

@@ -1,0 +1,168 @@
+package detect
+
+import (
+	"fmt"
+
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/events"
+	"asyncg/internal/vm"
+)
+
+// emListener is the analyzer's mirror of one registered listener.
+type emListener struct {
+	fn     *vm.Function
+	regSeq uint64
+	once   bool
+}
+
+// emState mirrors one emitter's listener table, maintained purely from
+// probe events (the analyzer never peeks at the runtime's own state —
+// it observes the program the way AsyncG does).
+type emState struct {
+	name      string
+	listeners map[string][]emListener
+}
+
+func (a *Analyzer) emitter(id uint64) *emState {
+	st, ok := a.emitters[id]
+	if !ok {
+		st = &emState{listeners: make(map[string][]emListener)}
+		a.emitters[id] = st
+	}
+	return st
+}
+
+// emitterAPICall processes emitter-related API events.
+func (a *Analyzer) emitterAPICall(ev *vm.APIEvent) {
+	switch ev.API {
+	case events.APINew:
+		st := a.emitter(ev.Receiver.ID)
+		if len(ev.Args) > 0 {
+			if s, ok := ev.Args[0].(string); ok {
+				st.name = s
+			}
+		}
+
+	default:
+		// Listener registration, identified by role so that wrapper
+		// APIs (http.createServer registering on 'request') are
+		// covered exactly like plain emitter.on.
+		if ev.Receiver.Kind != vm.ObjEmitter || len(ev.Regs) == 0 || ev.Regs[0].Role != "listener" {
+			return
+		}
+		st := a.emitter(ev.Receiver.ID)
+		for _, reg := range ev.Regs {
+			// §VI-A.2(d): the same function registered twice for the
+			// same event on the same emitter.
+			for _, existing := range st.listeners[ev.Event] {
+				if existing.fn == reg.Callback {
+					a.g.AddWarning(a.lastCRNode(ev), CatDuplicateListener,
+						fmt.Sprintf("function %q is already registered as a listener for event %q on this emitter",
+							reg.Callback.Name, ev.Event),
+						ev.Loc)
+					break
+				}
+			}
+			// §VI-A.2(e): listener added during execution of another
+			// listener of the same emitter — it is lost if the outer
+			// listener never runs.
+			if a.insideListenerOf(ev.Receiver.ID) && !ev.Loc.IsInternal() {
+				a.g.AddWarning(a.lastCRNode(ev), CatListenerInListener,
+					fmt.Sprintf("listener for %q added during the execution of another listener of the same emitter: it is never registered if the outer listener does not run",
+						ev.Event),
+					ev.Loc)
+			}
+			st.listeners[ev.Event] = append(st.listeners[ev.Event],
+				emListener{fn: reg.Callback, regSeq: reg.Seq, once: reg.Once})
+		}
+
+	case events.APIEmit:
+		if ev.Loc.IsInternal() {
+			return // runtime meta-events (newListener etc.)
+		}
+		st := a.emitter(ev.Receiver.ID)
+		// §VI-A.2(b): an event emitted with no registered listener.
+		if len(st.listeners[ev.Event]) == 0 {
+			a.g.AddWarning(a.b.NodeByTrigSeq(ev.TriggerSeq), CatDeadEmit,
+				fmt.Sprintf("event %q emitted with no listener registered: the emission is lost", ev.Event),
+				ev.Loc)
+		}
+
+	case events.APIRemoveListener:
+		// §VI-A.2(c): removing a function that is not registered —
+		// typically a different closure that merely looks the same.
+		if len(ev.Regs) == 0 {
+			name := "?"
+			if len(ev.Args) > 0 {
+				if fn, ok := ev.Args[0].(*vm.Function); ok {
+					name = fn.Name
+				}
+			}
+			a.g.AddWarning(asyncgraph.NoNode, CatInvalidRemoval,
+				fmt.Sprintf("removeListener(%q, %s) did not match any registered listener: the function passed is not the one that was registered",
+					ev.Event, name),
+				ev.Loc)
+			return
+		}
+		st := a.emitter(ev.Receiver.ID)
+		for _, reg := range ev.Regs {
+			st.remove(ev.Event, reg.Seq)
+		}
+
+	case events.APIRemoveAllListeners:
+		st := a.emitter(ev.Receiver.ID)
+		if ev.Event == "" {
+			st.listeners = make(map[string][]emListener)
+		} else {
+			delete(st.listeners, ev.Event)
+		}
+	}
+}
+
+// emitterExecution retires once-listeners from the mirror when they run.
+func (a *Analyzer) emitterExecution(d *vm.Dispatch) {
+	if d.Obj.Kind != vm.ObjEmitter {
+		return
+	}
+	st, ok := a.emitters[d.Obj.ID]
+	if !ok {
+		return
+	}
+	for _, l := range st.listeners[d.Event] {
+		if l.regSeq == d.RegSeq && l.once {
+			st.remove(d.Event, d.RegSeq)
+			return
+		}
+	}
+}
+
+func (st *emState) remove(event string, regSeq uint64) {
+	list := st.listeners[event]
+	for i, l := range list {
+		if l.regSeq == regSeq {
+			st.listeners[event] = append(list[:i:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// finishEmitters runs the post-hoc emitter analyses: §VI-A.2(a) dead
+// listeners — registrations whose callback never executed (and was never
+// deliberately removed).
+func (a *Analyzer) finishEmitters() {
+	for _, n := range a.g.NodesOfKind(asyncgraph.CR) {
+		if n.Obj.Kind != vm.ObjEmitter {
+			continue
+		}
+		if n.Event == events.EventError {
+			// Defensive 'error' handlers are supposed to stay silent
+			// on healthy runs; never-executed is the good case.
+			continue
+		}
+		if n.Executions == 0 && !n.Removed && !n.Loc.IsInternal() {
+			a.g.AddWarning(n.ID, CatDeadListener,
+				fmt.Sprintf("listener for event %q was registered but never executed: the emitter never emits this event", n.Event),
+				n.Loc)
+		}
+	}
+}

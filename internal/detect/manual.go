@@ -1,0 +1,128 @@
+package detect
+
+import (
+	"fmt"
+
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/loc"
+)
+
+// The §VI-B bug patterns "are not necessarily leading to a bug, and more
+// information is required to debug the root cause. Such bugs can be
+// manually detected by checking the AG produced by AsyncG." The helpers
+// in this file are the tool-assisted queries a developer runs against
+// the graph.
+
+// SyncExpectation is the result of ExplainCallbackDelay: evidence for
+// (or against) the "expecting callbacks to run synchronously" mistake.
+type SyncExpectation struct {
+	Registration *asyncgraph.Node
+	Executions   []*asyncgraph.Node
+	// TickDistance is the number of ticks between registration and the
+	// first execution; 0 means the callback ran in the registering tick
+	// (synchronously), which is the behaviour the buggy code assumed.
+	TickDistance int
+}
+
+// Asynchronous reports whether the callback ran in a later tick than its
+// registration — i.e. code after the registering call that reads state
+// set by the callback observed the pre-callback state.
+func (s *SyncExpectation) Asynchronous() bool { return s.TickDistance > 0 }
+
+// Warning converts the evidence into an expect-sync-callback warning.
+func (s *SyncExpectation) Warning() asyncgraph.Warning {
+	return asyncgraph.Warning{
+		Category: CatExpectSyncCallback,
+		Message: fmt.Sprintf(
+			"callback registered at %s executes %d tick(s) later: code following the registration cannot observe its effects",
+			s.Registration.Loc, s.TickDistance),
+		Node: s.Registration.ID,
+		Loc:  s.Registration.Loc,
+	}
+}
+
+// ExplainCallbackDelay inspects the graph for the registration made at
+// the given source location and reports how far (in ticks) its callback
+// executions are from the registration — the §VI-B.1 query. It returns
+// nil when no registration at that location is found.
+func ExplainCallbackDelay(g *asyncgraph.Graph, at loc.Loc) *SyncExpectation {
+	var cr *asyncgraph.Node
+	for _, n := range g.NodesOfKind(asyncgraph.CR) {
+		if n.Loc == at {
+			cr = n
+			break
+		}
+	}
+	if cr == nil {
+		return nil
+	}
+	out := &SyncExpectation{Registration: cr}
+	for _, e := range g.EdgesTo(cr.ID) {
+		if e.Kind != asyncgraph.EdgeBinding {
+			continue
+		}
+		ce := g.Node(e.From)
+		out.Executions = append(out.Executions, ce)
+		if d := ce.Tick - cr.Tick; out.TickDistance == 0 || d < out.TickDistance {
+			out.TickDistance = d
+		}
+	}
+	return out
+}
+
+// ChainReport describes one promise chain in the graph: the root OB node
+// and the relation path to each leaf — the §VI-B.2 inspection aid.
+type ChainReport struct {
+	Root   *asyncgraph.Node
+	Leaves []*asyncgraph.Node
+	Size   int
+}
+
+// PromiseChains groups the graph's promise OB nodes into chains via the
+// then/catch/finally/link relation edges and returns one report per
+// chain root, in creation order.
+func PromiseChains(g *asyncgraph.Graph) []ChainReport {
+	isPromiseOB := func(n *asyncgraph.Node) bool {
+		return n != nil && n.Kind == asyncgraph.OB && n.API == "promise.create"
+	}
+	children := make(map[asyncgraph.NodeID][]asyncgraph.NodeID)
+	hasParent := make(map[asyncgraph.NodeID]bool)
+	for _, e := range g.Edges {
+		if e.Kind != asyncgraph.EdgeRelation {
+			continue
+		}
+		from, to := g.Node(e.From), g.Node(e.To)
+		if !isPromiseOB(from) || !isPromiseOB(to) {
+			continue
+		}
+		children[e.From] = append(children[e.From], e.To)
+		hasParent[e.To] = true
+	}
+	var reports []ChainReport
+	for _, n := range g.NodesOfKind(asyncgraph.OB) {
+		if !isPromiseOB(n) || hasParent[n.ID] {
+			continue
+		}
+		r := ChainReport{Root: n}
+		var walk func(id asyncgraph.NodeID)
+		seen := make(map[asyncgraph.NodeID]bool)
+		walk = func(id asyncgraph.NodeID) {
+			if seen[id] {
+				return
+			}
+			seen[id] = true
+			r.Size++
+			kids := children[id]
+			if len(kids) == 0 {
+				r.Leaves = append(r.Leaves, g.Node(id))
+				return
+			}
+			for _, k := range kids {
+				walk(k)
+			}
+		}
+		walk(n.ID)
+		reports = append(reports, r)
+	}
+	return reports
+}

@@ -1,0 +1,231 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/instrument"
+	"asyncg/internal/loc"
+	"asyncg/internal/state"
+	"asyncg/internal/vm"
+)
+
+// CatRace is the warning category of the race-detection extension — the
+// paper's §IX ongoing research ("race conditions caused by
+// non-deterministic event ordering"), implemented here on top of the
+// Async Graph's causal edges.
+const CatRace = "event-race"
+
+// access is one recorded read or write of a shared cell.
+type access struct {
+	cell  uint64
+	write bool
+	// ce is the callback execution performing the access (NoNode for
+	// the main program, which happens-before every other tick).
+	ce asyncgraph.NodeID
+	at loc.Loc
+}
+
+// raceState accumulates cell accesses during the run.
+type raceState struct {
+	cellNames map[uint64]string
+	accesses  []access
+}
+
+func newRaceState() *raceState {
+	return &raceState{cellNames: make(map[uint64]string)}
+}
+
+// raceAPICall records cell traffic.
+func (a *Analyzer) raceAPICall(ev *vm.APIEvent) {
+	switch ev.API {
+	case state.APINew:
+		if len(ev.Args) > 0 {
+			if s, ok := ev.Args[0].(string); ok {
+				a.races.cellNames[ev.Receiver.ID] = s
+			}
+		}
+	case state.APIGet, state.APISet:
+		a.races.accesses = append(a.races.accesses, access{
+			cell:  ev.Receiver.ID,
+			write: ev.API == state.APISet,
+			ce:    a.b.EnclosingCE(),
+			at:    ev.Loc,
+		})
+	}
+}
+
+// finishRaces reports conflicting accesses (at least one write) whose
+// callback executions are not causally ordered by the Async Graph and
+// whose relative order therefore depends on externally-timed scheduling.
+//
+// Ordering rules:
+//   - accesses in the same callback execution (or both in main) are
+//     sequential;
+//   - main happens-before every callback execution;
+//   - CE a happens-before CE b when a path of direct (causal) edges
+//     leads from a to b — a registered b's callback, triggered it, or
+//     encloses it;
+//   - unordered pairs are racy only when at least one side runs in an
+//     externally-scheduled tick (timer, io, close): microtask FIFO
+//     order within one tick family is deterministic in Node, so
+//     same-family unordered pairs are not flagged.
+func (a *Analyzer) finishRaces() {
+	if len(a.races.accesses) == 0 {
+		return
+	}
+	reach := newReachability(a.g)
+	type pairKey struct {
+		cell uint64
+		x, y asyncgraph.NodeID
+	}
+	reported := make(map[pairKey]bool)
+	byCell := make(map[uint64][]access)
+	for _, acc := range a.races.accesses {
+		byCell[acc.cell] = append(byCell[acc.cell], acc)
+	}
+	// Deterministic warning order: cells by id.
+	cells := make([]uint64, 0, len(byCell))
+	for cell := range byCell {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	for _, cell := range cells {
+		accs := byCell[cell]
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				x, y := accs[i], accs[j]
+				if !x.write && !y.write {
+					continue
+				}
+				if x.ce == y.ce || x.ce == asyncgraph.NoNode || y.ce == asyncgraph.NoNode {
+					continue
+				}
+				if reach.ordered(x.ce, y.ce) {
+					continue
+				}
+				if !a.externallyTimed(x.ce) && !a.externallyTimed(y.ce) {
+					continue
+				}
+				key := pairKey{cell: cell, x: minNode(x.ce, y.ce), y: maxNode(x.ce, y.ce)}
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				name := a.races.cellNames[cell]
+				a.g.AddWarning(x.ce, CatRace,
+					fmt.Sprintf("accesses to shared state %q at %s and %s are not causally ordered: their order depends on event timing (potential race)",
+						name, x.at, y.at),
+					x.at)
+			}
+		}
+	}
+}
+
+// externallyTimed reports whether the CE's scheduling derives from an
+// externally-timed event. It walks the causal ancestry — the CE's
+// registration (binding edge) and whatever created or triggered it
+// (reverse direct edges) — looking for a node that ran in a timer/io/
+// close tick or whose API completes through external I/O (network, fs,
+// db). A DB callback delivered via the driver's nextTick deferral is
+// therefore still recognized as I/O-ordered.
+func (a *Analyzer) externallyTimed(ce asyncgraph.NodeID) bool {
+	seen := make(map[asyncgraph.NodeID]bool)
+	stack := []asyncgraph.NodeID{ce}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		n := a.g.Node(cur)
+		if n == nil {
+			continue
+		}
+		if tk := a.g.TickOf(cur); tk == nil {
+			return true // uncommitted (truncated run): be conservative
+		} else if tk.Phase == "timer" || tk.Phase == "io" || tk.Phase == "close" {
+			return true
+		}
+		if instrument.Categorize(n.API) == instrument.CatIO {
+			// The callback's ancestry includes an I/O-completing API
+			// (network, fs, db): its timing is external even when the
+			// delivery hop ran on the microtask queue.
+			return true
+		}
+		for _, e := range a.g.EdgesFrom(cur) {
+			if e.Kind == asyncgraph.EdgeBinding { // CE → its CR
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range a.g.EdgesTo(cur) {
+			if e.Kind == asyncgraph.EdgeDirect { // creator / trigger / encloser
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return false
+}
+
+func minNode(a, b asyncgraph.NodeID) asyncgraph.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxNode(a, b asyncgraph.NodeID) asyncgraph.NodeID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// reachability answers causal-ordering queries over the graph's direct
+// edges, with memoized forward sets.
+type reachability struct {
+	next map[asyncgraph.NodeID][]asyncgraph.NodeID
+	memo map[asyncgraph.NodeID]map[asyncgraph.NodeID]bool
+}
+
+func newReachability(g *asyncgraph.Graph) *reachability {
+	r := &reachability{
+		next: make(map[asyncgraph.NodeID][]asyncgraph.NodeID),
+		memo: make(map[asyncgraph.NodeID]map[asyncgraph.NodeID]bool),
+	}
+	for _, e := range g.Edges {
+		if e.Kind == asyncgraph.EdgeDirect {
+			r.next[e.From] = append(r.next[e.From], e.To)
+		}
+	}
+	return r
+}
+
+// ordered reports whether a path of direct edges connects the nodes in
+// either direction.
+func (r *reachability) ordered(a, b asyncgraph.NodeID) bool {
+	return r.reaches(a)[b] || r.reaches(b)[a]
+}
+
+// reaches returns (computing once) the forward-reachable set of n.
+func (r *reachability) reaches(n asyncgraph.NodeID) map[asyncgraph.NodeID]bool {
+	if set, ok := r.memo[n]; ok {
+		return set
+	}
+	set := make(map[asyncgraph.NodeID]bool)
+	stack := []asyncgraph.NodeID{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range r.next[cur] {
+			if !set[nxt] {
+				set[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	r.memo[n] = set
+	return set
+}

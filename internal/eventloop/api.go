@@ -1,0 +1,212 @@
+package eventloop
+
+import (
+	"time"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// API names announced through probe events for the loop-level scheduling
+// primitives.
+const (
+	APINextTick       = "process.nextTick"
+	APIQueueMicrotask = "queueMicrotask"
+	APISetTimeout     = "setTimeout"
+	APISetInterval    = "setInterval"
+	APISetImmediate   = "setImmediate"
+	APIClearTimeout   = "clearTimeout"
+	APIClearInterval  = "clearInterval"
+	APIClearImmediate = "clearImmediate"
+)
+
+// minTimeout mirrors Node's clamp: setTimeout delays below 1ms become 1ms.
+const minTimeout = time.Millisecond
+
+// NextTick schedules fn on the nextTick microtask queue (highest
+// priority). at is the user call site recorded in the Async Graph.
+func (l *Loop) NextTick(at loc.Loc, fn *vm.Function, args ...vm.Value) {
+	seq := l.NextRegSeq()
+	if l.probes.Active() {
+		l.probes.APICall(&vm.APIEvent{
+			API:  APINextTick,
+			Loc:  at,
+			Regs: []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseNextTick), Once: true, Role: "callback"}},
+		})
+	}
+	l.nextTickQ.push(task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APINextTick, RegSeq: seq}})
+}
+
+// QueueMicrotask schedules fn on the promise-job microtask queue — the
+// modern JavaScript API that shares V8's microtask queue with promise
+// reactions (lower priority than process.nextTick).
+func (l *Loop) QueueMicrotask(at loc.Loc, fn *vm.Function, args ...vm.Value) {
+	seq := l.NextRegSeq()
+	if l.probes.Active() {
+		l.probes.APICall(&vm.APIEvent{
+			API:  APIQueueMicrotask,
+			Loc:  at,
+			Regs: []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhasePromise), Once: true, Role: "callback"}},
+		})
+	}
+	l.promiseQ.push(task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APIQueueMicrotask, RegSeq: seq}})
+}
+
+// SetTimeout schedules fn once after delay of virtual time and returns
+// the timer id for ClearTimeout.
+func (l *Loop) SetTimeout(at loc.Loc, fn *vm.Function, delay time.Duration, args ...vm.Value) uint64 {
+	return l.addTimer(at, APISetTimeout, fn, delay, 0, args)
+}
+
+// SetInterval schedules fn repeatedly every delay of virtual time and
+// returns the timer id for ClearInterval.
+func (l *Loop) SetInterval(at loc.Loc, fn *vm.Function, delay time.Duration, args ...vm.Value) uint64 {
+	return l.addTimer(at, APISetInterval, fn, delay, delay, args)
+}
+
+func (l *Loop) addTimer(at loc.Loc, api string, fn *vm.Function, delay, interval time.Duration, args []vm.Value) uint64 {
+	if delay < minTimeout {
+		delay = minTimeout
+	}
+	if interval > 0 && interval < minTimeout {
+		interval = minTimeout
+	}
+	l.timerSeq++
+	id := l.timerSeq
+	seq := l.NextRegSeq()
+	if l.probes.Active() {
+		l.probes.APICall(&vm.APIEvent{
+			API:      api,
+			Loc:      at,
+			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
+			Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseTimer), Once: interval == 0, Role: "callback"}},
+			Args:     []vm.Value{delay},
+		})
+	}
+	l.orderSeq++
+	t := &timer{
+		task:     task{fn: fn, args: args, dispatch: &vm.Dispatch{API: api, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}},
+		id:       id,
+		due:      l.now + delay,
+		interval: interval,
+		seq:      l.orderSeq,
+	}
+	l.timers.add(t)
+	l.timersByID[id] = t
+	l.activeTimers++
+	return id
+}
+
+// ClearTimeout cancels a pending timer; unknown or already-fired ids are
+// ignored, as in Node.
+func (l *Loop) ClearTimeout(at loc.Loc, id uint64) { l.clearTimer(at, APIClearTimeout, id) }
+
+// ClearInterval cancels a repeating timer.
+func (l *Loop) ClearInterval(at loc.Loc, id uint64) { l.clearTimer(at, APIClearInterval, id) }
+
+func (l *Loop) clearTimer(at loc.Loc, api string, id uint64) {
+	t, ok := l.timersByID[id]
+	if l.probes.Active() {
+		ev := &vm.APIEvent{
+			API:      api,
+			Loc:      at,
+			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
+		}
+		if ok && !t.cleared {
+			// Identify the retired registration so tools can drop the
+			// pending CR.
+			ev.Regs = []vm.Registration{{Seq: t.dispatch.RegSeq, Callback: t.fn, Phase: string(PhaseTimer), Once: t.interval == 0, Role: "callback"}}
+		}
+		l.probes.APICall(ev)
+	}
+	if !ok || t.cleared {
+		return
+	}
+	t.cleared = true
+	l.activeTimers--
+	delete(l.timersByID, id)
+}
+
+// SetImmediate schedules fn for the check phase of a following loop
+// iteration and returns the immediate id for ClearImmediate.
+func (l *Loop) SetImmediate(at loc.Loc, fn *vm.Function, args ...vm.Value) uint64 {
+	l.timerSeq++
+	id := l.timerSeq
+	seq := l.NextRegSeq()
+	if l.probes.Active() {
+		l.probes.APICall(&vm.APIEvent{
+			API:      APISetImmediate,
+			Loc:      at,
+			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
+			Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"}},
+		})
+	}
+	im := &immediate{
+		task: task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APISetImmediate, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}},
+		id:   id,
+	}
+	l.immediates = append(l.immediates, im)
+	l.immediatesByID[id] = im
+	l.activeImmediate++
+	return id
+}
+
+// ClearImmediate cancels a pending immediate.
+func (l *Loop) ClearImmediate(at loc.Loc, id uint64) {
+	im, ok := l.immediatesByID[id]
+	if l.probes.Active() {
+		ev := &vm.APIEvent{
+			API:      APIClearImmediate,
+			Loc:      at,
+			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
+		}
+		if ok && !im.cleared {
+			ev.Regs = []vm.Registration{{Seq: im.dispatch.RegSeq, Callback: im.fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"}}
+		}
+		l.probes.APICall(ev)
+	}
+	if !ok || im.cleared {
+		return
+	}
+	im.cleared = true
+	l.activeImmediate--
+	delete(l.immediatesByID, id)
+}
+
+// ScheduleTickJob enqueues a job on the nextTick microtask queue without
+// announcing a process.nextTick API event — for library layers (e.g. the
+// simulated DB driver) whose user-facing API already announced the
+// registration under its own name and now dispatches the callback.
+func (l *Loop) ScheduleTickJob(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
+	l.nextTickQ.push(task{fn: fn, args: args, dispatch: dispatch})
+}
+
+// SchedulePromiseJob enqueues a promise reaction job on the promise
+// microtask queue. The promise layer announces its own API events; this
+// entry point only schedules. after, when non-nil, receives the job's
+// result and owns any exception thrown by it.
+func (l *Loop) SchedulePromiseJob(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch, after func(ret vm.Value, thrown *vm.Thrown)) {
+	l.promiseQ.push(task{fn: fn, args: args, dispatch: dispatch, after: after})
+}
+
+// ScheduleIOAt delivers an external event through the I/O poll phase at
+// the given absolute virtual time (clamped to now). The simulated
+// network layer uses it; user-level registrations are announced by that
+// layer.
+func (l *Loop) ScheduleIOAt(readyAt time.Duration, fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
+	if readyAt < l.now {
+		readyAt = l.now
+	}
+	l.orderSeq++
+	l.io.add(&ioEvent{
+		task:    task{fn: fn, args: args, dispatch: dispatch},
+		readyAt: readyAt,
+		seq:     l.orderSeq,
+	})
+}
+
+// ScheduleClose enqueues a close handler for the close phase of the
+// current or next loop iteration.
+func (l *Loop) ScheduleClose(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
+	l.closeQ.push(task{fn: fn, args: args, dispatch: dispatch})
+}

@@ -1,0 +1,324 @@
+package eventloop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// schedEvent is one observation from the validating hook.
+type schedEvent struct {
+	exec   bool // execution (vs registration)
+	api    string
+	regSeq uint64
+	phase  string
+	due    time.Duration // registration: absolute deadline for timers
+	order  int           // stream position
+}
+
+// schedRecorder collects registrations and top-level executions.
+type schedRecorder struct {
+	loop   *Loop
+	events []schedEvent
+}
+
+func (r *schedRecorder) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	if !info.TopLevel || info.Dispatch == nil || info.Dispatch.API == "main" {
+		return
+	}
+	r.events = append(r.events, schedEvent{
+		exec:   true,
+		api:    info.Dispatch.API,
+		regSeq: info.Dispatch.RegSeq,
+		phase:  info.Phase,
+		order:  len(r.events),
+	})
+}
+
+func (r *schedRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+
+func (r *schedRecorder) APICall(ev *vm.APIEvent) {
+	for _, reg := range ev.Regs {
+		e := schedEvent{
+			api:    ev.API,
+			regSeq: reg.Seq,
+			phase:  reg.Phase,
+			order:  len(r.events),
+		}
+		if ev.API == APISetTimeout || ev.API == APISetInterval {
+			if d, ok := ev.Args[0].(time.Duration); ok {
+				if d < minTimeout {
+					d = minTimeout
+				}
+				e.due = r.loop.Now() + d
+			}
+		}
+		r.events = append(r.events, e)
+	}
+}
+
+// randomSchedule schedules a random operation mix with nesting.
+func randomSchedule(l *Loop, seed int64, ops int) *vm.Function {
+	rng := rand.New(rand.NewSource(seed))
+	var oneOp func(budget *int)
+	nest := func(budget *int) *vm.Function {
+		return vm.NewFunc("cb", func([]vm.Value) vm.Value {
+			for i := rng.Intn(3); i > 0 && *budget > 0; i-- {
+				oneOp(budget)
+			}
+			return vm.Undefined
+		})
+	}
+	oneOp = func(budget *int) {
+		if *budget <= 0 {
+			return
+		}
+		*budget--
+		switch rng.Intn(6) {
+		case 0:
+			l.NextTick(loc.Here(), nest(budget))
+		case 1:
+			l.SetTimeout(loc.Here(), nest(budget), time.Duration(rng.Intn(4))*time.Millisecond)
+		case 2:
+			l.SetImmediate(loc.Here(), nest(budget))
+		case 3:
+			l.ScheduleIOAt(l.Now()+time.Duration(rng.Intn(3))*time.Millisecond, nest(budget), nil,
+				&vm.Dispatch{API: "net.test"})
+		case 4:
+			l.ScheduleClose(nest(budget), nil, &vm.Dispatch{API: "socket.close"})
+		case 5:
+			l.Work(time.Duration(rng.Intn(500)) * time.Microsecond)
+		}
+	}
+	return vm.NewFunc("main", func([]vm.Value) vm.Value {
+		budget := ops
+		for budget > 0 {
+			oneOp(&budget)
+		}
+		return vm.Undefined
+	})
+}
+
+// runRandom executes a random schedule under the recorder.
+func runRandom(t *testing.T, seed int64, ops int) *schedRecorder {
+	t.Helper()
+	l := New(Options{TickLimit: 100_000})
+	rec := &schedRecorder{loop: l}
+	l.Probes().Attach(rec)
+	if err := l.Run(randomSchedule(l, seed, ops)); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return rec
+}
+
+// TestQuickNextTickBeatsMacroPhases: a nextTick registration always
+// executes before the next macro-phase callback that follows it in the
+// event stream (micro queues are drained between all other phases).
+func TestQuickNextTickBeatsMacroPhases(t *testing.T) {
+	isMacro := func(phase string) bool {
+		switch Phase(phase) {
+		case PhaseTimer, PhaseIO, PhaseImmediate, PhaseClose:
+			return true
+		}
+		return false
+	}
+	f := func(seed int64) bool {
+		rec := runRandom(t, seed, 50)
+		execAt := make(map[uint64]int)
+		for _, e := range rec.events {
+			if e.exec {
+				if _, dup := execAt[e.regSeq]; !dup {
+					execAt[e.regSeq] = e.order
+				}
+			}
+		}
+		for _, e := range rec.events {
+			if e.exec || e.api != APINextTick {
+				continue
+			}
+			tickExec, ran := execAt[e.regSeq]
+			if !ran {
+				return false // nextTicks always run (loop drains them)
+			}
+			// No macro execution may occur between the registration
+			// and the tick's execution... except the macro callback
+			// that *made* the registration is still on stack; macro
+			// executions strictly after the registration and before
+			// the tick execution are violations.
+			for _, other := range rec.events {
+				if other.exec && isMacro(other.phase) &&
+					other.order > e.order && other.order < tickExec {
+					t.Logf("seed %d: macro %s at %d between nextTick reg %d and exec %d",
+						seed, other.api, other.order, e.order, tickExec)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNextTickFIFO: nextTick executions occur in registration
+// order.
+func TestQuickNextTickFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		rec := runRandom(t, seed, 60)
+		var regOrder, execOrder []uint64
+		for _, e := range rec.events {
+			if e.api != APINextTick {
+				continue
+			}
+			if e.exec {
+				execOrder = append(execOrder, e.regSeq)
+			} else {
+				regOrder = append(regOrder, e.regSeq)
+			}
+		}
+		if len(regOrder) != len(execOrder) {
+			return false
+		}
+		for i := range regOrder {
+			if regOrder[i] != execOrder[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimersFireInDeadlineOrder: timer executions respect
+// (deadline, registration) order.
+func TestQuickTimersFireInDeadlineOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rec := runRandom(t, seed, 60)
+		due := make(map[uint64]time.Duration)
+		regPos := make(map[uint64]int)
+		for _, e := range rec.events {
+			if !e.exec && e.api == APISetTimeout {
+				due[e.regSeq] = e.due
+				regPos[e.regSeq] = e.order
+			}
+		}
+		var fired []uint64
+		for _, e := range rec.events {
+			if e.exec && e.api == APISetTimeout {
+				fired = append(fired, e.regSeq)
+			}
+		}
+		// Among timers that fired consecutively, an earlier-deadline
+		// timer must not fire after a later-deadline one *if both were
+		// registered before either fired*. Check pairwise on the fired
+		// sequence: for i<j, not (due[j] < due[i] and reg[j] < exec-of-i).
+		for i := 0; i < len(fired); i++ {
+			for j := i + 1; j < len(fired); j++ {
+				a, b := fired[i], fired[j]
+				if due[b] < due[a] && regPos[b] < regPos[a] {
+					// b had an earlier deadline and was registered
+					// earlier, yet fired later.
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOnceRegistrationsFireAtMostOnce: every once-registration
+// (nextTick, setTimeout, setImmediate) executes at most one time.
+func TestQuickOnceRegistrationsFireAtMostOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rec := runRandom(t, seed, 80)
+		counts := make(map[uint64]int)
+		for _, e := range rec.events {
+			if e.exec {
+				counts[e.regSeq]++
+			}
+		}
+		for _, e := range rec.events {
+			if !e.exec && counts[e.regSeq] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExecutionPhaseMatchesRegistration: callbacks execute in the
+// phase their registration promised.
+func TestQuickExecutionPhaseMatchesRegistration(t *testing.T) {
+	f := func(seed int64) bool {
+		rec := runRandom(t, seed, 60)
+		regPhase := make(map[uint64]string)
+		for _, e := range rec.events {
+			if !e.exec && e.phase != "" {
+				regPhase[e.regSeq] = e.phase
+			}
+		}
+		for _, e := range rec.events {
+			if !e.exec {
+				continue
+			}
+			want, ok := regPhase[e.regSeq]
+			if !ok || want == "any" || want == "sync" {
+				continue
+			}
+			if e.phase != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVirtualClockMonotonic: Now() never goes backwards.
+func TestQuickVirtualClockMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		l := New(Options{TickLimit: 100_000})
+		var last time.Duration
+		monotonic := true
+		check := &clockHook{loop: l, last: &last, ok: &monotonic}
+		l.Probes().Attach(check)
+		if err := l.Run(randomSchedule(l, seed, 50)); err != nil {
+			return false
+		}
+		return monotonic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type clockHook struct {
+	loop *Loop
+	last *time.Duration
+	ok   *bool
+}
+
+func (c *clockHook) FunctionEnter(*vm.Function, *vm.CallInfo) {
+	now := c.loop.Now()
+	if now < *c.last {
+		*c.ok = false
+	}
+	*c.last = now
+}
+func (c *clockHook) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (c *clockHook) APICall(*vm.APIEvent)                            {}

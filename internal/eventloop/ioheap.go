@@ -1,0 +1,50 @@
+package eventloop
+
+import (
+	"container/heap"
+	"time"
+)
+
+// ioEvent is an external event that becomes deliverable at a virtual
+// time; the I/O poll phase dispatches events whose readyAt has passed.
+// The simulated network and file-system layers schedule these.
+type ioEvent struct {
+	task
+	readyAt time.Duration
+	seq     uint64
+}
+
+// ioHeap orders events by (readyAt, seq).
+type ioHeap []*ioEvent
+
+func (h ioHeap) Len() int { return len(h) }
+
+func (h ioHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h ioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *ioHeap) Push(x any) { *h = append(*h, x.(*ioEvent)) }
+
+func (h *ioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h ioHeap) peek() *ioEvent {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}
+
+func (h *ioHeap) add(e *ioEvent)      { heap.Push(h, e) }
+func (h *ioHeap) removeMin() *ioEvent { return heap.Pop(h).(*ioEvent) }

@@ -1,0 +1,422 @@
+package eventloop
+
+import (
+	"errors"
+	"time"
+
+	"asyncg/internal/vm"
+)
+
+// Limit errors returned by Run. A tick-limit stop is the expected way to
+// truncate non-terminating programs (such as the paper's recursive
+// nextTick bug in Fig. 1, whose Async Graph "grows infinitely").
+var (
+	ErrTickLimit = errors.New("eventloop: tick limit reached")
+	ErrTimeLimit = errors.New("eventloop: virtual time limit reached")
+	ErrReentrant = errors.New("eventloop: Run called while loop is running")
+	ErrStopped   = errors.New("eventloop: stopped by program")
+)
+
+// Options configures a Loop.
+type Options struct {
+	// TickLimit bounds the number of top-level callback executions
+	// (ticks). 0 means DefaultTickLimit. Run returns ErrTickLimit when
+	// the bound is hit; the work done so far (and its Async Graph)
+	// remains observable.
+	TickLimit int
+	// TimeLimit bounds virtual time. 0 means no limit.
+	TimeLimit time.Duration
+	// CallbackCost is virtual time charged per top-level callback,
+	// modelling the non-zero duration of real callback execution.
+	CallbackCost time.Duration
+	// IterationCost is virtual time charged per event-loop iteration,
+	// modelling the real duration of a loop turn. Without it a
+	// recursive setImmediate would freeze the virtual clock and starve
+	// timers, which real Node does not do. 0 means
+	// DefaultIterationCost; negative disables the charge.
+	IterationCost time.Duration
+	// StopOnUncaught makes Run stop at the first uncaught exception
+	// instead of recording it and continuing (the default keeps
+	// analysing, like a debugger with an uncaughtException handler).
+	StopOnUncaught bool
+}
+
+// DefaultTickLimit is the tick bound applied when Options.TickLimit is 0.
+const DefaultTickLimit = 1_000_000
+
+// DefaultIterationCost is the virtual time charged per loop iteration
+// when Options.IterationCost is 0.
+const DefaultIterationCost = 100 * time.Microsecond
+
+// UncaughtError records a simulated exception that escaped a top-level
+// callback.
+type UncaughtError struct {
+	Thrown *vm.Thrown
+	Phase  Phase
+	Tick   int
+}
+
+func (u UncaughtError) Error() string { return u.Thrown.Error() }
+
+// Loop is the event-loop simulator. Create one with New, schedule the
+// main program with Run, and interact with it only from callbacks running
+// on it. All methods must be called from the loop goroutine (or before
+// Run starts).
+type Loop struct {
+	probes vm.Probes
+	opts   Options
+
+	now   time.Duration
+	phase Phase
+	depth int
+
+	nextTickQ    fifo
+	promiseQ     fifo
+	timers       timerHeap
+	timersByID   map[uint64]*timer
+	activeTimers int
+
+	immediates      []*immediate
+	immHead         int
+	immediatesByID  map[uint64]*immediate
+	activeImmediate int
+
+	io     ioHeap
+	closeQ fifo
+
+	timerSeq uint64 // ids for timers and immediates
+	orderSeq uint64 // scheduling tie-breakers
+	regSeq   uint64 // callback-registration sequence (probe protocol)
+	trigSeq  uint64 // trigger sequence (probe protocol)
+	objSeq   uint64 // object identity (emitters, promises, sockets)
+
+	ticksRun int
+	uncaught []UncaughtError
+	stopErr  error
+	running  bool
+}
+
+// immediate is a pending setImmediate registration.
+type immediate struct {
+	task
+	id      uint64
+	cleared bool
+}
+
+// New creates a loop with the given options.
+func New(opts Options) *Loop {
+	if opts.TickLimit == 0 {
+		opts.TickLimit = DefaultTickLimit
+	}
+	if opts.IterationCost == 0 {
+		opts.IterationCost = DefaultIterationCost
+	} else if opts.IterationCost < 0 {
+		opts.IterationCost = 0
+	}
+	return &Loop{
+		opts:           opts,
+		phase:          PhaseMain,
+		timersByID:     make(map[uint64]*timer),
+		immediatesByID: make(map[uint64]*immediate),
+	}
+}
+
+// Probes exposes the probe dispatcher so tools can attach and detach
+// hooks — before Run or from inside callbacks (AsyncG is pluggable at
+// runtime).
+func (l *Loop) Probes() *vm.Probes { return &l.probes }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Work advances virtual time by d, modelling synchronous computation
+// ("performSomeComputation()" in the paper's Fig. 1).
+func (l *Loop) Work(d time.Duration) {
+	if d > 0 {
+		l.now += d
+	}
+}
+
+// Phase returns the phase of the callback currently executing.
+func (l *Loop) Phase() Phase { return l.phase }
+
+// Tick returns the number of top-level callbacks executed so far.
+func (l *Loop) Tick() int { return l.ticksRun }
+
+// Uncaught returns the exceptions that escaped top-level callbacks.
+func (l *Loop) Uncaught() []UncaughtError { return l.uncaught }
+
+// Stop makes the loop wind down after the current callback; Run returns
+// ErrStopped. Pending work is abandoned.
+func (l *Loop) Stop() {
+	if l.stopErr == nil {
+		l.stopErr = ErrStopped
+	}
+}
+
+// Identity and sequence generators used by the promise, emitter and I/O
+// layers to participate in the probe protocol.
+
+// NextObjID allocates a fresh runtime-object identity.
+func (l *Loop) NextObjID() uint64 { l.objSeq++; return l.objSeq }
+
+// NextRegSeq allocates a fresh callback-registration sequence number.
+func (l *Loop) NextRegSeq() uint64 { l.regSeq++; return l.regSeq }
+
+// NextTrigSeq allocates a fresh trigger sequence number.
+func (l *Loop) NextTrigSeq() uint64 { l.trigSeq++; return l.trigSeq }
+
+// EmitAPIEvent announces an async-API call to attached hooks.
+func (l *Loop) EmitAPIEvent(ev *vm.APIEvent) {
+	if l.probes.Active() {
+		l.probes.APICall(ev)
+	}
+}
+
+// ProbesActive reports whether any instrumentation hook is attached.
+func (l *Loop) ProbesActive() bool { return l.probes.Active() }
+
+// Invoke performs a nested synchronous call: probes see functionEnter and
+// functionExit, and a simulated exception is returned rather than
+// propagated. Callers that need JS throw-propagation semantics re-raise
+// the returned Thrown with panic.
+func (l *Loop) Invoke(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) (vm.Value, *vm.Thrown) {
+	l.depth++
+	active := l.probes.Active()
+	if active {
+		l.probes.FunctionEnter(fn, &vm.CallInfo{
+			Phase:    string(l.phase),
+			TopLevel: l.depth == 1,
+			Dispatch: dispatch,
+		})
+	}
+	var ret vm.Value
+	thrown := vm.CatchThrown(func() { ret = fn.Invoke(args) })
+	if active {
+		l.probes.FunctionExit(fn, ret, thrown)
+	}
+	l.depth--
+	return ret, thrown
+}
+
+// invokeTop dispatches one top-level callback in the given phase,
+// enforcing tick and time limits and recording uncaught exceptions.
+func (l *Loop) invokeTop(t task, phase Phase) {
+	if l.stopErr != nil {
+		return
+	}
+	if l.ticksRun >= l.opts.TickLimit {
+		l.stopErr = ErrTickLimit
+		return
+	}
+	l.ticksRun++
+	prev := l.phase
+	l.phase = phase
+	if l.opts.CallbackCost > 0 {
+		l.now += l.opts.CallbackCost
+	}
+	ret, thrown := l.Invoke(t.fn, t.args, t.dispatch)
+	l.phase = prev
+	if t.after != nil {
+		t.after(ret, thrown)
+		thrown = nil // consumed by the completion hook
+	}
+	if thrown != nil {
+		l.uncaught = append(l.uncaught, UncaughtError{Thrown: thrown, Phase: phase, Tick: l.ticksRun})
+		if l.opts.StopOnUncaught && l.stopErr == nil {
+			l.stopErr = UncaughtError{Thrown: thrown, Phase: phase, Tick: l.ticksRun}
+		}
+	}
+	if l.opts.TimeLimit > 0 && l.now > l.opts.TimeLimit && l.stopErr == nil {
+		l.stopErr = ErrTimeLimit
+	}
+}
+
+// drainMicro runs microtasks to exhaustion: all nextTick jobs first, then
+// promise jobs, re-checking the nextTick queue after every promise job
+// (Fig. 2(b): nextTick has priority, and the two queues can schedule each
+// other). Recursive micro-scheduling therefore starves the macro phases,
+// which is exactly the Fig. 1 bug.
+func (l *Loop) drainMicro() {
+	for l.stopErr == nil {
+		if t, ok := l.nextTickQ.pop(); ok {
+			l.invokeTop(t, PhaseNextTick)
+			continue
+		}
+		if t, ok := l.promiseQ.pop(); ok {
+			l.invokeTop(t, PhasePromise)
+			continue
+		}
+		return
+	}
+}
+
+// hasWork reports whether any queue can still produce a callback.
+func (l *Loop) hasWork() bool {
+	return l.nextTickQ.len() > 0 ||
+		l.promiseQ.len() > 0 ||
+		l.activeTimers > 0 ||
+		l.io.Len() > 0 ||
+		l.activeImmediate > 0 ||
+		l.closeQ.len() > 0
+}
+
+// peekActiveTimer returns the earliest non-cleared timer, discarding
+// cleared entries lazily.
+func (l *Loop) peekActiveTimer() *timer {
+	for {
+		t := l.timers.peek()
+		if t == nil {
+			return nil
+		}
+		if t.cleared {
+			l.timers.removeMin()
+			continue
+		}
+		return t
+	}
+}
+
+// advanceClock jumps virtual time to the next scheduled deadline when
+// nothing is runnable right now, modelling the loop blocking in poll.
+func (l *Loop) advanceClock() {
+	if l.activeImmediate > 0 || l.closeQ.len() > 0 {
+		return // runnable this iteration at the current time
+	}
+	var next time.Duration = -1
+	if t := l.peekActiveTimer(); t != nil {
+		next = t.due
+	}
+	if e := l.io.peek(); e != nil {
+		if next < 0 || e.readyAt < next {
+			next = e.readyAt
+		}
+	}
+	if next > l.now {
+		l.now = next
+	}
+}
+
+// Run executes main as the program's first tick ("t1: main"), then
+// processes the event loop until no work remains or a limit stops it.
+func (l *Loop) Run(main *vm.Function, args ...vm.Value) error {
+	if l.running {
+		return ErrReentrant
+	}
+	l.running = true
+	defer func() { l.running = false }()
+
+	l.invokeTop(task{fn: main, args: args, dispatch: &vm.Dispatch{API: "main"}}, PhaseMain)
+	l.drainMicro()
+	for l.stopErr == nil && l.hasWork() {
+		l.now += l.opts.IterationCost
+		l.advanceClock()
+		l.runTimerPhase()
+		l.runIOPhase()
+		l.runImmediatePhase()
+		l.runClosePhase()
+	}
+	if l.stopErr == ErrStopped {
+		return nil
+	}
+	return l.stopErr
+}
+
+// runTimerPhase executes every timer whose deadline has passed, in
+// (deadline, registration) order. Timers scheduled during the phase run
+// in a later iteration, even if already due.
+func (l *Loop) runTimerPhase() {
+	var due []*timer
+	for {
+		t := l.peekActiveTimer()
+		if t == nil || t.due > l.now {
+			break
+		}
+		due = append(due, l.timers.removeMin())
+	}
+	for _, t := range due {
+		if l.stopErr != nil {
+			// Not executed: put it back so hasWork stays truthful.
+			l.timers.add(t)
+			continue
+		}
+		if t.cleared { // cleared by an earlier callback in this phase
+			continue
+		}
+		l.invokeTop(t.task, PhaseTimer)
+		if t.interval > 0 && !t.cleared {
+			t.due += t.interval
+			if t.due <= l.now {
+				t.due = l.now + t.interval
+			}
+			l.timers.add(t)
+		} else {
+			l.activeTimers--
+			delete(l.timersByID, t.id)
+		}
+		l.drainMicro()
+	}
+}
+
+// runIOPhase delivers external events whose virtual arrival time has
+// passed (the poll phase).
+func (l *Loop) runIOPhase() {
+	var ready []*ioEvent
+	for {
+		e := l.io.peek()
+		if e == nil || e.readyAt > l.now {
+			break
+		}
+		ready = append(ready, l.io.removeMin())
+	}
+	for _, e := range ready {
+		if l.stopErr != nil {
+			l.io.add(e)
+			continue
+		}
+		l.invokeTop(e.task, PhaseIO)
+		l.drainMicro()
+	}
+}
+
+// runImmediatePhase executes the immediates queued before the phase
+// started; immediates scheduled by an immediate run next iteration
+// (Node's check-phase snapshot semantics).
+func (l *Loop) runImmediatePhase() {
+	n := len(l.immediates)
+	for l.immHead < n {
+		im := l.immediates[l.immHead]
+		l.immediates[l.immHead] = nil
+		l.immHead++
+		if im.cleared {
+			continue
+		}
+		l.activeImmediate--
+		delete(l.immediatesByID, im.id)
+		if l.stopErr != nil {
+			continue
+		}
+		l.invokeTop(im.task, PhaseImmediate)
+		l.drainMicro()
+	}
+	if l.immHead >= len(l.immediates) {
+		l.immediates = l.immediates[:0]
+		l.immHead = 0
+	}
+}
+
+// runClosePhase executes close handlers queued before the phase started.
+func (l *Loop) runClosePhase() {
+	n := l.closeQ.len()
+	for i := 0; i < n; i++ {
+		t, ok := l.closeQ.pop()
+		if !ok {
+			break
+		}
+		if l.stopErr != nil {
+			continue
+		}
+		l.invokeTop(t, PhaseClose)
+		l.drainMicro()
+	}
+}

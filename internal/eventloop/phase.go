@@ -1,0 +1,40 @@
+// Package eventloop implements a deterministic simulation of the Node.js
+// event loop: the phase machine of the paper's Fig. 2 (main → microtasks →
+// timers → I/O poll → immediates → close handlers), the two microtask
+// queues with nextTick priority over promise jobs, a virtual clock, and
+// probe points announcing every callback dispatch and async-API call to
+// attached instrumentation hooks.
+//
+// The loop is single-threaded: all user callbacks, all probe hooks, and
+// all API calls run on the goroutine that called Run. Determinism comes
+// from the virtual clock — time only advances via explicit Work calls and
+// idle jumps to the next scheduled event — so a given program always
+// produces the same Async Graph.
+package eventloop
+
+// Phase names the event-loop phase a callback executes in. These are the
+// tick types of the Async Graph ("t3:io", "t2:nextTick", ...).
+type Phase string
+
+// Event-loop phases, in dispatch order within one loop iteration. The two
+// microtask phases are drained between any other phases (after every
+// top-level callback), with nextTick taking priority over promise jobs.
+const (
+	PhaseMain      Phase = "main"
+	PhaseNextTick  Phase = "nextTick"
+	PhasePromise   Phase = "promise"
+	PhaseTimer     Phase = "timer"
+	PhaseIO        Phase = "io"
+	PhaseImmediate Phase = "immediate"
+	PhaseClose     Phase = "close"
+)
+
+// IsMicro reports whether the phase is one of the two microtask phases.
+func (p Phase) IsMicro() bool { return p == PhaseNextTick || p == PhasePromise }
+
+// AllPhases lists every phase in dispatch order, for tools that iterate
+// over phase kinds.
+var AllPhases = []Phase{
+	PhaseMain, PhaseNextTick, PhasePromise,
+	PhaseTimer, PhaseIO, PhaseImmediate, PhaseClose,
+}

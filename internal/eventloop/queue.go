@@ -1,0 +1,41 @@
+package eventloop
+
+import "asyncg/internal/vm"
+
+// task is one scheduled callback execution. after, when set, receives the
+// callback's result and owns any simulated exception (the loop does not
+// record it as uncaught); the promise layer uses it to settle derived
+// promises from reaction results.
+type task struct {
+	fn       *vm.Function
+	args     []vm.Value
+	dispatch *vm.Dispatch
+	after    func(ret vm.Value, thrown *vm.Thrown)
+}
+
+// fifo is an amortized O(1) queue of tasks. The head index avoids
+// reslicing on every pop; storage is compacted when the head outgrows
+// half the backing slice.
+type fifo struct {
+	items []task
+	head  int
+}
+
+func (q *fifo) push(t task) { q.items = append(q.items, t) }
+
+func (q *fifo) pop() (task, bool) {
+	if q.head >= len(q.items) {
+		return task{}, false
+	}
+	t := q.items[q.head]
+	q.items[q.head] = task{} // release references
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return t, true
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }

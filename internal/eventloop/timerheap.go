@@ -1,0 +1,64 @@
+package eventloop
+
+import (
+	"container/heap"
+	"time"
+)
+
+// timer is a pending setTimeout/setInterval registration.
+type timer struct {
+	task
+	id       uint64
+	due      time.Duration // virtual deadline
+	interval time.Duration // repeat period; 0 for one-shot
+	seq      uint64        // tie-breaker: registration order
+	index    int           // heap index, -1 when popped
+	cleared  bool
+}
+
+// timerHeap orders timers by (due, seq). It implements container/heap.
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// peek returns the earliest timer without removing it, or nil.
+func (h timerHeap) peek() *timer {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}
+
+func (h *timerHeap) add(t *timer) { heap.Push(h, t) }
+func (h *timerHeap) removeMin() *timer {
+	return heap.Pop(h).(*timer)
+}

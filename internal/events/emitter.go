@@ -1,0 +1,332 @@
+// Package events implements the Node.js EventEmitter API on the
+// simulated event loop. Emitters are one of the paper's two "managed
+// asynchrony" APIs (with promises): listeners are registered on named
+// events and invoked synchronously when the event is emitted, and every
+// registration, removal and emission is announced through probe events so
+// the Async Graph can model them (OB nodes for emitter creation, CR nodes
+// for listener registration, CT nodes for emissions).
+package events
+
+import (
+	"fmt"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// API names announced through probe events.
+const (
+	APINew                = "new EventEmitter"
+	APIOn                 = "emitter.on"
+	APIOnce               = "emitter.once"
+	APIPrepend            = "emitter.prependListener"
+	APIPrependOnce        = "emitter.prependOnceListener"
+	APIEmit               = "emitter.emit"
+	APIRemoveListener     = "emitter.removeListener"
+	APIRemoveAllListeners = "emitter.removeAllListeners"
+)
+
+// PhaseAny is the Registration.Phase for emitter listeners: they execute
+// synchronously under whatever tick the emit happens in, so the context
+// validator must not constrain the tick type.
+const PhaseAny = "any"
+
+// Meta events Node emits about listener management.
+const (
+	EventNewListener    = "newListener"
+	EventRemoveListener = "removeListener"
+	EventError          = "error"
+)
+
+// DefaultMaxListeners mirrors Node's default leak-warning threshold.
+const DefaultMaxListeners = 10
+
+// listener is one registered callback.
+type listener struct {
+	fn     *vm.Function
+	once   bool
+	regSeq uint64
+	api    string
+}
+
+// Emitter is a simulated Node.js EventEmitter.
+type Emitter struct {
+	loop         *eventloop.Loop
+	id           uint64
+	name         string
+	zone         string
+	listeners    map[string][]*listener
+	maxListeners int
+	warned       map[string]bool
+}
+
+// New creates an emitter bound to the loop. name is a diagnostic label
+// ("E1", "server", ...); at is the creation site recorded as the Async
+// Graph's Object Binding node.
+func New(l *eventloop.Loop, name string, at loc.Loc) *Emitter {
+	e := &Emitter{
+		loop:         l,
+		id:           l.NextObjID(),
+		name:         name,
+		listeners:    make(map[string][]*listener),
+		maxListeners: DefaultMaxListeners,
+		warned:       make(map[string]bool),
+	}
+	l.EmitAPIEvent(&vm.APIEvent{
+		API:      APINew,
+		Loc:      at,
+		Receiver: e.Ref(),
+		Args:     []vm.Value{name},
+	})
+	return e
+}
+
+// Ref returns the probe-protocol reference for this emitter.
+func (e *Emitter) Ref() vm.ObjRef { return vm.ObjRef{ID: e.id, Kind: vm.ObjEmitter} }
+
+// ID returns the emitter's runtime-object identity.
+func (e *Emitter) ID() uint64 { return e.id }
+
+// Name returns the diagnostic label.
+func (e *Emitter) Name() string { return e.name }
+
+func (e *Emitter) String() string { return fmt.Sprintf("EventEmitter(%s#%d)", e.name, e.id) }
+
+// SetMaxListeners adjusts the leak-warning threshold; 0 disables it.
+func (e *Emitter) SetMaxListeners(n int) { e.maxListeners = n }
+
+// SetZone tags the simulated process this emitter belongs to ("client"
+// for workload-driver objects); listener dispatches repeat the tag so
+// measurement hooks can scope themselves to the server side.
+func (e *Emitter) SetZone(zone string) { e.zone = zone }
+
+// Zone returns the emitter's process tag.
+func (e *Emitter) Zone() string { return e.zone }
+
+// On registers fn for event and returns the emitter for chaining.
+func (e *Emitter) On(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	return e.add(at, APIOn, event, fn, false, false)
+}
+
+// OnWithAPI registers fn for event under a caller-supplied API name in
+// probe events. Library wrappers (http.createServer and friends) use it
+// so the Async Graph attributes the registration to the user-facing API
+// rather than to a generic emitter.on — matching how AsyncG's templates
+// recognize Node's internal emitter uses.
+func (e *Emitter) OnWithAPI(at loc.Loc, api, event string, fn *vm.Function) *Emitter {
+	return e.add(at, api, event, fn, false, false)
+}
+
+// Once registers fn to fire at most once.
+func (e *Emitter) Once(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	return e.add(at, APIOnce, event, fn, true, false)
+}
+
+// PrependListener registers fn at the front of the listener list.
+func (e *Emitter) PrependListener(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	return e.add(at, APIPrepend, event, fn, false, true)
+}
+
+// PrependOnceListener registers a front-of-list once listener.
+func (e *Emitter) PrependOnceListener(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	return e.add(at, APIPrependOnce, event, fn, true, true)
+}
+
+func (e *Emitter) add(at loc.Loc, api, event string, fn *vm.Function, once, front bool) *Emitter {
+	// Node emits "newListener" before the listener is added, so the
+	// new listener does not observe its own registration.
+	if len(e.listeners[EventNewListener]) > 0 && event != EventNewListener {
+		e.Emit(loc.Internal, EventNewListener, event, fn)
+	}
+	seq := e.loop.NextRegSeq()
+	e.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      api,
+		Loc:      at,
+		Receiver: e.Ref(),
+		Event:    event,
+		Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: PhaseAny, Once: once, Role: "listener"}},
+	})
+	entry := &listener{fn: fn, once: once, regSeq: seq, api: api}
+	if front {
+		e.listeners[event] = append([]*listener{entry}, e.listeners[event]...)
+	} else {
+		e.listeners[event] = append(e.listeners[event], entry)
+	}
+	if e.maxListeners > 0 && len(e.listeners[event]) > e.maxListeners && !e.warned[event] {
+		e.warned[event] = true
+	}
+	return e
+}
+
+// MaxListenersExceeded reports whether the leak threshold was crossed for
+// the event.
+func (e *Emitter) MaxListenersExceeded(event string) bool { return e.warned[event] }
+
+// Emit synchronously invokes the listeners registered for event, in
+// order, passing args. It returns true if the event had listeners.
+//
+// Exceptions thrown by a listener propagate out of Emit (remaining
+// listeners are not called), and an "error" event with no listeners
+// throws its first argument — both as in Node.
+func (e *Emitter) Emit(at loc.Loc, event string, args ...vm.Value) bool {
+	trig := e.loop.NextTrigSeq()
+	snapshot := e.listeners[event]
+	e.loop.EmitAPIEvent(&vm.APIEvent{
+		API:        APIEmit,
+		Loc:        at,
+		Receiver:   e.Ref(),
+		Event:      event,
+		TriggerSeq: trig,
+		Args:       args,
+	})
+	if len(snapshot) == 0 {
+		if event == EventError {
+			val := vm.Arg(args, 0)
+			vm.ThrowAt(fmt.Sprintf("unhandled 'error' event: %s", vm.ToString(val)), at)
+		}
+		return false
+	}
+	// Work over a copy: Node snapshots the listener list at emit time,
+	// so listeners added during dispatch do not run for this emission.
+	copied := make([]*listener, len(snapshot))
+	copy(copied, snapshot)
+	for _, entry := range copied {
+		if entry.once {
+			if !e.removeEntry(event, entry) {
+				continue // already removed by an earlier listener
+			}
+			e.emitRemoveListenerMeta(event, entry.fn)
+		} else if !e.contains(event, entry) {
+			continue // removed during this emission
+		}
+		_, thrown := e.loop.Invoke(entry.fn, args, &vm.Dispatch{
+			API:        entry.api,
+			RegSeq:     entry.regSeq,
+			Obj:        e.Ref(),
+			Event:      event,
+			TriggerSeq: trig,
+			Zone:       e.zone,
+		})
+		if thrown != nil {
+			panic(thrown) // propagate synchronously out of Emit
+		}
+	}
+	return true
+}
+
+// RemoveListener removes the most recently added registration of fn for
+// event. Removing a function that is not registered is a silent no-op in
+// Node — and the "Invalid Listener Removal" bug the paper detects.
+func (e *Emitter) RemoveListener(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	var removed *listener
+	list := e.listeners[event]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].fn == fn {
+			removed = list[i]
+			e.listeners[event] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	ev := &vm.APIEvent{
+		API:      APIRemoveListener,
+		Loc:      at,
+		Receiver: e.Ref(),
+		Event:    event,
+		Args:     []vm.Value{fn},
+	}
+	if removed != nil {
+		// Regs identifies the registration that was removed, so tools
+		// can retire the pending CR; an empty Regs marks an invalid
+		// removal.
+		ev.Regs = []vm.Registration{{Seq: removed.regSeq, Callback: fn, Phase: PhaseAny, Once: removed.once, Role: "listener"}}
+	}
+	e.loop.EmitAPIEvent(ev)
+	if removed != nil {
+		e.emitRemoveListenerMeta(event, fn)
+	}
+	return e
+}
+
+// Off is Node's alias for RemoveListener.
+func (e *Emitter) Off(at loc.Loc, event string, fn *vm.Function) *Emitter {
+	return e.RemoveListener(at, event, fn)
+}
+
+// RemoveAllListeners removes every listener for event, or for all events
+// when event is "".
+func (e *Emitter) RemoveAllListeners(at loc.Loc, event string) *Emitter {
+	var regs []vm.Registration
+	collect := func(name string) {
+		for _, entry := range e.listeners[name] {
+			regs = append(regs, vm.Registration{Seq: entry.regSeq, Callback: entry.fn, Phase: PhaseAny, Once: entry.once, Role: "listener"})
+		}
+	}
+	if event == "" {
+		for name := range e.listeners {
+			collect(name)
+		}
+		e.listeners = make(map[string][]*listener)
+	} else {
+		collect(event)
+		delete(e.listeners, event)
+	}
+	e.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      APIRemoveAllListeners,
+		Loc:      at,
+		Receiver: e.Ref(),
+		Event:    event,
+		Regs:     regs,
+	})
+	return e
+}
+
+// ListenerCount returns the number of listeners registered for event.
+func (e *Emitter) ListenerCount(event string) int { return len(e.listeners[event]) }
+
+// Listeners returns the functions registered for event, in call order.
+func (e *Emitter) Listeners(event string) []*vm.Function {
+	list := e.listeners[event]
+	fns := make([]*vm.Function, len(list))
+	for i, entry := range list {
+		fns[i] = entry.fn
+	}
+	return fns
+}
+
+// EventNames returns the events that currently have listeners.
+func (e *Emitter) EventNames() []string {
+	names := make([]string, 0, len(e.listeners))
+	for name, list := range e.listeners {
+		if len(list) > 0 {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+func (e *Emitter) contains(event string, entry *listener) bool {
+	for _, l := range e.listeners[event] {
+		if l == entry {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Emitter) removeEntry(event string, entry *listener) bool {
+	list := e.listeners[event]
+	for i, l := range list {
+		if l == entry {
+			e.listeners[event] = append(list[:i:i], list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Emitter) emitRemoveListenerMeta(event string, fn *vm.Function) {
+	if len(e.listeners[EventRemoveListener]) > 0 && event != EventRemoveListener {
+		e.Emit(loc.Internal, EventRemoveListener, event, fn)
+	}
+}

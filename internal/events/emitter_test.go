@@ -1,0 +1,451 @@
+package events
+
+import (
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// run executes program on a fresh loop and fails the test on loop error.
+func run(t *testing.T, program func(l *eventloop.Loop)) *eventloop.Loop {
+	t.Helper()
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		program(l)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func logFn(trace *[]string, label string) *vm.Function {
+	return vm.NewFunc(label, func(args []vm.Value) vm.Value {
+		*trace = append(*trace, label)
+		return vm.Undefined
+	})
+}
+
+func TestEmitInvokesListenersInOrder(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", logFn(&trace, "a"))
+		e.On(loc.Here(), "x", logFn(&trace, "b"))
+		if !e.Emit(loc.Here(), "x") {
+			t.Error("Emit returned false with listeners present")
+		}
+	})
+	if len(trace) != 2 || trace[0] != "a" || trace[1] != "b" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestEmitWithNoListenersReturnsFalse(t *testing.T) {
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		if e.Emit(loc.Here(), "ghost") {
+			t.Error("Emit returned true with no listeners")
+		}
+	})
+}
+
+func TestOnceFiresExactlyOnce(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.Once(loc.Here(), "x", logFn(&trace, "once"))
+		e.Emit(loc.Here(), "x")
+		e.Emit(loc.Here(), "x")
+	})
+	if len(trace) != 1 {
+		t.Fatalf("once listener ran %d times", len(trace))
+	}
+}
+
+func TestPrependListenerRunsFirst(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", logFn(&trace, "second"))
+		e.PrependListener(loc.Here(), "x", logFn(&trace, "first"))
+		e.Emit(loc.Here(), "x")
+	})
+	if trace[0] != "first" || trace[1] != "second" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestEmitPassesArguments(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "data", vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args
+			return vm.Undefined
+		}))
+		e.Emit(loc.Here(), "data", "chunk", 42)
+	})
+	if len(got) != 2 || got[0] != "chunk" || got[1] != 42 {
+		t.Fatalf("args = %v", got)
+	}
+}
+
+func TestListenerAddedDuringEmitDoesNotRunForThatEmit(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", vm.NewFunc("adder", func([]vm.Value) vm.Value {
+			trace = append(trace, "adder")
+			e.On(loc.Here(), "x", logFn(&trace, "late"))
+			return vm.Undefined
+		}))
+		e.Emit(loc.Here(), "x")
+	})
+	if len(trace) != 1 || trace[0] != "adder" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestListenerRemovedDuringEmitDoesNotRun(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		victim := logFn(&trace, "victim")
+		e.On(loc.Here(), "x", vm.NewFunc("remover", func([]vm.Value) vm.Value {
+			trace = append(trace, "remover")
+			e.RemoveListener(loc.Here(), "x", victim)
+			return vm.Undefined
+		}))
+		e.On(loc.Here(), "x", victim)
+		e.Emit(loc.Here(), "x")
+	})
+	if len(trace) != 1 || trace[0] != "remover" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestRemoveListenerRemovesOnlyOneInstance(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		dup := logFn(&trace, "dup")
+		e.On(loc.Here(), "x", dup)
+		e.On(loc.Here(), "x", dup)
+		e.RemoveListener(loc.Here(), "x", dup)
+		e.Emit(loc.Here(), "x")
+	})
+	if len(trace) != 1 {
+		t.Fatalf("listener ran %d times, want 1", len(trace))
+	}
+}
+
+func TestRemoveAllListeners(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", logFn(&trace, "x1"))
+		e.On(loc.Here(), "x", logFn(&trace, "x2"))
+		e.On(loc.Here(), "y", logFn(&trace, "y1"))
+		e.RemoveAllListeners(loc.Here(), "x")
+		e.Emit(loc.Here(), "x")
+		e.Emit(loc.Here(), "y")
+		e.RemoveAllListeners(loc.Here(), "")
+		e.Emit(loc.Here(), "y")
+	})
+	if len(trace) != 1 || trace[0] != "y1" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestUnhandledErrorEventThrows(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		e := New(l, "e", loc.Here())
+		e.Emit(loc.Here(), "error", "disk on fire")
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Uncaught()) != 1 {
+		t.Fatalf("uncaught = %d, want 1", len(l.Uncaught()))
+	}
+}
+
+func TestHandledErrorEventDoesNotThrow(t *testing.T) {
+	var handled bool
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "error", vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			handled = true
+			return vm.Undefined
+		}))
+		e.Emit(loc.Here(), "error", "caught")
+	})
+	if !handled {
+		t.Fatal("error listener did not run")
+	}
+}
+
+func TestThrowInListenerStopsRemainingListeners(t *testing.T) {
+	var trace []string
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", vm.NewFunc("thrower", func([]vm.Value) vm.Value {
+			trace = append(trace, "thrower")
+			vm.Throw("listener bug")
+			return vm.Undefined
+		}))
+		e.On(loc.Here(), "x", logFn(&trace, "never"))
+		e.Emit(loc.Here(), "x")
+		trace = append(trace, "after-emit") // unreachable: throw propagates
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 || trace[0] != "thrower" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if len(l.Uncaught()) != 1 {
+		t.Fatalf("uncaught = %d, want 1", len(l.Uncaught()))
+	}
+}
+
+func TestNewListenerMetaEventFiresBeforeAdd(t *testing.T) {
+	var sawCount = -1
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), EventNewListener, vm.NewFunc("meta", func(args []vm.Value) vm.Value {
+			if vm.Arg(args, 0) == "x" {
+				sawCount = e.ListenerCount("x")
+			}
+			return vm.Undefined
+		}))
+		e.On(loc.Here(), "x", vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined }))
+	})
+	if sawCount != 0 {
+		t.Fatalf("newListener saw count %d, want 0 (fired before add)", sawCount)
+	}
+}
+
+func TestRemoveListenerMetaEvent(t *testing.T) {
+	var removedEvents []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), EventRemoveListener, vm.NewFunc("meta", func(args []vm.Value) vm.Value {
+			removedEvents = append(removedEvents, vm.Arg(args, 0).(string))
+			return vm.Undefined
+		}))
+		h := vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined })
+		e.On(loc.Here(), "x", h)
+		e.RemoveListener(loc.Here(), "x", h)
+		// Once-listener removal also fires the meta event.
+		e.Once(loc.Here(), "y", vm.NewFunc("o", func([]vm.Value) vm.Value { return vm.Undefined }))
+		e.Emit(loc.Here(), "y")
+	})
+	if len(removedEvents) != 2 || removedEvents[0] != "x" || removedEvents[1] != "y" {
+		t.Fatalf("removeListener meta events = %v", removedEvents)
+	}
+}
+
+func TestListenerIntrospection(t *testing.T) {
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		a := vm.NewFunc("a", func([]vm.Value) vm.Value { return vm.Undefined })
+		b := vm.NewFunc("b", func([]vm.Value) vm.Value { return vm.Undefined })
+		e.On(loc.Here(), "x", a)
+		e.On(loc.Here(), "x", b)
+		e.On(loc.Here(), "y", a)
+		if n := e.ListenerCount("x"); n != 2 {
+			t.Errorf("ListenerCount(x) = %d", n)
+		}
+		fns := e.Listeners("x")
+		if len(fns) != 2 || fns[0] != a || fns[1] != b {
+			t.Errorf("Listeners(x) = %v", fns)
+		}
+		names := e.EventNames()
+		if len(names) != 2 {
+			t.Errorf("EventNames() = %v", names)
+		}
+	})
+}
+
+func TestMaxListenersWarning(t *testing.T) {
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.SetMaxListeners(2)
+		for i := 0; i < 3; i++ {
+			e.On(loc.Here(), "x", vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined }))
+		}
+		if !e.MaxListenersExceeded("x") {
+			t.Error("expected max-listeners warning")
+		}
+		if e.MaxListenersExceeded("y") {
+			t.Error("unexpected warning for clean event")
+		}
+	})
+}
+
+func TestProbeEventsForEmitterAPIs(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	rec := &apiRecorder{}
+	l.Probes().Attach(rec)
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		e := New(l, "e", loc.Here())
+		h := vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined })
+		e.On(loc.Here(), "x", h)
+		e.Emit(loc.Here(), "x")
+		e.RemoveListener(loc.Here(), "x", h)
+		ghost := vm.NewFunc("ghost", func([]vm.Value) vm.Value { return vm.Undefined })
+		e.RemoveListener(loc.Here(), "x", ghost) // invalid removal: empty Regs
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{APINew, APIOn, APIEmit, APIRemoveListener, APIRemoveListener}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v", rec.names())
+	}
+	for i, name := range want {
+		if rec.events[i].API != name {
+			t.Fatalf("events = %v, want %v", rec.names(), want)
+		}
+	}
+	if len(rec.events[3].Regs) != 1 {
+		t.Error("valid removal should carry the removed registration")
+	}
+	if len(rec.events[4].Regs) != 0 {
+		t.Error("invalid removal must carry no registration")
+	}
+	if rec.events[2].TriggerSeq == 0 {
+		t.Error("emit should carry a trigger sequence")
+	}
+}
+
+func TestListenerDispatchCarriesEmitterContext(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var dispatch *vm.Dispatch
+	hook := &dispatchRecorder{want: "h", out: &dispatch}
+	l.Probes().Attach(hook)
+	var emitterID uint64
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		e := New(l, "e", loc.Here())
+		emitterID = e.ID()
+		e.On(loc.Here(), "x", vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined }))
+		e.Emit(loc.Here(), "x")
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if dispatch == nil {
+		t.Fatal("listener dispatch not observed")
+	}
+	if dispatch.Obj.ID != emitterID || dispatch.Obj.Kind != vm.ObjEmitter {
+		t.Errorf("dispatch.Obj = %+v", dispatch.Obj)
+	}
+	if dispatch.Event != "x" || dispatch.TriggerSeq == 0 {
+		t.Errorf("dispatch = %+v", dispatch)
+	}
+}
+
+type apiRecorder struct{ events []*vm.APIEvent }
+
+func (r *apiRecorder) FunctionEnter(*vm.Function, *vm.CallInfo)        {}
+func (r *apiRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (r *apiRecorder) APICall(ev *vm.APIEvent)                         { r.events = append(r.events, ev) }
+
+func (r *apiRecorder) names() []string {
+	out := make([]string, len(r.events))
+	for i, ev := range r.events {
+		out[i] = ev.API
+	}
+	return out
+}
+
+type dispatchRecorder struct {
+	want string
+	out  **vm.Dispatch
+}
+
+func (r *dispatchRecorder) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	if fn.Name == r.want {
+		*r.out = info.Dispatch
+	}
+}
+func (r *dispatchRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (r *dispatchRecorder) APICall(*vm.APIEvent)                            {}
+
+func TestPrependOnceListener(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		e.On(loc.Here(), "x", logFn(&trace, "steady"))
+		e.PrependOnceListener(loc.Here(), "x", logFn(&trace, "front-once"))
+		e.Emit(loc.Here(), "x")
+		e.Emit(loc.Here(), "x")
+	})
+	want := []string{"front-once", "steady", "steady"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestOffAliasRemoves(t *testing.T) {
+	var trace []string
+	run(t, func(l *eventloop.Loop) {
+		e := New(l, "e", loc.Here())
+		h := logFn(&trace, "h")
+		e.On(loc.Here(), "x", h)
+		e.Off(loc.Here(), "x", h)
+		e.Emit(loc.Here(), "x")
+	})
+	if len(trace) != 0 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestZonePropagatesToDispatches(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var zone string
+	hook := &zoneRecorder{out: &zone}
+	l.Probes().Attach(hook)
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		e := New(l, "e", loc.Here())
+		e.SetZone("client")
+		if e.Zone() != "client" {
+			t.Error("zone not stored")
+		}
+		e.On(loc.Here(), "x", vm.NewFunc("h", func([]vm.Value) vm.Value { return vm.Undefined }))
+		e.Emit(loc.Here(), "x")
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if zone != "client" {
+		t.Fatalf("dispatch zone = %q", zone)
+	}
+}
+
+type zoneRecorder struct{ out *string }
+
+func (z *zoneRecorder) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	if fn.Name == "h" && info.Dispatch != nil {
+		*z.out = info.Dispatch.Zone
+	}
+}
+func (z *zoneRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (z *zoneRecorder) APICall(*vm.APIEvent)                            {}

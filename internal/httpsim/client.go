@@ -1,0 +1,122 @@
+package httpsim
+
+import (
+	"asyncg/internal/events"
+	"asyncg/internal/loc"
+	"asyncg/internal/netio"
+	"asyncg/internal/vm"
+)
+
+// RequestOptions parameterizes an outgoing request.
+type RequestOptions struct {
+	Port    int
+	Method  string
+	Path    string
+	Headers map[string]string
+	Body    []byte
+}
+
+// ClientRequest is an in-flight outgoing request: an event emitter with
+// 'response' (an *IncomingMessage whose 'data'/'end' stream the body),
+// 'error', and 'close'.
+type ClientRequest struct {
+	*events.Emitter
+	sock *netio.Socket
+}
+
+// Request opens a connection, sends the request, and parses the
+// response. onResponse, if non-nil, is registered as a 'response'
+// listener (the http.request callback idiom).
+//
+// Each request uses its own connection with "Connection: close", so a
+// full exchange exercises the I/O poll phase (connect, data) and the
+// close-handlers phase, as the paper's event-loop walkthrough describes.
+func Request(n *netio.Network, at loc.Loc, opts RequestOptions, onResponse *vm.Function) *ClientRequest {
+	if opts.Method == "" {
+		opts.Method = "GET"
+	}
+	if opts.Headers == nil {
+		opts.Headers = make(map[string]string)
+	}
+	opts.Headers["connection"] = "close"
+	req := &ClientRequest{
+		Emitter: events.New(n.Loop(), "httpClientRequest", at),
+		sock:    n.Connect(at, opts.Port),
+	}
+	req.SetZone("client")
+	if onResponse != nil {
+		req.OnWithAPI(at, APIRequest, "response", onResponse)
+	}
+
+	parser := NewParser()
+	var current *IncomingMessage
+	parser.OnHead = func(h *Head) {
+		if h.Kind != ResponseMessage {
+			req.sock.Destroy(loc.Internal)
+			req.Emit(loc.Internal, "error", "malformed response")
+			return
+		}
+		current = newIncoming(n.Loop(), "httpResponse", h)
+		current.SetZone("client")
+		req.Emit(loc.Internal, "response", current)
+	}
+	parser.OnBody = func(chunk []byte) {
+		if current != nil {
+			current.Emit(loc.Internal, "data", chunk)
+		}
+	}
+	parser.OnComplete = func() {
+		if current != nil {
+			current.Emit(loc.Internal, "end")
+			current = nil
+		}
+	}
+
+	wire := EncodeRequest(opts.Method, opts.Path, opts.Headers, opts.Body)
+	req.sock.On(loc.Internal, netio.EventConnect, vm.NewFuncAt("(http.send)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			req.sock.Write(loc.Internal, wire)
+			return vm.Undefined
+		}))
+	req.sock.On(loc.Internal, netio.EventData, vm.NewFuncAt("(http.parseResp)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			if err := parser.Feed(args[0].([]byte)); err != nil {
+				req.Emit(loc.Internal, "error", err.Error())
+				req.sock.Destroy(loc.Internal)
+			}
+			return vm.Undefined
+		}))
+	req.sock.On(loc.Internal, netio.EventError, vm.NewFuncAt("(http.connError)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			req.Emit(loc.Internal, "error", vm.Arg(args, 0))
+			return vm.Undefined
+		}))
+	req.sock.On(loc.Internal, netio.EventClose, vm.NewFuncAt("(http.clientClose)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			req.Emit(loc.Internal, "close")
+			return vm.Undefined
+		}))
+	return req
+}
+
+// Get issues a GET request.
+func Get(n *netio.Network, at loc.Loc, port int, path string, onResponse *vm.Function) *ClientRequest {
+	return Request(n, at, RequestOptions{Port: port, Path: path}, onResponse)
+}
+
+// CollectBody registers internal 'data'/'end' listeners on msg and calls
+// done with the full body once it completes — the common
+// body-accumulation idiom from the paper's §II-A example, packaged.
+func CollectBody(msg *IncomingMessage, done func(body []byte)) {
+	var body []byte
+	msg.On(loc.Internal, "data", vm.NewFuncAt("(collect.data)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			body = append(body, args[0].([]byte)...)
+			return vm.Undefined
+		}))
+	msg.On(loc.Internal, "end", vm.NewFuncAt("(collect.end)", loc.Internal,
+		func(args []vm.Value) vm.Value {
+			done(body)
+			return vm.Undefined
+		}))
+}

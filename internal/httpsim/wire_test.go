@@ -1,0 +1,244 @@
+package httpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// collectParser gathers parser callbacks for assertions.
+type collectParser struct {
+	p        *Parser
+	heads    []*Head
+	bodies   [][]byte
+	complete int
+}
+
+func newCollectParser() *collectParser {
+	c := &collectParser{p: NewParser()}
+	c.p.OnHead = func(h *Head) { c.heads = append(c.heads, h) }
+	c.p.OnBody = func(b []byte) { c.bodies = append(c.bodies, append([]byte(nil), b...)) }
+	c.p.OnComplete = func() { c.complete++ }
+	return c
+}
+
+func (c *collectParser) body() string {
+	var all []byte
+	for _, b := range c.bodies {
+		all = append(all, b...)
+	}
+	return string(all)
+}
+
+func TestParseSimpleRequest(t *testing.T) {
+	c := newCollectParser()
+	wire := "POST /rest/api/login HTTP/1.1\r\nContent-Length: 9\r\nHost: x\r\n\r\nuser=fred"
+	if err := c.p.Feed([]byte(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.heads) != 1 || c.complete != 1 {
+		t.Fatalf("heads=%d complete=%d", len(c.heads), c.complete)
+	}
+	h := c.heads[0]
+	if h.Kind != RequestMessage || h.Method != "POST" || h.Path != "/rest/api/login" {
+		t.Fatalf("head = %+v", h)
+	}
+	if h.Headers["host"] != "x" {
+		t.Fatalf("headers = %v", h.Headers)
+	}
+	if c.body() != "user=fred" {
+		t.Fatalf("body = %q", c.body())
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	c := newCollectParser()
+	wire := "HTTP/1.1 404 Not Found\r\nContent-Length: 4\r\n\r\ngone"
+	if err := c.p.Feed([]byte(wire)); err != nil {
+		t.Fatal(err)
+	}
+	h := c.heads[0]
+	if h.Kind != ResponseMessage || h.Status != 404 || h.StatusText != "Not Found" {
+		t.Fatalf("head = %+v", h)
+	}
+	if c.body() != "gone" {
+		t.Fatalf("body = %q", c.body())
+	}
+}
+
+func TestParseRequestWithoutBody(t *testing.T) {
+	c := newCollectParser()
+	if err := c.p.Feed([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if c.complete != 1 || len(c.bodies) != 0 {
+		t.Fatalf("complete=%d bodies=%d", c.complete, len(c.bodies))
+	}
+}
+
+func TestParseByteAtATime(t *testing.T) {
+	c := newCollectParser()
+	wire := "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+	for i := 0; i < len(wire); i++ {
+		if err := c.p.Feed([]byte{wire[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.complete != 1 || c.body() != "hello" {
+		t.Fatalf("complete=%d body=%q", c.complete, c.body())
+	}
+}
+
+func TestParsePipelinedMessages(t *testing.T) {
+	c := newCollectParser()
+	wire := "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n" +
+		"POST /c HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+	if err := c.p.Feed([]byte(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.heads) != 3 || c.complete != 3 {
+		t.Fatalf("heads=%d complete=%d", len(c.heads), c.complete)
+	}
+	if c.heads[0].Path != "/a" || c.heads[1].Path != "/b" || c.heads[2].Path != "/c" {
+		t.Fatalf("paths = %v %v %v", c.heads[0].Path, c.heads[1].Path, c.heads[2].Path)
+	}
+}
+
+func TestParseMalformedStartLine(t *testing.T) {
+	c := newCollectParser()
+	if err := c.p.Feed([]byte("NONSENSE\r\n\r\n")); err == nil {
+		t.Fatal("malformed start line accepted")
+	}
+	if err := c.p.Feed([]byte("GET / HTTP/1.1\r\n\r\n")); err == nil {
+		t.Fatal("poisoned parser kept accepting input")
+	}
+}
+
+func TestParseMalformedHeader(t *testing.T) {
+	c := newCollectParser()
+	if err := c.p.Feed([]byte("GET / HTTP/1.1\r\nbroken header\r\n\r\n")); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+func TestHeadKeepAlive(t *testing.T) {
+	cases := []struct {
+		proto, conn string
+		want        bool
+	}{
+		{"HTTP/1.1", "", true},
+		{"HTTP/1.1", "close", false},
+		{"HTTP/1.1", "keep-alive", true},
+		{"HTTP/1.0", "", false},
+		{"HTTP/1.0", "keep-alive", true},
+	}
+	for _, tc := range cases {
+		h := &Head{Proto: tc.proto, Headers: map[string]string{}}
+		if tc.conn != "" {
+			h.Headers["connection"] = tc.conn
+		}
+		if got := h.KeepAlive(); got != tc.want {
+			t.Errorf("KeepAlive(%s, %q) = %v, want %v", tc.proto, tc.conn, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeRequestRoundTrip(t *testing.T) {
+	wire := EncodeRequest("POST", "/api", map[string]string{"x-token": "abc"}, []byte("payload"))
+	c := newCollectParser()
+	if err := c.p.Feed(wire); err != nil {
+		t.Fatal(err)
+	}
+	h := c.heads[0]
+	if h.Method != "POST" || h.Path != "/api" || h.Headers["x-token"] != "abc" {
+		t.Fatalf("head = %+v", h)
+	}
+	if c.body() != "payload" {
+		t.Fatalf("body = %q", c.body())
+	}
+}
+
+func TestEncodeResponseRoundTrip(t *testing.T) {
+	wire := EncodeResponse(201, map[string]string{"content-type": "application/json"}, []byte(`{"ok":1}`))
+	c := newCollectParser()
+	if err := c.p.Feed(wire); err != nil {
+		t.Fatal(err)
+	}
+	h := c.heads[0]
+	if h.Status != 201 || h.Headers["content-type"] != "application/json" {
+		t.Fatalf("head = %+v", h)
+	}
+	if c.body() != `{"ok":1}` {
+		t.Fatalf("body = %q", c.body())
+	}
+}
+
+// TestQuickRoundTripAnyBody: property — any body survives an
+// encode/parse round trip regardless of how the wire is fragmented.
+func TestQuickRoundTripAnyBody(t *testing.T) {
+	f := func(body []byte, cut uint8) bool {
+		wire := EncodeRequest("POST", "/p", nil, body)
+		c := newCollectParser()
+		// Split the wire at an arbitrary point.
+		split := int(cut) % (len(wire) + 1)
+		if err := c.p.Feed(wire[:split]); err != nil {
+			return false
+		}
+		if err := c.p.Feed(wire[split:]); err != nil {
+			return false
+		}
+		return c.complete == 1 && bytes.Equal([]byte(c.body()), body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeadersRoundTrip: property — header maps with printable
+// token keys survive the round trip.
+func TestQuickHeadersRoundTrip(t *testing.T) {
+	f := func(vals []string) bool {
+		headers := make(map[string]string)
+		for i, v := range vals {
+			if i >= 8 {
+				break
+			}
+			v = strings.Map(func(r rune) rune {
+				if r < 0x20 || r > 0x7e || r == ':' {
+					return 'x'
+				}
+				return r
+			}, v)
+			headers["x-h"+string(rune('a'+i))] = strings.TrimSpace(v)
+		}
+		wire := EncodeRequest("GET", "/", headers, nil)
+		c := newCollectParser()
+		if err := c.p.Feed(wire); err != nil {
+			return false
+		}
+		if len(c.heads) != 1 {
+			return false
+		}
+		for k, v := range headers {
+			if c.heads[0].Headers[strings.ToLower(k)] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusTextCoverage(t *testing.T) {
+	for _, code := range []int{200, 201, 204, 400, 401, 403, 404, 405, 500, 503} {
+		if StatusText(code) == "Unknown" {
+			t.Errorf("StatusText(%d) = Unknown", code)
+		}
+	}
+	if StatusText(599) != "Unknown" {
+		t.Error("unexpected text for 599")
+	}
+}

@@ -1,0 +1,67 @@
+package instrument
+
+import "asyncg/internal/vm"
+
+// Counter is a minimal hook that counts callback executions per API and
+// per category. It reproduces the measurement behind the paper's
+// Fig. 6(b): "average number of callback executions per client request
+// for the most used asynchronous APIs: process.nextTick, emitter, and
+// promise".
+type Counter struct {
+	// ByAPI counts dispatched callback executions per registering API.
+	ByAPI map[string]int64
+	// NextTick, Emitter, Promise are the Fig. 6(b) headline counters.
+	NextTick int64
+	Emitter  int64
+	Promise  int64
+	// APICalls counts async-API uses (registrations, triggers, ...).
+	APICalls int64
+	// Executions counts all dispatched callback executions.
+	Executions int64
+}
+
+// NewCounter creates an empty counter.
+func NewCounter() *Counter {
+	return &Counter{ByAPI: make(map[string]int64)}
+}
+
+// Reset zeroes all counters.
+func (c *Counter) Reset() {
+	c.ByAPI = make(map[string]int64)
+	c.NextTick, c.Emitter, c.Promise = 0, 0, 0
+	c.APICalls, c.Executions = 0, 0
+}
+
+// FunctionEnter implements vm.Hooks.
+func (c *Counter) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	d := info.Dispatch
+	if d == nil || d.API == "main" {
+		return
+	}
+	if d.Zone == "client" {
+		// The paper's measurement runs inside the server process; the
+		// simulated workload driver's callbacks are out of scope.
+		return
+	}
+	if d.API == "promise.passthrough" {
+		// Engine-internal plumbing jobs (handler-less reaction slots,
+		// adoption), not user promise reactions.
+		return
+	}
+	c.Executions++
+	c.ByAPI[d.API]++
+	switch {
+	case IsNextTick(d.API):
+		c.NextTick++
+	case Categorize(d.API) == CatEmitter:
+		c.Emitter++
+	case Categorize(d.API) == CatPromise:
+		c.Promise++
+	}
+}
+
+// FunctionExit implements vm.Hooks.
+func (c *Counter) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.Thrown) {}
+
+// APICall implements vm.Hooks.
+func (c *Counter) APICall(ev *vm.APIEvent) { c.APICalls++ }

@@ -1,0 +1,53 @@
+package instrument
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"asyncg/internal/vm"
+)
+
+// Tracer is a hook that writes a human-readable line per probe event —
+// useful when debugging programs (or the simulator) without building a
+// full Async Graph.
+type Tracer struct {
+	w     io.Writer
+	depth int
+}
+
+// NewTracer creates a tracer writing to w.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+func (t *Tracer) indent() string { return strings.Repeat("  ", t.depth) }
+
+// FunctionEnter implements vm.Hooks.
+func (t *Tracer) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	api := ""
+	if info.Dispatch != nil {
+		api = " via " + info.Dispatch.API
+	}
+	fmt.Fprintf(t.w, "%s> %s [%s]%s\n", t.indent(), fn, info.Phase, api)
+	t.depth++
+}
+
+// FunctionExit implements vm.Hooks.
+func (t *Tracer) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.Thrown) {
+	if t.depth > 0 {
+		t.depth--
+	}
+	if thrown != nil {
+		fmt.Fprintf(t.w, "%s< %s threw %s\n", t.indent(), fn.Name, vm.ToString(thrown.Value))
+		return
+	}
+	fmt.Fprintf(t.w, "%s< %s\n", t.indent(), fn.Name)
+}
+
+// APICall implements vm.Hooks.
+func (t *Tracer) APICall(ev *vm.APIEvent) {
+	detail := ""
+	if ev.Event != "" {
+		detail = fmt.Sprintf("(%s)", ev.Event)
+	}
+	fmt.Fprintf(t.w, "%s* %s%s at %s\n", t.indent(), ev.API, detail, ev.Loc)
+}

@@ -1,0 +1,54 @@
+// Package loc captures and formats source-code locations. Async Graph
+// nodes are labelled with the location of the originating API use, so the
+// graph reader can map every node back to code ("L7: createServer" in the
+// paper's figures).
+package loc
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+)
+
+// Loc identifies a source position. The zero Loc means "internal library"
+// and renders as "*", matching the paper's convention for nodes that
+// originate inside Node.js internals.
+type Loc struct {
+	File string
+	Line int
+}
+
+// Internal is the zero location used for runtime-internal callbacks.
+var Internal = Loc{}
+
+// Caller captures the location skip+1 frames above the caller of Caller
+// (skip=0 means the direct caller of the function invoking Caller).
+func Caller(skip int) Loc {
+	_, file, line, ok := runtime.Caller(skip + 2)
+	if !ok {
+		return Internal
+	}
+	return Loc{File: filepath.Base(file), Line: line}
+}
+
+// Here captures the immediate caller's location.
+func Here() Loc { return Caller(0) }
+
+// IsInternal reports whether the location refers to runtime internals.
+func (l Loc) IsInternal() bool { return l.File == "" }
+
+func (l Loc) String() string {
+	if l.IsInternal() {
+		return "*"
+	}
+	return fmt.Sprintf("%s:%d", l.File, l.Line)
+}
+
+// Short renders the paper's node-name prefix: "L<line>" for user code,
+// "*" for internals.
+func (l Loc) Short() string {
+	if l.IsInternal() {
+		return "*"
+	}
+	return fmt.Sprintf("L%d", l.Line)
+}

@@ -1,0 +1,407 @@
+package mongosim
+
+import (
+	"fmt"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/events"
+	"asyncg/internal/loc"
+	"asyncg/internal/promise"
+	"asyncg/internal/vm"
+)
+
+// Options configures the simulated database.
+type Options struct {
+	// Latency is the virtual I/O latency per operation.
+	Latency time.Duration
+	// DriverTicks is the number of internal process.nextTick hops the
+	// driver performs per operation before delivering the result,
+	// modelling the real mongodb driver's internal deferrals. These
+	// hops are what makes nextTick the most-executed async API per
+	// AcmeAir request in the paper's Fig. 6(b).
+	DriverTicks int
+}
+
+// Defaults applied when Options fields are zero.
+const (
+	DefaultLatency     = 800 * time.Microsecond
+	DefaultDriverTicks = 4
+)
+
+// DB is a simulated MongoDB instance bound to one event loop.
+type DB struct {
+	loop        *eventloop.Loop
+	opts        Options
+	collections map[string]*Collection
+	idSeq       int64
+}
+
+// New creates a database.
+func New(l *eventloop.Loop, opts Options) *DB {
+	if opts.Latency == 0 {
+		opts.Latency = DefaultLatency
+	}
+	if opts.DriverTicks == 0 {
+		opts.DriverTicks = DefaultDriverTicks
+	}
+	return &DB{
+		loop:        l,
+		opts:        opts,
+		collections: make(map[string]*Collection),
+	}
+}
+
+// C returns (creating on first use) the named collection.
+func (db *DB) C(name string) *Collection {
+	col, ok := db.collections[name]
+	if !ok {
+		col = &Collection{db: db, name: name}
+		db.collections[name] = col
+	}
+	return col
+}
+
+// Collection is one document collection.
+type Collection struct {
+	db   *DB
+	name string
+	docs []Document
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of stored documents (synchronous; test helper).
+func (c *Collection) Len() int { return len(c.docs) }
+
+// InsertSync stores a document synchronously — for data loaders that
+// populate the DB before the benchmark starts (the AcmeAir loader).
+func (c *Collection) InsertSync(doc Document) Document {
+	stored := doc.Clone()
+	if _, ok := stored["_id"]; !ok {
+		c.db.idSeq++
+		stored["_id"] = c.db.idSeq
+	}
+	c.docs = append(c.docs, stored)
+	return stored
+}
+
+// result carries an operation outcome to its callback.
+type result struct {
+	err      error
+	docs     []Document
+	doc      Document
+	n        int
+	distinct []any
+}
+
+// run schedules the operation op on the I/O phase after the DB latency,
+// hops through the driver's internal nextTicks, and finally delivers via
+// deliver. api names the user-facing operation in probe events.
+func (c *Collection) run(api string, op func() result, deliver func(result)) {
+	l := c.db.loop
+	ticks := c.db.opts.DriverTicks
+	ioFn := vm.NewFuncAt("(db.io)", loc.Internal, func([]vm.Value) vm.Value {
+		res := op()
+		// Internal driver deferrals: each hop is a real nextTick with
+		// an internal-library source location.
+		var hop func(k int)
+		hop = func(k int) {
+			if k == 0 {
+				deliver(res)
+				return
+			}
+			l.NextTick(loc.Internal, vm.NewFuncAt("(driver.hop)", loc.Internal,
+				func([]vm.Value) vm.Value {
+					hop(k - 1)
+					return vm.Undefined
+				}))
+		}
+		hop(ticks)
+		return vm.Undefined
+	})
+	l.ScheduleIOAt(l.Now()+c.db.opts.Latency, ioFn, nil, &vm.Dispatch{API: api})
+}
+
+// registerCallback announces the user callback registration under the
+// operation's API name and returns the registration sequence.
+func (c *Collection) registerCallback(at loc.Loc, api string, cb *vm.Function) uint64 {
+	seq := c.db.loop.NextRegSeq()
+	c.db.loop.EmitAPIEvent(&vm.APIEvent{
+		API:  api,
+		Loc:  at,
+		Regs: []vm.Registration{{Seq: seq, Callback: cb, Phase: string(eventloop.PhaseNextTick), Once: true, Role: "callback"}},
+	})
+	return seq
+}
+
+// dispatchCallback delivers (err, payload...) to cb on the nextTick
+// queue under the operation's API name.
+func (c *Collection) dispatchCallback(api string, seq uint64, cb *vm.Function, args ...vm.Value) {
+	c.db.loop.ScheduleTickJob(cb, args, &vm.Dispatch{API: api, RegSeq: seq})
+}
+
+// errValue renders an error for callback delivery (nil → Undefined).
+func errValue(err error) vm.Value {
+	if err == nil {
+		return vm.Undefined
+	}
+	return err.Error()
+}
+
+// Insert stores a document and calls cb(err, doc).
+func (c *Collection) Insert(at loc.Loc, doc Document, cb *vm.Function) {
+	api := "db." + c.name + ".insert"
+	var seq uint64
+	if cb != nil {
+		seq = c.registerCallback(at, api, cb)
+	}
+	c.run(api, func() result {
+		return result{doc: c.InsertSync(doc)}
+	}, func(res result) {
+		if cb != nil {
+			c.dispatchCallback(api, seq, cb, errValue(res.err), res.doc)
+		}
+	})
+}
+
+// Find queries documents and calls cb(err, []Document).
+func (c *Collection) Find(at loc.Loc, query string, cb *vm.Function) {
+	api := "db." + c.name + ".find"
+	seq := c.registerCallback(at, api, cb)
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		return result{err: err, docs: docs}
+	}, func(res result) {
+		c.dispatchCallback(api, seq, cb, errValue(res.err), res.docs)
+	})
+}
+
+// FindOne queries the first matching document and calls cb(err, doc);
+// doc is Undefined when nothing matches.
+func (c *Collection) FindOne(at loc.Loc, query string, cb *vm.Function) {
+	api := "db." + c.name + ".findOne"
+	seq := c.registerCallback(at, api, cb)
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		res := result{err: err}
+		if len(docs) > 0 {
+			res.doc = docs[0]
+		}
+		return res
+	}, func(res result) {
+		var doc vm.Value = vm.Undefined
+		if res.doc != nil {
+			doc = res.doc
+		}
+		c.dispatchCallback(api, seq, cb, errValue(res.err), doc)
+	})
+}
+
+// Update merges set into every matching document and calls cb(err, n).
+func (c *Collection) Update(at loc.Loc, query string, set Document, cb *vm.Function) {
+	api := "db." + c.name + ".update"
+	var seq uint64
+	if cb != nil {
+		seq = c.registerCallback(at, api, cb)
+	}
+	c.run(api, func() result {
+		n, err := c.updateSync(query, set)
+		return result{err: err, n: n}
+	}, func(res result) {
+		if cb != nil {
+			c.dispatchCallback(api, seq, cb, errValue(res.err), res.n)
+		}
+	})
+}
+
+// Remove deletes matching documents and calls cb(err, n).
+func (c *Collection) Remove(at loc.Loc, query string, cb *vm.Function) {
+	api := "db." + c.name + ".remove"
+	var seq uint64
+	if cb != nil {
+		seq = c.registerCallback(at, api, cb)
+	}
+	c.run(api, func() result {
+		n, err := c.removeSync(query)
+		return result{err: err, n: n}
+	}, func(res result) {
+		if cb != nil {
+			c.dispatchCallback(api, seq, cb, errValue(res.err), res.n)
+		}
+	})
+}
+
+// Count calls cb(err, n) with the number of matching documents.
+func (c *Collection) Count(at loc.Loc, query string, cb *vm.Function) {
+	api := "db." + c.name + ".count"
+	seq := c.registerCallback(at, api, cb)
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		return result{err: err, n: len(docs)}
+	}, func(res result) {
+		c.dispatchCallback(api, seq, cb, errValue(res.err), res.n)
+	})
+}
+
+// FindCursor queries documents and streams them through an emitter:
+// 'data' per document, 'end' after the last, 'error' on a bad query —
+// the driver's cursor interface, whose emitter traffic is part of the
+// per-request emitter executions of Fig. 6(b).
+func (c *Collection) FindCursor(at loc.Loc, query string) *events.Emitter {
+	cursor := events.New(c.db.loop, "cursor:"+c.name, at)
+	api := "db." + c.name + ".findCursor"
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		return result{err: err, docs: docs}
+	}, func(res result) {
+		if res.err != nil {
+			cursor.Emit(loc.Internal, "error", res.err.Error())
+			return
+		}
+		for _, doc := range res.docs {
+			cursor.Emit(loc.Internal, "data", doc)
+		}
+		cursor.Emit(loc.Internal, "end", len(res.docs))
+	})
+	return cursor
+}
+
+// --- Promise interface (the paper's modified AcmeAir uses this) ---
+
+// FindP returns a promise of []Document.
+func (c *Collection) FindP(at loc.Loc, query string) *promise.Promise {
+	p := promise.New(c.db.loop, at, nil)
+	c.run("db."+c.name+".findP", func() result {
+		docs, err := c.findSync(query)
+		return result{err: err, docs: docs}
+	}, func(res result) {
+		if res.err != nil {
+			p.Reject(loc.Internal, res.err.Error())
+			return
+		}
+		p.Resolve(loc.Internal, res.docs)
+	})
+	return p
+}
+
+// FindOneP returns a promise of a Document (Undefined when no match).
+func (c *Collection) FindOneP(at loc.Loc, query string) *promise.Promise {
+	p := promise.New(c.db.loop, at, nil)
+	c.run("db."+c.name+".findOneP", func() result {
+		docs, err := c.findSync(query)
+		res := result{err: err}
+		if len(docs) > 0 {
+			res.doc = docs[0]
+		}
+		return res
+	}, func(res result) {
+		switch {
+		case res.err != nil:
+			p.Reject(loc.Internal, res.err.Error())
+		case res.doc != nil:
+			p.Resolve(loc.Internal, res.doc)
+		default:
+			p.Resolve(loc.Internal, vm.Undefined)
+		}
+	})
+	return p
+}
+
+// InsertP returns a promise of the stored Document.
+func (c *Collection) InsertP(at loc.Loc, doc Document) *promise.Promise {
+	p := promise.New(c.db.loop, at, nil)
+	c.run("db."+c.name+".insertP", func() result {
+		return result{doc: c.InsertSync(doc)}
+	}, func(res result) {
+		p.Resolve(loc.Internal, res.doc)
+	})
+	return p
+}
+
+// UpdateP returns a promise of the number of updated documents.
+func (c *Collection) UpdateP(at loc.Loc, query string, set Document) *promise.Promise {
+	p := promise.New(c.db.loop, at, nil)
+	c.run("db."+c.name+".updateP", func() result {
+		n, err := c.updateSync(query, set)
+		return result{err: err, n: n}
+	}, func(res result) {
+		if res.err != nil {
+			p.Reject(loc.Internal, res.err.Error())
+			return
+		}
+		p.Resolve(loc.Internal, res.n)
+	})
+	return p
+}
+
+// RemoveP returns a promise of the number of removed documents.
+func (c *Collection) RemoveP(at loc.Loc, query string) *promise.Promise {
+	p := promise.New(c.db.loop, at, nil)
+	c.run("db."+c.name+".removeP", func() result {
+		n, err := c.removeSync(query)
+		return result{err: err, n: n}
+	}, func(res result) {
+		if res.err != nil {
+			p.Reject(loc.Internal, res.err.Error())
+			return
+		}
+		p.Resolve(loc.Internal, res.n)
+	})
+	return p
+}
+
+// --- Synchronous core ---
+
+func (c *Collection) findSync(query string) ([]Document, error) {
+	expr, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	var out []Document
+	for _, doc := range c.docs {
+		if expr.Match(doc) {
+			out = append(out, doc)
+		}
+	}
+	return out, nil
+}
+
+func (c *Collection) updateSync(query string, set Document) (int, error) {
+	expr, err := Compile(query)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, doc := range c.docs {
+		if expr.Match(doc) {
+			for k, v := range set {
+				if k == "_id" {
+					return n, fmt.Errorf("mongosim: cannot update _id")
+				}
+				doc[k] = v
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (c *Collection) removeSync(query string) (int, error) {
+	expr, err := Compile(query)
+	if err != nil {
+		return 0, err
+	}
+	kept := c.docs[:0]
+	removed := 0
+	for _, doc := range c.docs {
+		if expr.Match(doc) {
+			removed++
+			continue
+		}
+		kept = append(kept, doc)
+	}
+	c.docs = kept
+	return removed, nil
+}

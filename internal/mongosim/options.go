@@ -1,0 +1,132 @@
+package mongosim
+
+import (
+	"sort"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// FindOptions refine a query: sort key, direction, offset and limit —
+// the subset of the driver's cursor modifiers the benchmark uses.
+type FindOptions struct {
+	// SortBy is a (possibly dotted) field path; empty means insertion
+	// order.
+	SortBy string
+	// Descending flips the sort direction.
+	Descending bool
+	// Skip drops the first N results.
+	Skip int
+	// Limit caps the result count; 0 means unlimited.
+	Limit int
+}
+
+// apply orders and windows a result set.
+func (o FindOptions) apply(docs []Document) []Document {
+	if o.SortBy != "" {
+		sorted := append([]Document(nil), docs...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			less := docLess(sorted[i], sorted[j], o.SortBy)
+			if o.Descending {
+				return !less && !docEqual(sorted[i], sorted[j], o.SortBy)
+			}
+			return less
+		})
+		docs = sorted
+	}
+	if o.Skip > 0 {
+		if o.Skip >= len(docs) {
+			return nil
+		}
+		docs = docs[o.Skip:]
+	}
+	if o.Limit > 0 && o.Limit < len(docs) {
+		docs = docs[:o.Limit]
+	}
+	return docs
+}
+
+// docLess compares two documents on a field path. Numbers compare
+// numerically, strings lexicographically; missing fields sort first;
+// mismatched types compare by type name for stability.
+func docLess(a, b Document, path string) bool {
+	av, aok := a.Get(path)
+	bv, bok := b.Get(path)
+	if !aok || !bok {
+		return !aok && bok
+	}
+	an, aIsNum := toFloat(av)
+	bn, bIsNum := toFloat(bv)
+	if aIsNum && bIsNum {
+		return an < bn
+	}
+	as, aIsStr := av.(string)
+	bs, bIsStr := bv.(string)
+	if aIsStr && bIsStr {
+		return as < bs
+	}
+	return typeName(av) < typeName(bv)
+}
+
+func docEqual(a, b Document, path string) bool {
+	return !docLess(a, b, path) && !docLess(b, a, path)
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case int, int32, int64, float32, float64:
+		return "number"
+	default:
+		return "other"
+	}
+}
+
+// FindWith queries with options and calls cb(err, []Document).
+func (c *Collection) FindWith(at loc.Loc, query string, opts FindOptions, cb *vm.Function) {
+	api := "db." + c.name + ".find"
+	seq := c.registerCallback(at, api, cb)
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		if err == nil {
+			docs = opts.apply(docs)
+		}
+		return result{err: err, docs: docs}
+	}, func(res result) {
+		c.dispatchCallback(api, seq, cb, errValue(res.err), res.docs)
+	})
+}
+
+// Distinct collects the distinct values of a field among matching
+// documents and calls cb(err, []any) with values in first-seen order.
+func (c *Collection) Distinct(at loc.Loc, field, query string, cb *vm.Function) {
+	api := "db." + c.name + ".distinct"
+	seq := c.registerCallback(at, api, cb)
+	c.run(api, func() result {
+		docs, err := c.findSync(query)
+		if err != nil {
+			return result{err: err}
+		}
+		seen := make(map[any]bool)
+		var values []any
+		for _, doc := range docs {
+			v, ok := doc.Get(field)
+			if !ok {
+				continue
+			}
+			if _, hashable := v.(Document); hashable {
+				continue // nested documents are not comparable keys
+			}
+			if !seen[v] {
+				seen[v] = true
+				values = append(values, v)
+			}
+		}
+		return result{docs: nil, n: len(values), distinct: values}
+	}, func(res result) {
+		c.dispatchCallback(api, seq, cb, errValue(res.err), res.distinct)
+	})
+}

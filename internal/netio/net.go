@@ -1,0 +1,303 @@
+// Package netio simulates a non-blocking network on the event loop's
+// virtual clock — the substrate that plays the role of the OS/libuv I/O
+// layer in the paper's external-scheduling category. Listeners, sockets
+// and their 'connection' / 'data' / 'end' / 'close' events are delivered
+// through the loop's I/O poll phase with deterministic latencies, so a
+// program's Async Graph is reproducible run after run.
+//
+// Sockets and servers are event emitters: all user-visible callback
+// registration happens through the events package, which means the Async
+// Graph models network I/O with the same OB/CR/CT/CE machinery as any
+// other emitter (exactly how Node's net module looks to AsyncG).
+package netio
+
+import (
+	"fmt"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/events"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// Socket / server event names, matching Node's net module.
+const (
+	EventConnection = "connection"
+	EventConnect    = "connect"
+	EventData       = "data"
+	EventEnd        = "end"
+	EventClose      = "close"
+	EventError      = "error"
+	EventListening  = "listening"
+)
+
+// DefaultLatency is the one-way delivery latency applied when Options
+// leaves Latency zero.
+const DefaultLatency = 500 * time.Microsecond
+
+// Options configures a Network.
+type Options struct {
+	// Latency is the one-way virtual latency of every delivery.
+	Latency time.Duration
+}
+
+// Network owns the simulated wires: port bindings and in-flight
+// deliveries. One Network per loop.
+type Network struct {
+	loop      *eventloop.Loop
+	latency   time.Duration
+	listeners map[int]*Server
+	connSeq   int
+}
+
+// New creates a network bound to the loop.
+func New(l *eventloop.Loop, opts Options) *Network {
+	if opts.Latency == 0 {
+		opts.Latency = DefaultLatency
+	}
+	return &Network{
+		loop:      l,
+		latency:   opts.Latency,
+		listeners: make(map[int]*Server),
+	}
+}
+
+// Loop returns the event loop this network schedules on.
+func (n *Network) Loop() *eventloop.Loop { return n.loop }
+
+// Latency returns the configured one-way latency.
+func (n *Network) Latency() time.Duration { return n.latency }
+
+// deliver schedules fn on the I/O poll phase after the network latency.
+// Internal deliveries dispatch with the given API tag and no
+// registration: the Async Graph shows the externally-triggered work via
+// the emitter events fired inside, as with real Node internals.
+func (n *Network) deliver(api string, fn func()) {
+	wrapped := vm.NewFuncAt("("+api+")", loc.Internal, func([]vm.Value) vm.Value {
+		fn()
+		return vm.Undefined
+	})
+	n.loop.ScheduleIOAt(n.loop.Now()+n.latency, wrapped, nil, &vm.Dispatch{API: api})
+}
+
+// Server is a listening endpoint. It is an event emitter: 'connection'
+// fires with the server-side *Socket of each accepted connection,
+// 'listening' after Listen, and 'close' after Close.
+type Server struct {
+	*events.Emitter
+	net     *Network
+	port    int
+	open    bool
+	sockets []*Socket
+}
+
+// Listen binds a server to the port. Binding an occupied port returns an
+// error (EADDRINUSE).
+func (n *Network) Listen(at loc.Loc, port int) (*Server, error) {
+	if _, taken := n.listeners[port]; taken {
+		return nil, fmt.Errorf("netio: listen :%d: address already in use", port)
+	}
+	s := &Server{
+		Emitter: events.New(n.loop, fmt.Sprintf("server:%d", port), at),
+		net:     n,
+		port:    port,
+		open:    true,
+	}
+	n.listeners[port] = s
+	n.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      "server.listen",
+		Loc:      at,
+		Receiver: s.Ref(),
+		Args:     []vm.Value{port},
+	})
+	n.deliver("net.listening", func() {
+		s.Emit(loc.Internal, EventListening)
+	})
+	return s, nil
+}
+
+// Port returns the bound port.
+func (s *Server) Port() int { return s.port }
+
+// Listening reports whether the server still accepts connections.
+func (s *Server) Listening() bool { return s.open }
+
+// Close stops accepting connections and emits 'close' through the close
+// phase once pending work drains.
+func (s *Server) Close(at loc.Loc) {
+	if !s.open {
+		return
+	}
+	s.open = false
+	delete(s.net.listeners, s.port)
+	emitter := s.Emitter
+	closeFn := vm.NewFuncAt("(server.close)", loc.Internal, func([]vm.Value) vm.Value {
+		emitter.Emit(loc.Internal, EventClose)
+		return vm.Undefined
+	})
+	s.net.loop.ScheduleClose(closeFn, nil, &vm.Dispatch{API: "server.close"})
+}
+
+// Socket is one endpoint of a connection. It is an event emitter:
+// 'connect' (client side, once established), 'data' per delivered chunk,
+// 'end' when the peer half-closes, 'close' when fully closed, and
+// 'error' on failures.
+type Socket struct {
+	*events.Emitter
+	net    *Network
+	peer   *Socket
+	server bool
+	ended  bool // we sent end
+	closed bool
+}
+
+func (n *Network) newSocket(at loc.Loc, name string, server bool) *Socket {
+	s := &Socket{
+		Emitter: events.New(n.loop, name, at),
+		net:     n,
+		server:  server,
+	}
+	if !server {
+		// Initiating sockets belong to the simulated client process;
+		// measurement hooks scoped to the server skip their dispatches.
+		s.SetZone("client")
+	}
+	return s
+}
+
+// Connect opens a client connection to the port. The returned client
+// socket emits 'connect' once the (virtual) handshake completes; the
+// server emits 'connection' with the server-side socket. Connecting to a
+// closed port emits 'error' on the client socket.
+func (n *Network) Connect(at loc.Loc, port int) *Socket {
+	n.connSeq++
+	id := n.connSeq
+	client := n.newSocket(at, fmt.Sprintf("conn%d:client", id), false)
+	n.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      "net.connect",
+		Loc:      at,
+		Receiver: client.Ref(),
+		Args:     []vm.Value{port},
+	})
+	n.deliver("net.handshake", func() {
+		srv, ok := n.listeners[port]
+		if !ok || !srv.open {
+			client.closed = true
+			client.Emit(loc.Internal, EventError, fmt.Sprintf("connect ECONNREFUSED :%d", port))
+			return
+		}
+		remote := n.newSocket(loc.Internal, fmt.Sprintf("conn%d:server", id), true)
+		client.peer = remote
+		remote.peer = client
+		srv.sockets = append(srv.sockets, remote)
+		srv.Emit(loc.Internal, EventConnection, remote)
+		n.deliver("net.connected", func() {
+			if !client.closed {
+				client.Emit(loc.Internal, EventConnect)
+			}
+		})
+	})
+	return client
+}
+
+// Pipe creates a directly-connected socket pair without a listening
+// server — handy for protocol tests.
+func (n *Network) Pipe(at loc.Loc) (*Socket, *Socket) {
+	n.connSeq++
+	id := n.connSeq
+	a := n.newSocket(at, fmt.Sprintf("pipe%d:a", id), false)
+	z := n.newSocket(at, fmt.Sprintf("pipe%d:b", id), true)
+	a.peer, z.peer = z, a
+	return a, z
+}
+
+// Connected reports whether the socket has an established peer.
+func (s *Socket) Connected() bool { return s.peer != nil && !s.closed }
+
+// Write sends data to the peer, which receives it as a 'data' event
+// after the network latency. Writing on an ended or closed socket emits
+// 'error'.
+func (s *Socket) Write(at loc.Loc, data []byte) bool {
+	s.net.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      "socket.write",
+		Loc:      at,
+		Receiver: s.Ref(),
+		Args:     []vm.Value{len(data)},
+	})
+	if s.ended || s.closed || s.peer == nil {
+		s.Emit(loc.Internal, EventError, "write after end")
+		return false
+	}
+	peer := s.peer
+	buf := append([]byte(nil), data...)
+	s.net.deliver("net.data", func() {
+		if !peer.closed {
+			peer.Emit(loc.Internal, EventData, buf)
+		}
+	})
+	return true
+}
+
+// WriteString is Write for string payloads.
+func (s *Socket) WriteString(at loc.Loc, data string) bool {
+	return s.Write(at, []byte(data))
+}
+
+// End half-closes the socket after optionally sending final data: the
+// peer gets 'end' and then 'close'; this side gets 'close' too (the
+// simulation closes both directions, like an HTTP/1.0-style exchange).
+func (s *Socket) End(at loc.Loc, data []byte) {
+	if s.ended || s.closed {
+		return
+	}
+	if len(data) > 0 {
+		s.Write(at, data)
+	}
+	s.net.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      "socket.end",
+		Loc:      at,
+		Receiver: s.Ref(),
+	})
+	s.ended = true
+	peer := s.peer
+	s.net.deliver("net.end", func() {
+		if peer != nil && !peer.closed {
+			peer.Emit(loc.Internal, EventEnd)
+			peer.scheduleClose()
+		}
+		s.scheduleClose()
+	})
+}
+
+// Destroy closes both directions immediately (no 'end' events).
+func (s *Socket) Destroy(at loc.Loc) {
+	if s.closed {
+		return
+	}
+	s.net.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      "socket.destroy",
+		Loc:      at,
+		Receiver: s.Ref(),
+	})
+	peer := s.peer
+	s.scheduleClose()
+	if peer != nil {
+		s.net.deliver("net.reset", func() { peer.scheduleClose() })
+	}
+}
+
+// scheduleClose emits 'close' through the close-handlers phase, the
+// lowest-priority queue (§II-B).
+func (s *Socket) scheduleClose() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	emitter := s.Emitter
+	closeFn := vm.NewFuncAt("(socket.close)", loc.Internal, func([]vm.Value) vm.Value {
+		emitter.Emit(loc.Internal, EventClose)
+		return vm.Undefined
+	})
+	s.net.loop.ScheduleClose(closeFn, nil, &vm.Dispatch{API: "socket.close"})
+}

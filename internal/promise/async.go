@@ -1,0 +1,154 @@
+package promise
+
+import (
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// Awaiter is the handle an async function body uses to await promises.
+// It is only valid inside the body it was passed to.
+type Awaiter struct{ f *frame }
+
+// yieldMsg flows body → loop: either an await request or completion.
+type yieldMsg struct {
+	await   *Promise
+	at      loc.Loc
+	done    bool
+	ret     vm.Value
+	thrown  *vm.Thrown
+	crashed any // non-Thrown panic: re-raised on the loop goroutine
+}
+
+// resumeMsg flows loop → body after the awaited promise settles.
+type resumeMsg struct {
+	val    vm.Value
+	thrown *vm.Thrown
+}
+
+// frame is one live async-function activation. The body runs on its own
+// goroutine, but execution strictly alternates with the loop goroutine
+// via the two unbuffered channels — exactly one of them is ever running,
+// preserving Node's run-to-completion semantics.
+type frame struct {
+	loop   *eventloop.Loop
+	result *Promise
+	name   string
+	yield  chan yieldMsg
+	resume chan resumeMsg
+}
+
+// Go invokes an async function: body starts executing synchronously (as
+// JavaScript async functions do) until its first Await, and the returned
+// promise settles with the body's result. A Thrown escaping the body
+// rejects the promise.
+//
+// Inside body, use aw.Await to suspend on a promise; a rejected awaited
+// promise re-throws into the body (catchable with vm.CatchThrown,
+// modelling try/await/catch).
+func Go(l *eventloop.Loop, at loc.Loc, name string, body func(aw *Awaiter) vm.Value) *Promise {
+	result := newPromise(l, at, "async", nil)
+	f := &frame{
+		loop:   l,
+		result: result,
+		name:   name,
+		yield:  make(chan yieldMsg),
+		resume: make(chan resumeMsg),
+	}
+	seq := l.NextRegSeq()
+	start := vm.NewFuncAt(name, at, func(args []vm.Value) vm.Value {
+		go f.run(body)
+		f.pump()
+		return vm.Undefined
+	})
+	l.EmitAPIEvent(&vm.APIEvent{
+		API:      APIAsync,
+		Loc:      at,
+		Receiver: result.Ref(),
+		Regs:     []vm.Registration{{Seq: seq, Callback: start, Phase: "sync", Once: true, Role: "async"}},
+	})
+	_, thrown := l.Invoke(start, nil, &vm.Dispatch{API: APIAsync, RegSeq: seq, Obj: result.Ref()})
+	if thrown != nil {
+		// Cannot happen through the protocol (body throws are routed
+		// through yield), but keep the invariant visible.
+		result.settle(thrown.Loc, Rejected, thrown.Value, APIReject)
+	}
+	return result
+}
+
+// run executes the body on its own goroutine, reporting completion (or a
+// throw) through the yield channel.
+func (f *frame) run(body func(aw *Awaiter) vm.Value) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*vm.Thrown); ok {
+				f.yield <- yieldMsg{done: true, thrown: t}
+				return
+			}
+			f.yield <- yieldMsg{done: true, crashed: r}
+		}
+	}()
+	ret := body(&Awaiter{f: f})
+	if ret == nil {
+		ret = vm.Undefined
+	}
+	f.yield <- yieldMsg{done: true, ret: ret}
+}
+
+// pump runs on the loop goroutine: it waits for the body's next yield
+// and either settles the result promise or registers the await reaction
+// whose job resumes the body.
+func (f *frame) pump() {
+	msg := <-f.yield
+	if msg.done {
+		if msg.crashed != nil {
+			panic(msg.crashed) // genuine Go panic: crash loudly
+		}
+		if msg.thrown != nil {
+			f.result.settle(msg.thrown.Loc, Rejected, msg.thrown.Value, APIReject)
+			return
+		}
+		f.result.Resolve(loc.Internal, msg.ret)
+		return
+	}
+	awaited := msg.await
+	at := msg.at
+	seq := f.loop.NextRegSeq()
+	resumeFn := vm.NewFuncAt(f.name+":resume", at, func(args []vm.Value) vm.Value {
+		var rm resumeMsg
+		if awaited.state == Rejected {
+			rm.thrown = &vm.Thrown{Value: awaited.value, Loc: at}
+		} else {
+			rm.val = awaited.value
+		}
+		f.resume <- rm
+		f.pump() // body continues inside this callback execution
+		return vm.Undefined
+	})
+	f.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      APIAwait,
+		Loc:      at,
+		Receiver: awaited.Ref(),
+		Event:    "await",
+		Regs:     []vm.Registration{{Seq: seq, Callback: resumeFn, Phase: string(eventloop.PhasePromise), Once: true, Role: "await"}},
+	})
+	awaited.addReaction(at, &reaction{
+		onFulfilled: resumeFn,
+		onRejected:  resumeFn,
+		regFul:      seq,
+		regRej:      seq,
+		api:         APIAwait,
+	})
+}
+
+// Await suspends the async body until p settles, returning the
+// fulfillment value or re-throwing the rejection reason into the body.
+// It must be called from the body goroutine it belongs to.
+func (aw *Awaiter) Await(at loc.Loc, p *Promise) vm.Value {
+	aw.f.yield <- yieldMsg{await: p, at: at}
+	rm := <-aw.f.resume
+	if rm.thrown != nil {
+		panic(rm.thrown)
+	}
+	return rm.val
+}

@@ -1,0 +1,243 @@
+package promise
+
+import (
+	"testing"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+func TestAsyncBodyStartsSynchronously(t *testing.T) {
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			order = append(order, "body-start")
+			return vm.Undefined
+		})
+		order = append(order, "after-call")
+	})
+	if len(order) != 2 || order[0] != "body-start" || order[1] != "after-call" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAsyncResultSettlesWithReturnValue(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			return "result"
+		})
+		p.Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != "result" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAwaitSuspendsUntilPromiseSettles(t *testing.T) {
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		inner := New(l, loc.Here(), nil)
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			order = append(order, "before-await")
+			v := aw.Await(loc.Here(), inner)
+			order = append(order, "after-await:"+vm.ToString(v))
+			return vm.Undefined
+		})
+		order = append(order, "main-continues")
+		l.SetTimeout(loc.Here(), vm.NewFunc("r", func([]vm.Value) vm.Value {
+			order = append(order, "resolving")
+			inner.Resolve(loc.Here(), "x")
+			return vm.Undefined
+		}), time.Millisecond)
+	})
+	want := []string{"before-await", "main-continues", "resolving", "after-await:x"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAwaitOnResolvedPromiseYieldsToMicrotasks(t *testing.T) {
+	// Even an already-settled awaited promise resumes asynchronously.
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		done := Resolved(l, loc.Here(), 1)
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			aw.Await(loc.Here(), done)
+			order = append(order, "resumed")
+			return vm.Undefined
+		})
+		order = append(order, "sync")
+	})
+	if len(order) != 2 || order[0] != "sync" || order[1] != "resumed" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSequentialAwaits(t *testing.T) {
+	var sum int
+	run(t, func(l *eventloop.Loop) {
+		a := Resolved(l, loc.Here(), 1)
+		b := Resolved(l, loc.Here(), 2)
+		c := Resolved(l, loc.Here(), 3)
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			sum += aw.Await(loc.Here(), a).(int)
+			sum += aw.Await(loc.Here(), b).(int)
+			sum += aw.Await(loc.Here(), c).(int)
+			return vm.Undefined
+		})
+	})
+	if sum != 6 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestAwaitRejectionThrowsIntoBody(t *testing.T) {
+	var caught vm.Value
+	run(t, func(l *eventloop.Loop) {
+		bad := RejectedP(l, loc.Here(), "await-err")
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			thrown := vm.CatchThrown(func() {
+				aw.Await(loc.Here(), bad)
+			})
+			if thrown != nil {
+				caught = thrown.Value
+			}
+			return vm.Undefined
+		})
+	})
+	if caught != "await-err" {
+		t.Fatalf("caught = %v", caught)
+	}
+}
+
+func TestUncaughtAwaitRejectionRejectsResult(t *testing.T) {
+	var reason []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		bad := RejectedP(l, loc.Here(), "bubbles")
+		p := Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			aw.Await(loc.Here(), bad)
+			t.Error("body continued past rejected await")
+			return vm.Undefined
+		})
+		p.Catch(loc.Here(), handler("c", &reason))
+	})
+	if len(reason) != 1 || reason[0] != "bubbles" {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+func TestThrowInBodyRejectsResult(t *testing.T) {
+	var reason []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			vm.Throw("body-bug")
+			return vm.Undefined
+		})
+		p.Catch(loc.Here(), handler("c", &reason))
+	})
+	if len(reason) != 1 || reason[0] != "body-bug" {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+func TestAsyncReturningPromiseIsAdopted(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		inner := New(l, loc.Here(), nil)
+		p := Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			return inner
+		})
+		p.Then(loc.Here(), handler("h", &got), nil)
+		settleLater(l, inner, 1, false, "adopted")
+	})
+	if len(got) != 1 || got[0] != "adopted" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestNestedAsyncFunctions(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		fetch := func(v vm.Value, delay time.Duration) *Promise {
+			p := New(l, loc.Here(), nil)
+			l.SetTimeout(loc.Here(), vm.NewFunc("io", func([]vm.Value) vm.Value {
+				p.Resolve(loc.Here(), v)
+				return vm.Undefined
+			}), delay)
+			return p
+		}
+		outer := Go(l, loc.Here(), "outer", func(aw *Awaiter) vm.Value {
+			inner := Go(l, loc.Here(), "inner", func(aw2 *Awaiter) vm.Value {
+				a := aw2.Await(loc.Here(), fetch(10, time.Millisecond)).(int)
+				return a * 2
+			})
+			b := aw.Await(loc.Here(), inner).(int)
+			return b + 1
+		})
+		outer.Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != 21 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAwaitRegistrationEmitsAPIEvent(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	rec := &apiRecorder{}
+	l.Probes().Attach(rec)
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		p := Resolved(l, loc.Here(), 1)
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			aw.Await(loc.Here(), p)
+			return vm.Undefined
+		})
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	var sawAsync, sawAwait bool
+	for _, ev := range rec.events {
+		switch ev.API {
+		case APIAsync:
+			sawAsync = true
+		case APIAwait:
+			sawAwait = true
+			if len(ev.Regs) != 1 || ev.Regs[0].Callback == nil {
+				t.Errorf("await event missing registration: %+v", ev)
+			}
+		}
+	}
+	if !sawAsync || !sawAwait {
+		t.Fatalf("async=%v await=%v", sawAsync, sawAwait)
+	}
+}
+
+func TestAwaitInterleavesWithNextTick(t *testing.T) {
+	// await resumption is a promise job: a nextTick scheduled before the
+	// resumption runs first.
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		done := Resolved(l, loc.Here(), 1)
+		Go(l, loc.Here(), "af", func(aw *Awaiter) vm.Value {
+			aw.Await(loc.Here(), done)
+			order = append(order, "await-resume")
+			return vm.Undefined
+		})
+		l.NextTick(loc.Here(), vm.NewFunc("t", func([]vm.Value) vm.Value {
+			order = append(order, "nextTick")
+			return vm.Undefined
+		}))
+	})
+	if len(order) != 2 || order[0] != "nextTick" || order[1] != "await-resume" {
+		t.Fatalf("order = %v", order)
+	}
+}

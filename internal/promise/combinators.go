@@ -1,0 +1,136 @@
+package promise
+
+import (
+	"fmt"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// Settlement describes one input's outcome in AllSettled results.
+type Settlement struct {
+	Status State
+	Value  vm.Value // fulfillment value or rejection reason
+}
+
+// AggregateError is the rejection reason produced by Any when every
+// input rejects.
+type AggregateError struct {
+	Reasons []vm.Value
+}
+
+func (e *AggregateError) Error() string {
+	return fmt.Sprintf("AggregateError: all %d promises were rejected", len(e.Reasons))
+}
+
+func refs(ps []*Promise) []vm.ObjRef {
+	out := make([]vm.ObjRef, len(ps))
+	for i, p := range ps {
+		out[i] = p.Ref()
+	}
+	return out
+}
+
+// observe attaches an internal reaction to p that calls done with the
+// outcome once p settles. Combinators count as handling rejections.
+func observe(p *Promise, done func(state State, v vm.Value)) {
+	p.addReaction(loc.Internal, &reaction{
+		api: APIPassthrough,
+		after: func(ret vm.Value, thrown *vm.Thrown) {
+			done(p.state, p.value)
+		},
+	})
+}
+
+// All resolves with the slice of fulfillment values once every input
+// fulfills, or rejects with the first rejection reason.
+func All(l *eventloop.Loop, at loc.Loc, ps ...*Promise) *Promise {
+	result := newPromise(l, at, "all", refs(ps))
+	if len(ps) == 0 {
+		result.Resolve(at, []vm.Value{})
+		return result
+	}
+	values := make([]vm.Value, len(ps))
+	remaining := len(ps)
+	for i, p := range ps {
+		i := i
+		observe(p, func(state State, v vm.Value) {
+			if state == Rejected {
+				result.settle(loc.Internal, Rejected, v, APIReject)
+				return
+			}
+			values[i] = v
+			remaining--
+			if remaining == 0 {
+				result.settle(loc.Internal, Fulfilled, values, APIResolve)
+			}
+		})
+	}
+	return result
+}
+
+// Race settles with the outcome of the first input to settle.
+func Race(l *eventloop.Loop, at loc.Loc, ps ...*Promise) *Promise {
+	result := newPromise(l, at, "race", refs(ps))
+	for _, p := range ps {
+		observe(p, func(state State, v vm.Value) {
+			if state == Rejected {
+				result.settle(loc.Internal, Rejected, v, APIReject)
+			} else {
+				result.settle(loc.Internal, Fulfilled, v, APIResolve)
+			}
+		})
+	}
+	return result
+}
+
+// AllSettled resolves with a []Settlement once every input settles; it
+// never rejects.
+func AllSettled(l *eventloop.Loop, at loc.Loc, ps ...*Promise) *Promise {
+	result := newPromise(l, at, "allSettled", refs(ps))
+	if len(ps) == 0 {
+		result.Resolve(at, []Settlement{})
+		return result
+	}
+	outcomes := make([]Settlement, len(ps))
+	remaining := len(ps)
+	for i, p := range ps {
+		i := i
+		observe(p, func(state State, v vm.Value) {
+			outcomes[i] = Settlement{Status: state, Value: v}
+			remaining--
+			if remaining == 0 {
+				result.settle(loc.Internal, Fulfilled, outcomes, APIResolve)
+			}
+		})
+	}
+	return result
+}
+
+// Any resolves with the first fulfillment value, or rejects with an
+// AggregateError when every input rejects.
+func Any(l *eventloop.Loop, at loc.Loc, ps ...*Promise) *Promise {
+	result := newPromise(l, at, "any", refs(ps))
+	if len(ps) == 0 {
+		result.Reject(at, &AggregateError{})
+		return result
+	}
+	reasons := make([]vm.Value, len(ps))
+	remaining := len(ps)
+	for i, p := range ps {
+		i := i
+		observe(p, func(state State, v vm.Value) {
+			if state == Fulfilled {
+				result.settle(loc.Internal, Fulfilled, v, APIResolve)
+				return
+			}
+			reasons[i] = v
+			remaining--
+			if remaining == 0 {
+				result.settle(loc.Internal, Rejected, &AggregateError{Reasons: reasons}, APIReject)
+			}
+		})
+	}
+	return result
+}

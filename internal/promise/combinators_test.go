@@ -1,0 +1,200 @@
+package promise
+
+import (
+	"testing"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// settleLater resolves or rejects p from a timer after delayMs of
+// virtual time.
+func settleLater(l *eventloop.Loop, p *Promise, delayMs int, reject bool, v vm.Value) {
+	l.SetTimeout(loc.Here(), vm.NewFunc("settler", func([]vm.Value) vm.Value {
+		if reject {
+			p.Reject(loc.Here(), v)
+		} else {
+			p.Resolve(loc.Here(), v)
+		}
+		return vm.Undefined
+	}), time.Duration(delayMs)*time.Millisecond)
+}
+
+func TestAllResolvesWithAllValues(t *testing.T) {
+	var got vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := New(l, loc.Here(), nil)
+		b := New(l, loc.Here(), nil)
+		c := Resolved(l, loc.Here(), "c")
+		All(l, loc.Here(), a, b, c).Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args[0]
+			return vm.Undefined
+		}), nil)
+		settleLater(l, a, 2, false, "a")
+		settleLater(l, b, 1, false, "b")
+	})
+	values, ok := got.([]vm.Value)
+	if !ok || len(values) != 3 {
+		t.Fatalf("got = %#v", got)
+	}
+	if values[0] != "a" || values[1] != "b" || values[2] != "c" {
+		t.Fatalf("values = %v (order must follow inputs, not settle order)", values)
+	}
+}
+
+func TestAllRejectsOnFirstRejection(t *testing.T) {
+	var reason vm.Value
+	var fulfilled bool
+	run(t, func(l *eventloop.Loop) {
+		a := New(l, loc.Here(), nil)
+		b := New(l, loc.Here(), nil)
+		All(l, loc.Here(), a, b).Then(loc.Here(),
+			vm.NewFunc("f", func([]vm.Value) vm.Value { fulfilled = true; return vm.Undefined }),
+			vm.NewFunc("r", func(args []vm.Value) vm.Value { reason = args[0]; return vm.Undefined }))
+		settleLater(l, a, 1, true, "first-error")
+		settleLater(l, b, 2, false, "late-ok")
+	})
+	if fulfilled {
+		t.Fatal("All fulfilled despite a rejection")
+	}
+	if reason != "first-error" {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+func TestAllOfNothingResolvesEmpty(t *testing.T) {
+	var got vm.Value
+	run(t, func(l *eventloop.Loop) {
+		All(l, loc.Here()).Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args[0]
+			return vm.Undefined
+		}), nil)
+	})
+	values, ok := got.([]vm.Value)
+	if !ok || len(values) != 0 {
+		t.Fatalf("got = %#v", got)
+	}
+}
+
+func TestRaceSettlesWithFirst(t *testing.T) {
+	var got vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := New(l, loc.Here(), nil)
+		b := New(l, loc.Here(), nil)
+		Race(l, loc.Here(), a, b).Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args[0]
+			return vm.Undefined
+		}), nil)
+		settleLater(l, a, 5, false, "slow")
+		settleLater(l, b, 1, false, "fast")
+	})
+	if got != "fast" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestRaceRejectsWithFirstRejection(t *testing.T) {
+	var reason vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := New(l, loc.Here(), nil)
+		b := New(l, loc.Here(), nil)
+		Race(l, loc.Here(), a, b).Catch(loc.Here(), vm.NewFunc("c", func(args []vm.Value) vm.Value {
+			reason = args[0]
+			return vm.Undefined
+		}))
+		settleLater(l, a, 1, true, "fast-error")
+		settleLater(l, b, 5, false, "slow-ok")
+	})
+	if reason != "fast-error" {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+func TestAllSettledNeverRejects(t *testing.T) {
+	var got vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := Resolved(l, loc.Here(), "ok")
+		b := RejectedP(l, loc.Here(), "bad")
+		AllSettled(l, loc.Here(), a, b).Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args[0]
+			return vm.Undefined
+		}), nil)
+	})
+	outcomes, ok := got.([]Settlement)
+	if !ok || len(outcomes) != 2 {
+		t.Fatalf("got = %#v", got)
+	}
+	if outcomes[0].Status != Fulfilled || outcomes[0].Value != "ok" {
+		t.Fatalf("outcomes[0] = %+v", outcomes[0])
+	}
+	if outcomes[1].Status != Rejected || outcomes[1].Value != "bad" {
+		t.Fatalf("outcomes[1] = %+v", outcomes[1])
+	}
+}
+
+func TestAnyResolvesWithFirstFulfillment(t *testing.T) {
+	var got vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := New(l, loc.Here(), nil)
+		b := New(l, loc.Here(), nil)
+		Any(l, loc.Here(), a, b).Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			got = args[0]
+			return vm.Undefined
+		}), nil)
+		settleLater(l, a, 1, true, "err")
+		settleLater(l, b, 2, false, "winner")
+	})
+	if got != "winner" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAnyRejectsWithAggregateError(t *testing.T) {
+	var reason vm.Value
+	run(t, func(l *eventloop.Loop) {
+		a := RejectedP(l, loc.Here(), "e1")
+		b := RejectedP(l, loc.Here(), "e2")
+		Any(l, loc.Here(), a, b).Catch(loc.Here(), vm.NewFunc("c", func(args []vm.Value) vm.Value {
+			reason = args[0]
+			return vm.Undefined
+		}))
+	})
+	agg, ok := reason.(*AggregateError)
+	if !ok || len(agg.Reasons) != 2 {
+		t.Fatalf("reason = %#v", reason)
+	}
+	if agg.Reasons[0] != "e1" || agg.Reasons[1] != "e2" {
+		t.Fatalf("reasons = %v", agg.Reasons)
+	}
+}
+
+func TestCombinatorCreateEventCarriesInputRelations(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	rec := &apiRecorder{}
+	l.Probes().Attach(rec)
+	var inputIDs []uint64
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		a := Resolved(l, loc.Here(), 1)
+		b := Resolved(l, loc.Here(), 2)
+		inputIDs = []uint64{a.ID(), b.ID()}
+		All(l, loc.Here(), a, b)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	var found *vm.APIEvent
+	for _, ev := range rec.events {
+		if ev.API == APICreate && ev.Event == "all" {
+			found = ev
+		}
+	}
+	if found == nil {
+		t.Fatal("no Promise.all create event")
+	}
+	if len(found.Related) != 2 || found.Related[0].ID != inputIDs[0] || found.Related[1].ID != inputIDs[1] {
+		t.Fatalf("Related = %+v, want inputs %v", found.Related, inputIDs)
+	}
+}

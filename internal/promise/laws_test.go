@@ -1,0 +1,261 @@
+package promise
+
+// Property-based tests of promise laws: behavioural equivalences that
+// must hold whatever the settlement order. Programs are generated from
+// quick-provided seeds; settlement happens through randomized timer
+// delays so microtask/macrotask interleavings vary across cases.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// outcome records how a promise settled.
+type outcome struct {
+	state State
+	value vm.Value
+}
+
+// watch records p's outcome into out.
+func watch(l *eventloop.Loop, p *Promise, out *outcome) {
+	p.Then(loc.Here(), vm.NewFunc("obsF", func(args []vm.Value) vm.Value {
+		*out = outcome{state: Fulfilled, value: args[0]}
+		return vm.Undefined
+	}), vm.NewFunc("obsR", func(args []vm.Value) vm.Value {
+		*out = outcome{state: Rejected, value: args[0]}
+		return vm.Undefined
+	}))
+}
+
+// randomSource creates a promise settled by a timer after a random
+// small delay, fulfilled or rejected per the seed.
+func randomSource(l *eventloop.Loop, rng *rand.Rand, v vm.Value) *Promise {
+	p := New(l, loc.Here(), nil)
+	reject := rng.Intn(3) == 0
+	delay := time.Duration(rng.Intn(5)+1) * time.Millisecond
+	l.SetTimeout(loc.Here(), vm.NewFunc("settle", func([]vm.Value) vm.Value {
+		if reject {
+			p.Reject(loc.Here(), v)
+		} else {
+			p.Resolve(loc.Here(), v)
+		}
+		return vm.Undefined
+	}), delay)
+	return p
+}
+
+// runLaw executes program on a fresh loop and returns loop error.
+func runLaw(program func(l *eventloop.Loop)) error {
+	l := eventloop.New(eventloop.Options{TickLimit: 100_000})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		program(l)
+		return vm.Undefined
+	})
+	return l.Run(main)
+}
+
+// TestQuickThenIdentity: p.then(x => x) settles exactly like p.
+func TestQuickThenIdentity(t *testing.T) {
+	f := func(seed int64, v int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var direct, chained outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			p := randomSource(l, rng, v)
+			identity := vm.NewFunc("id", func(args []vm.Value) vm.Value { return args[0] })
+			watch(l, p, &direct)
+			watch(l, p.Then(loc.Here(), identity, nil), &chained)
+		})
+		return err == nil && direct == chained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCatchOfFulfilledIsIdentity: catch does not disturb the
+// fulfillment path.
+func TestQuickCatchOfFulfilledIsIdentity(t *testing.T) {
+	f := func(seed int64, v int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var direct, caught outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			p := randomSource(l, rng, v)
+			watch(l, p, &direct)
+			handler := vm.NewFunc("h", func(args []vm.Value) vm.Value { return "handled" })
+			watch(l, p.Catch(loc.Here(), handler), &caught)
+		})
+		if err != nil {
+			return false
+		}
+		if direct.state == Fulfilled {
+			return caught == direct
+		}
+		// Rejections are converted to fulfillment with the handler's
+		// return value.
+		return caught.state == Fulfilled && caught.value == "handled"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickThenComposition: p.then(f).then(g) equals p.then(x => g(f(x)))
+// on the fulfillment path.
+func TestQuickThenComposition(t *testing.T) {
+	fFn := func(x int) int { return x + 7 }
+	gFn := func(x int) int { return x * 3 }
+	f := func(seed int64, v int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var split, fused outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			p := randomSource(l, rng, v)
+			fv := vm.NewFunc("f", func(args []vm.Value) vm.Value { return fFn(args[0].(int)) })
+			gv := vm.NewFunc("g", func(args []vm.Value) vm.Value { return gFn(args[0].(int)) })
+			gofv := vm.NewFunc("gof", func(args []vm.Value) vm.Value { return gFn(fFn(args[0].(int))) })
+			watch(l, p.Then(loc.Here(), fv, nil).Then(loc.Here(), gv, nil), &split)
+			watch(l, p.Then(loc.Here(), gofv, nil), &fused)
+		})
+		return err == nil && split == fused
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRejectionPropagatesThroughHandlerlessLinks: a rejection
+// reaches the first rejection handler unchanged, regardless of how many
+// fulfillment-only links sit in between.
+func TestQuickRejectionPropagatesThroughHandlerlessLinks(t *testing.T) {
+	f := func(seed int64, hops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(hops%5) + 1
+		var got outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			p := New(l, loc.Here(), nil)
+			delay := time.Duration(rng.Intn(4)+1) * time.Millisecond
+			l.SetTimeout(loc.Here(), vm.NewFunc("rej", func([]vm.Value) vm.Value {
+				p.Reject(loc.Here(), "deep-error")
+				return vm.Undefined
+			}), delay)
+			chain := p
+			for i := 0; i < n; i++ {
+				chain = chain.Then(loc.Here(), vm.NewFunc("skip", func(args []vm.Value) vm.Value {
+					return args[0]
+				}), nil)
+			}
+			watch(l, chain, &got)
+		})
+		return err == nil && got.state == Rejected && got.value == "deep-error"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllAgreesWithIndividualOutcomes: Promise.all fulfills iff
+// every input fulfills, and rejects with the reason of the first input
+// to reject (in settlement order).
+func TestQuickAllAgreesWithIndividualOutcomes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		outs := make([]outcome, n)
+		var all outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			ps := make([]*Promise, n)
+			for i := 0; i < n; i++ {
+				ps[i] = randomSource(l, rng, i)
+				watch(l, ps[i], &outs[i])
+			}
+			watch(l, All(l, loc.Here(), ps...), &all)
+		})
+		if err != nil {
+			return false
+		}
+		anyRejected := false
+		for _, o := range outs {
+			if o.state == Rejected {
+				anyRejected = true
+			}
+		}
+		if anyRejected {
+			return all.state == Rejected
+		}
+		if all.state != Fulfilled {
+			return false
+		}
+		values := all.value.([]vm.Value)
+		for i, o := range outs {
+			if values[i] != o.value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRaceSettlesLikeSomeInput: race's outcome matches one of its
+// inputs' outcomes.
+func TestQuickRaceSettlesLikeSomeInput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		outs := make([]outcome, n)
+		var raced outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			ps := make([]*Promise, n)
+			for i := 0; i < n; i++ {
+				ps[i] = randomSource(l, rng, i*10)
+				watch(l, ps[i], &outs[i])
+			}
+			watch(l, Race(l, loc.Here(), ps...), &raced)
+		})
+		if err != nil {
+			return false
+		}
+		for _, o := range outs {
+			if o == raced {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAwaitEquivalentToThen: awaiting a promise inside an async
+// function observes the same outcome a then/catch observer does.
+func TestQuickAwaitEquivalentToThen(t *testing.T) {
+	f := func(seed int64, v int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var viaThen, viaAwait outcome
+		err := runLaw(func(l *eventloop.Loop) {
+			p := randomSource(l, rng, v)
+			watch(l, p, &viaThen)
+			Go(l, loc.Here(), "awaiter", func(aw *Awaiter) vm.Value {
+				thrown := vm.CatchThrown(func() {
+					viaAwait = outcome{state: Fulfilled, value: aw.Await(loc.Here(), p)}
+				})
+				if thrown != nil {
+					viaAwait = outcome{state: Rejected, value: thrown.Value}
+				}
+				return vm.Undefined
+			})
+		})
+		return err == nil && viaThen == viaAwait
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+package promise
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// run executes program on a fresh loop; it fails the test on loop error.
+func run(t *testing.T, program func(l *eventloop.Loop)) *eventloop.Loop {
+	t.Helper()
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		program(l)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// handler builds a then-handler that records its argument.
+func handler(name string, out *[]vm.Value) *vm.Function {
+	return vm.NewFunc(name, func(args []vm.Value) vm.Value {
+		*out = append(*out, vm.Arg(args, 0))
+		return vm.Undefined
+	})
+}
+
+func TestThenRunsAsynchronously(t *testing.T) {
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		p := Resolved(l, loc.Here(), 1)
+		p.Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+			order = append(order, "then")
+			return vm.Undefined
+		}), nil)
+		order = append(order, "sync")
+	})
+	if len(order) != 2 || order[0] != "sync" || order[1] != "then" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestThenReceivesResolutionValue(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), "payload").Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != "payload" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestExecutorRunsSynchronously(t *testing.T) {
+	ran := false
+	run(t, func(l *eventloop.Loop) {
+		New(l, loc.Here(), vm.NewFunc("exec", func(args []vm.Value) vm.Value {
+			ran = true
+			return vm.Undefined
+		}))
+		if !ran {
+			t.Error("executor did not run synchronously")
+		}
+	})
+}
+
+func TestResolveFromExecutor(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := New(l, loc.Here(), vm.NewFunc("exec", func(args []vm.Value) vm.Value {
+			args[0].(*Promise).Resolve(loc.Here(), 7)
+			return vm.Undefined
+		}))
+		p.Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestThrowInExecutorRejects(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := New(l, loc.Here(), vm.NewFunc("exec", func(args []vm.Value) vm.Value {
+			vm.Throw("exec-bug")
+			return vm.Undefined
+		}))
+		p.Catch(loc.Here(), handler("c", &got))
+	})
+	if len(got) != 1 || got[0] != "exec-bug" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestChainPropagatesReturnValues(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), 1).
+			Then(loc.Here(), vm.NewFunc("inc", func(args []vm.Value) vm.Value {
+				return args[0].(int) + 1
+			}), nil).
+			Then(loc.Here(), vm.NewFunc("dbl", func(args []vm.Value) vm.Value {
+				return args[0].(int) * 10
+			}), nil).
+			Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestRejectionSkipsFulfillmentHandlers(t *testing.T) {
+	var fulfilled, caught []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		RejectedP(l, loc.Here(), "boom").
+			Then(loc.Here(), handler("f", &fulfilled), nil).
+			Then(loc.Here(), handler("f2", &fulfilled), nil).
+			Catch(loc.Here(), handler("c", &caught))
+	})
+	if len(fulfilled) != 0 {
+		t.Fatalf("fulfillment handlers ran: %v", fulfilled)
+	}
+	if len(caught) != 1 || caught[0] != "boom" {
+		t.Fatalf("caught = %v", caught)
+	}
+}
+
+func TestCatchRecoversTheChain(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		RejectedP(l, loc.Here(), "boom").
+			Catch(loc.Here(), vm.NewFunc("c", func(args []vm.Value) vm.Value {
+				return "recovered"
+			})).
+			Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != "recovered" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestThrowInHandlerRejectsDerived(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), 1).
+			Then(loc.Here(), vm.NewFunc("bad", func(args []vm.Value) vm.Value {
+				vm.Throw("handler-bug")
+				return vm.Undefined
+			}), nil).
+			Catch(loc.Here(), handler("c", &got))
+	})
+	if len(got) != 1 || got[0] != "handler-bug" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestThenOnPendingPromiseRunsAfterSettle(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := New(l, loc.Here(), nil)
+		p.Then(loc.Here(), handler("h", &got), nil)
+		l.SetTimeout(loc.Here(), vm.NewFunc("resolver", func([]vm.Value) vm.Value {
+			p.Resolve(loc.Here(), "late")
+			return vm.Undefined
+		}), 5_000_000)
+	})
+	if len(got) != 1 || got[0] != "late" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestReturnedPromiseIsAdopted(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		inner := New(l, loc.Here(), nil)
+		Resolved(l, loc.Here(), 0).
+			Then(loc.Here(), vm.NewFunc("h", func(args []vm.Value) vm.Value {
+				return inner
+			}), nil).
+			Then(loc.Here(), handler("h2", &got), nil)
+		l.SetTimeout(loc.Here(), vm.NewFunc("r", func([]vm.Value) vm.Value {
+			inner.Resolve(loc.Here(), "inner-value")
+			return vm.Undefined
+		}), 1_000_000)
+	})
+	if len(got) != 1 || got[0] != "inner-value" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestResolveWithPromiseAdoptsRejection(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		inner := RejectedP(l, loc.Here(), "inner-err")
+		outer := New(l, loc.Here(), nil)
+		outer.Resolve(loc.Here(), inner)
+		outer.Catch(loc.Here(), handler("c", &got))
+	})
+	if len(got) != 1 || got[0] != "inner-err" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestDoubleResolveIsIgnored(t *testing.T) {
+	var got []vm.Value
+	l := run(t, func(l *eventloop.Loop) {
+		p := New(l, loc.Here(), nil)
+		p.Resolve(loc.Here(), "first")
+		p.Resolve(loc.Here(), "second")
+		p.Reject(loc.Here(), "third")
+		p.Then(loc.Here(), handler("h", &got), nil)
+	})
+	_ = l
+	if len(got) != 1 || got[0] != "first" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestDoubleSettleEmitsMarkedAPIEvent(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	rec := &apiRecorder{}
+	l.Probes().Attach(rec)
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		p := New(l, loc.Here(), nil)
+		p.Resolve(loc.Here(), 1)
+		p.Resolve(loc.Here(), 2)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	var marked int
+	for _, ev := range rec.events {
+		if ev.API == APIResolve && ev.Event == "already-settled" {
+			marked++
+		}
+	}
+	if marked != 1 {
+		t.Fatalf("already-settled events = %d, want 1", marked)
+	}
+}
+
+func TestFinallyRunsOnBothOutcomes(t *testing.T) {
+	var runs []string
+	run(t, func(l *eventloop.Loop) {
+		fin := func(tag string) *vm.Function {
+			return vm.NewFunc("fin", func([]vm.Value) vm.Value {
+				runs = append(runs, tag)
+				return vm.Undefined
+			})
+		}
+		Resolved(l, loc.Here(), 1).Finally(loc.Here(), fin("ok"))
+		RejectedP(l, loc.Here(), "e").Finally(loc.Here(), fin("err")).Catch(loc.Here(), vm.NewFunc("c", func([]vm.Value) vm.Value { return vm.Undefined }))
+	})
+	if len(runs) != 2 {
+		t.Fatalf("finally runs = %v", runs)
+	}
+}
+
+func TestFinallyPreservesOutcome(t *testing.T) {
+	var got []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), "kept").
+			Finally(loc.Here(), vm.NewFunc("fin", func([]vm.Value) vm.Value {
+				return "ignored"
+			})).
+			Then(loc.Here(), handler("h", &got), nil)
+	})
+	if len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestPromiseJobsRunAfterNextTickJobs(t *testing.T) {
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), 0).Then(loc.Here(), vm.NewFunc("p", func([]vm.Value) vm.Value {
+			order = append(order, "promise")
+			return vm.Undefined
+		}), nil)
+		l.NextTick(loc.Here(), vm.NewFunc("t", func([]vm.Value) vm.Value {
+			order = append(order, "nextTick")
+			return vm.Undefined
+		}))
+	})
+	if len(order) != 2 || order[0] != "nextTick" || order[1] != "promise" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestMotivationExampleOrdering(t *testing.T) {
+	// The §III snippet: promise.then (L2), setTimeout (L5), nextTick
+	// (L8) registered in that order execute L8, L2, L5.
+	var order []string
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), vm.Undefined).Then(loc.Here(), vm.NewFunc("L2", func([]vm.Value) vm.Value {
+			order = append(order, "L2-promise")
+			return vm.Undefined
+		}), nil)
+		l.SetTimeout(loc.Here(), vm.NewFunc("L5", func([]vm.Value) vm.Value {
+			order = append(order, "L5-timeout")
+			return vm.Undefined
+		}), 0)
+		l.NextTick(loc.Here(), vm.NewFunc("L8", func([]vm.Value) vm.Value {
+			order = append(order, "L8-nextTick")
+			return vm.Undefined
+		}))
+	})
+	want := []string{"L8-nextTick", "L2-promise", "L5-timeout"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSelfResolutionRejectsWithChainingCycle(t *testing.T) {
+	var reason vm.Value
+	run(t, func(l *eventloop.Loop) {
+		p := New(l, loc.Here(), nil)
+		p.Resolve(loc.Here(), p) // resolve with itself
+		p.Catch(loc.Here(), vm.NewFunc("c", func(args []vm.Value) vm.Value {
+			reason = args[0]
+			return vm.Undefined
+		}))
+	})
+	if s, ok := reason.(string); !ok || !strings.Contains(s, "chaining cycle") {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+func TestFinallyThrowRejectsDerived(t *testing.T) {
+	var reason []vm.Value
+	run(t, func(l *eventloop.Loop) {
+		Resolved(l, loc.Here(), "ok").
+			Finally(loc.Here(), vm.NewFunc("fin", func([]vm.Value) vm.Value {
+				vm.Throw("cleanup-bug")
+				return vm.Undefined
+			})).
+			Catch(loc.Here(), handler("c", &reason))
+	})
+	if len(reason) != 1 || reason[0] != "cleanup-bug" {
+		t.Fatalf("reason = %v", reason)
+	}
+}
+
+type apiRecorder struct{ events []*vm.APIEvent }
+
+func (r *apiRecorder) FunctionEnter(*vm.Function, *vm.CallInfo)        {}
+func (r *apiRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (r *apiRecorder) APICall(ev *vm.APIEvent)                         { r.events = append(r.events, ev) }

@@ -1,0 +1,78 @@
+// Package state provides observable shared state for the race-detection
+// extension the paper announces as ongoing research (§IX: "extending
+// AsyncG with data flow analysis to automatically detect race conditions
+// caused by non-deterministic event ordering"). A Cell is one shared
+// variable whose reads and writes are announced through probe events, so
+// the analysis can correlate accesses with the Async Graph's causal
+// structure.
+package state
+
+import (
+	"fmt"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// API names announced through probe events.
+const (
+	APINew = "cell.new"
+	APIGet = "cell.get"
+	APISet = "cell.set"
+)
+
+// Cell is one shared variable.
+type Cell struct {
+	loop  *eventloop.Loop
+	id    uint64
+	name  string
+	value vm.Value
+}
+
+// NewCell creates a shared variable with an initial value.
+func NewCell(l *eventloop.Loop, name string, at loc.Loc, initial vm.Value) *Cell {
+	if initial == nil {
+		initial = vm.Undefined
+	}
+	c := &Cell{loop: l, id: l.NextObjID(), name: name, value: initial}
+	l.EmitAPIEvent(&vm.APIEvent{
+		API:      APINew,
+		Loc:      at,
+		Receiver: c.Ref(),
+		Args:     []vm.Value{name},
+	})
+	return c
+}
+
+// Ref returns the probe-protocol reference for this cell.
+func (c *Cell) Ref() vm.ObjRef { return vm.ObjRef{ID: c.id, Kind: vm.ObjCell} }
+
+// Name returns the diagnostic label.
+func (c *Cell) Name() string { return c.name }
+
+func (c *Cell) String() string { return fmt.Sprintf("Cell(%s#%d)", c.name, c.id) }
+
+// Get reads the cell, announcing the access.
+func (c *Cell) Get(at loc.Loc) vm.Value {
+	c.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      APIGet,
+		Loc:      at,
+		Receiver: c.Ref(),
+	})
+	return c.value
+}
+
+// Set writes the cell, announcing the access.
+func (c *Cell) Set(at loc.Loc, v vm.Value) {
+	if v == nil {
+		v = vm.Undefined
+	}
+	c.loop.EmitAPIEvent(&vm.APIEvent{
+		API:      APISet,
+		Loc:      at,
+		Receiver: c.Ref(),
+		Args:     []vm.Value{v},
+	})
+	c.value = v
+}

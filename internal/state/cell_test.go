@@ -1,0 +1,87 @@
+package state
+
+import (
+	"testing"
+
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+type apiRecorder struct{ events []*vm.APIEvent }
+
+func (r *apiRecorder) FunctionEnter(*vm.Function, *vm.CallInfo)        {}
+func (r *apiRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
+func (r *apiRecorder) APICall(ev *vm.APIEvent)                         { r.events = append(r.events, ev) }
+
+func TestCellValueSemantics(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		c := NewCell(l, "x", loc.Here(), nil)
+		if !vm.IsUndefined(c.Get(loc.Here())) {
+			t.Error("nil initial not normalized to Undefined")
+		}
+		c.Set(loc.Here(), 42)
+		if c.Get(loc.Here()) != 42 {
+			t.Errorf("Get = %v", c.Get(loc.Here()))
+		}
+		c.Set(loc.Here(), nil)
+		if !vm.IsUndefined(c.Get(loc.Here())) {
+			t.Error("nil write not normalized")
+		}
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellAnnouncesAccesses(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	rec := &apiRecorder{}
+	l.Probes().Attach(rec)
+	var cellID uint64
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		c := NewCell(l, "shared", loc.Here(), 1)
+		cellID = c.Ref().ID
+		_ = c.Get(loc.Here())
+		c.Set(loc.Here(), 2)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{APINew, APIGet, APISet}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(rec.events), len(want))
+	}
+	for i, api := range want {
+		ev := rec.events[i]
+		if ev.API != api {
+			t.Errorf("event %d = %s, want %s", i, ev.API, api)
+		}
+		if ev.Receiver.ID != cellID || ev.Receiver.Kind != vm.ObjCell {
+			t.Errorf("event %d receiver = %+v", i, ev.Receiver)
+		}
+	}
+	if name := rec.events[0].Args[0]; name != "shared" {
+		t.Errorf("new event name = %v", name)
+	}
+}
+
+func TestCellStringAndName(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		c := NewCell(l, "counter", loc.Here(), 0)
+		if c.Name() != "counter" {
+			t.Errorf("Name = %q", c.Name())
+		}
+		if s := c.String(); s == "" {
+			t.Error("empty String()")
+		}
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatal(err)
+	}
+}

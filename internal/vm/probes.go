@@ -1,0 +1,180 @@
+package vm
+
+import "asyncg/internal/loc"
+
+// ObjKind classifies runtime objects that async callbacks can be bound to.
+type ObjKind string
+
+// Object kinds observable through probe events.
+const (
+	ObjNone    ObjKind = ""
+	ObjEmitter ObjKind = "emitter"
+	ObjPromise ObjKind = "promise"
+	ObjTimer   ObjKind = "timer"
+	ObjIO      ObjKind = "io"
+	ObjCell    ObjKind = "cell"
+)
+
+// ObjRef identifies a runtime object (emitter, promise, ...) in probe
+// events. The zero ObjRef means "no bound object".
+type ObjRef struct {
+	ID   uint64
+	Kind ObjKind
+}
+
+// IsZero reports whether the reference is empty.
+func (r ObjRef) IsZero() bool { return r.ID == 0 }
+
+// Registration describes one callback registered by an async API use.
+// The runtime assigns Seq at registration time and repeats it in the
+// Dispatch of the eventual execution, which lets tools cross-check the
+// context-validator mapping of the paper's Algorithm 3.
+type Registration struct {
+	Seq      uint64
+	Callback *Function
+	// Phase is the tick type in which the callback is scheduled to run
+	// ("nextTick", "promise", "timer", "immediate", "io", "close"), or
+	// "sync" for callbacks invoked immediately (promise executors).
+	Phase string
+	// Once reports whether the registration fires at most one execution
+	// (setTimeout, once) as opposed to many (setInterval, emitter.on).
+	Once bool
+	// Role describes the callback's position in the API: "callback"
+	// (plain scheduling), "listener" (emitter), "fulfill" / "reject" /
+	// "finally" / "await" (promise reactions), "executor", "async".
+	Role string
+}
+
+// APIEvent announces one async-API call: a callback registration
+// (process.nextTick, setTimeout, emitter.on, promise.then, ...), a
+// trigger (emitter.emit, promise resolve/reject), an object binding
+// (new EventEmitter, new Promise), or a de-registration (clearTimeout,
+// removeListener). This is the information AsyncG's per-API templates
+// extract in Algorithm 2.
+type APIEvent struct {
+	// API is the canonical API name, e.g. "process.nextTick",
+	// "setTimeout", "emitter.on", "emitter.emit", "promise.then",
+	// "promise.resolve", "new Promise", "new EventEmitter".
+	API string
+	// Loc is the user call site of the API use.
+	Loc loc.Loc
+	// Receiver is the bound object (emitter or promise), if any.
+	Receiver ObjRef
+	// Event carries the emitter event name, or a detail string for
+	// promise operations (e.g. the relation label "then", "catch").
+	Event string
+	// Regs lists the callback registrations made by this API call.
+	Regs []Registration
+	// TriggerSeq is nonzero for trigger APIs (emit, resolve, reject);
+	// executions caused by the trigger repeat it in their Dispatch.
+	TriggerSeq uint64
+	// Related references further objects for relation edges, e.g. the
+	// derived promise created by promise.then, or the input promises of
+	// Promise.all.
+	Related []ObjRef
+	// Args carries API-specific details (timeout durations, emitted
+	// values, resolve values) for tools that want them.
+	Args []Value
+}
+
+// Dispatch describes why a callback execution is happening: which API
+// registered it, on which object, for which event, and which trigger (if
+// any) caused it. The runtime attaches it to top-level and emitter/promise
+// dispatched invocations; plain nested calls carry a nil Dispatch.
+type Dispatch struct {
+	API        string
+	RegSeq     uint64
+	Obj        ObjRef
+	Event      string
+	TriggerSeq uint64
+	// Zone tags which simulated process the callback belongs to.
+	// The simulation runs server and workload-driver code on one loop;
+	// client-side emitters set Zone "client" so measurement tools can
+	// scope themselves to the server process, as the paper's
+	// instrumentation (which runs inside the server) naturally does.
+	Zone string
+}
+
+// CallInfo accompanies every FunctionEnter probe event.
+type CallInfo struct {
+	// Phase is the current event-loop phase ("main", "nextTick",
+	// "promise", "timer", "immediate", "io", "close"). Tools use it as
+	// the tick type when the shadow stack indicates a new tick.
+	Phase string
+	// TopLevel reports whether this invocation starts with an empty
+	// runtime stack (i.e. it is directly dispatched by the event loop).
+	TopLevel bool
+	// Dispatch is the scheduling context, nil for plain nested calls.
+	Dispatch *Dispatch
+}
+
+// Hooks is the interface instrumentation tools implement. It corresponds
+// to NodeProf's analysis callbacks used by AsyncG: functionEnter,
+// functionExit, and interception of async-API calls.
+//
+// All hook methods run on the event-loop goroutine; implementations need
+// no locking but must not block.
+type Hooks interface {
+	FunctionEnter(fn *Function, info *CallInfo)
+	FunctionExit(fn *Function, ret Value, thrown *Thrown)
+	APICall(ev *APIEvent)
+}
+
+// Probes dispatches runtime events to attached hooks. Attaching and
+// detaching is allowed at any point during execution (AsyncG is
+// "pluggable" and can be enabled/disabled at runtime); with no hooks
+// attached every probe site costs a single length check.
+type Probes struct {
+	hooks []Hooks
+}
+
+// Attach adds a hook. It is a no-op if the hook is already attached.
+func (p *Probes) Attach(h Hooks) {
+	for _, existing := range p.hooks {
+		if existing == h {
+			return
+		}
+	}
+	// Copy-on-write so an attach during dispatch cannot disturb the
+	// iteration in flight.
+	next := make([]Hooks, len(p.hooks), len(p.hooks)+1)
+	copy(next, p.hooks)
+	p.hooks = append(next, h)
+}
+
+// Detach removes a hook. It is a no-op if the hook is not attached.
+func (p *Probes) Detach(h Hooks) {
+	for i, existing := range p.hooks {
+		if existing == h {
+			next := make([]Hooks, 0, len(p.hooks)-1)
+			next = append(next, p.hooks[:i]...)
+			next = append(next, p.hooks[i+1:]...)
+			p.hooks = next
+			return
+		}
+	}
+}
+
+// Active reports whether any hook is attached.
+func (p *Probes) Active() bool { return len(p.hooks) > 0 }
+
+// FunctionEnter announces a function invocation to all hooks.
+func (p *Probes) FunctionEnter(fn *Function, info *CallInfo) {
+	for _, h := range p.hooks {
+		h.FunctionEnter(fn, info)
+	}
+}
+
+// FunctionExit announces a function return (or throw) to all hooks.
+func (p *Probes) FunctionExit(fn *Function, ret Value, thrown *Thrown) {
+	for _, h := range p.hooks {
+		h.FunctionExit(fn, ret, thrown)
+	}
+}
+
+// APICall announces an async-API use to all hooks.
+func (p *Probes) APICall(ev *APIEvent) {
+	for _, h := range p.hooks {
+		h.APICall(ev)
+	}
+}

@@ -1,0 +1,50 @@
+// Package vm provides the primitive value and function model for the
+// simulated JavaScript-like runtime, together with the probe dispatcher
+// that instrumentation tools (such as the Async Graph builder) attach to.
+//
+// The package plays the role that the JavaScript engine plus the NodeProf
+// instrumentation framework play in the paper: callbacks are first-class
+// Function values carrying source locations, and every invocation and
+// async-API call is announced to pluggable hooks.
+package vm
+
+import "fmt"
+
+// Value is the dynamic value type of the simulated runtime. Any Go value
+// may flow through; Undefined is the distinguished "no value" sentinel
+// mirroring JavaScript's undefined.
+type Value = any
+
+// undefinedType is unexported so that Undefined is the only value of it.
+type undefinedType struct{}
+
+func (undefinedType) String() string { return "undefined" }
+
+// Undefined is the distinguished "no value" value, analogous to
+// JavaScript's undefined. A callback that does not explicitly return a
+// value returns Undefined.
+var Undefined Value = undefinedType{}
+
+// IsUndefined reports whether v is the Undefined sentinel.
+func IsUndefined(v Value) bool {
+	_, ok := v.(undefinedType)
+	return ok
+}
+
+// ToString renders a value the way the runtime's diagnostics print it.
+func ToString(v Value) string {
+	if v == nil {
+		return "null"
+	}
+	if IsUndefined(v) {
+		return "undefined"
+	}
+	switch t := v.(type) {
+	case string:
+		return t
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -1,0 +1,179 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg/internal/loc"
+)
+
+func TestUndefinedIdentity(t *testing.T) {
+	if !IsUndefined(Undefined) {
+		t.Fatal("Undefined is not undefined")
+	}
+	if IsUndefined(nil) || IsUndefined(0) || IsUndefined("") {
+		t.Fatal("non-undefined values reported undefined")
+	}
+	if Undefined != Undefined {
+		t.Fatal("Undefined not comparable to itself")
+	}
+}
+
+func TestToString(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{nil, "null"},
+		{Undefined, "undefined"},
+		{"text", "text"},
+		{42, "42"},
+		{3.5, "3.5"},
+		{true, "true"},
+	}
+	for _, tc := range cases {
+		if got := ToString(tc.in); got != tc.want {
+			t.Errorf("ToString(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestToStringUsesStringer(t *testing.T) {
+	fn := NewFunc("named", func([]Value) Value { return Undefined })
+	if got := ToString(fn); !strings.Contains(got, "named") {
+		t.Fatalf("ToString(fn) = %q", got)
+	}
+}
+
+func TestNewFuncCapturesCallerLocation(t *testing.T) {
+	fn := NewFunc("f", func([]Value) Value { return Undefined })
+	if fn.Loc.File != "vm_test.go" {
+		t.Fatalf("loc = %v", fn.Loc)
+	}
+	if fn.Loc.Line == 0 {
+		t.Fatal("line not captured")
+	}
+}
+
+func TestFunctionIdentityAndIDs(t *testing.T) {
+	impl := func([]Value) Value { return Undefined }
+	a := NewFunc("x", impl)
+	b := NewFunc("x", impl)
+	if a == b || a.ID == b.ID {
+		t.Fatal("distinct functions share identity")
+	}
+}
+
+func TestInvokeNormalizesNilReturn(t *testing.T) {
+	fn := NewFunc("n", func([]Value) Value { return nil })
+	if !IsUndefined(fn.Invoke(nil)) {
+		t.Fatal("nil return not normalized to Undefined")
+	}
+	var nilFn *Function
+	if !IsUndefined(nilFn.Invoke(nil)) {
+		t.Fatal("nil function did not return Undefined")
+	}
+}
+
+func TestArgIsPermissive(t *testing.T) {
+	args := []Value{"a", nil}
+	if Arg(args, 0) != "a" {
+		t.Fatal("Arg(0)")
+	}
+	if !IsUndefined(Arg(args, 1)) {
+		t.Fatal("nil arg should read as Undefined")
+	}
+	if !IsUndefined(Arg(args, 5)) || !IsUndefined(Arg(args, -1)) {
+		t.Fatal("out-of-range args should read as Undefined")
+	}
+}
+
+func TestThrowAndCatch(t *testing.T) {
+	thrown := CatchThrown(func() { Throw("boom") })
+	if thrown == nil || ToString(thrown.Value) != "boom" {
+		t.Fatalf("thrown = %+v", thrown)
+	}
+	if thrown.Loc.File != "vm_test.go" {
+		t.Fatalf("throw site = %v", thrown.Loc)
+	}
+	if CatchThrown(func() {}) != nil {
+		t.Fatal("phantom exception")
+	}
+}
+
+func TestCatchThrownDoesNotSwallowRealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("real panic was swallowed")
+		}
+	}()
+	CatchThrown(func() { panic("simulator bug") })
+}
+
+func TestThrownIsAnError(t *testing.T) {
+	th := &Thrown{Value: "reason", Loc: loc.Loc{File: "x.go", Line: 7}}
+	msg := th.Error()
+	if !strings.Contains(msg, "reason") || !strings.Contains(msg, "x.go:7") {
+		t.Fatalf("Error() = %q", msg)
+	}
+}
+
+func TestProbesAttachDetachIdempotent(t *testing.T) {
+	var p Probes
+	h := &countingHooks{}
+	p.Attach(h)
+	p.Attach(h) // no duplicate dispatch
+	if !p.Active() {
+		t.Fatal("not active after attach")
+	}
+	p.FunctionEnter(nil, &CallInfo{})
+	if h.enters != 1 {
+		t.Fatalf("enters = %d, want 1", h.enters)
+	}
+	p.Detach(h)
+	p.Detach(h) // harmless
+	if p.Active() {
+		t.Fatal("active after detach")
+	}
+	p.FunctionEnter(nil, &CallInfo{})
+	if h.enters != 1 {
+		t.Fatal("detached hook saw an event")
+	}
+}
+
+func TestProbesDispatchOrderIsAttachOrder(t *testing.T) {
+	var p Probes
+	var order []string
+	a := &namedHooks{name: "a", order: &order}
+	b := &namedHooks{name: "b", order: &order}
+	p.Attach(a)
+	p.Attach(b)
+	p.APICall(&APIEvent{})
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestObjRefZero(t *testing.T) {
+	if !(ObjRef{}).IsZero() {
+		t.Fatal("zero ref not zero")
+	}
+	if (ObjRef{ID: 1, Kind: ObjEmitter}).IsZero() {
+		t.Fatal("non-zero ref zero")
+	}
+}
+
+type countingHooks struct{ enters int }
+
+func (c *countingHooks) FunctionEnter(*Function, *CallInfo)     { c.enters++ }
+func (c *countingHooks) FunctionExit(*Function, Value, *Thrown) {}
+func (c *countingHooks) APICall(*APIEvent)                      {}
+
+type namedHooks struct {
+	name  string
+	order *[]string
+}
+
+func (n *namedHooks) FunctionEnter(*Function, *CallInfo)     {}
+func (n *namedHooks) FunctionExit(*Function, Value, *Thrown) {}
+func (n *namedHooks) APICall(*APIEvent)                      { *n.order = append(*n.order, n.name) }
