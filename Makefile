@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: verify build vet fmt-check test trace-demo
+
+# Tier-1 verify: build, vet, formatting, tests.
+verify: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Regenerate the golden trace fixtures from the deterministic program in
+# internal/trace/exporter_test.go, then check they still pass.
+trace-demo:
+	$(GO) test ./internal/trace -run Golden -update
+	$(GO) test ./internal/trace
+	@echo "golden traces regenerated under internal/trace/testdata/"

@@ -6,7 +6,7 @@
 //
 // Typical use:
 //
-//	session := asyncg.New(asyncg.Options{})
+//	session := asyncg.New()
 //	report, err := session.Run(func(ctx *asyncg.Context) {
 //	    ctx.NextTick(asyncg.F("hello", func(args []asyncg.Value) asyncg.Value {
 //	        fmt.Println("hello from the nextTick queue")
@@ -15,15 +15,26 @@
 //	})
 //	fmt.Print(report.Graph.DOT("hello"))
 //	for _, w := range report.Warnings { fmt.Println(w) }
+//
+// Sessions are configured with functional options:
+//
+//	session := asyncg.New(
+//	    asyncg.WithLoop(eventloop.Options{TickLimit: 1000}),
+//	    asyncg.WithTrace(traceFile, asyncg.TraceChrome),
+//	    asyncg.WithMetrics(),
+//	)
 package asyncg
 
 import (
+	"io"
+
 	"asyncg/internal/asyncgraph"
 	"asyncg/internal/detect"
 	"asyncg/internal/eventloop"
 	"asyncg/internal/loc"
 	"asyncg/internal/mongosim"
 	"asyncg/internal/netio"
+	"asyncg/internal/trace"
 	"asyncg/internal/vm"
 )
 
@@ -42,24 +53,140 @@ func F(name string, impl func(args []Value) Value) *vm.Function {
 // Throw raises a simulated JavaScript exception.
 func Throw(v Value) { vm.ThrowAt(v, loc.Caller(0)) }
 
-// Options configures a Session.
+// TraceFormat selects the serialization of a trace stream.
+type TraceFormat = trace.Format
+
+// Re-exported trace formats for WithTrace.
+const (
+	// TraceNDJSON streams one JSON event per line.
+	TraceNDJSON = trace.FormatNDJSON
+	// TraceChrome writes a Chrome trace_event array for
+	// chrome://tracing / Perfetto.
+	TraceChrome = trace.FormatChrome
+)
+
+// config is the resolved session configuration built by Options.
+type config struct {
+	loop      eventloop.Options
+	graph     asyncgraph.Config
+	graphSet  bool
+	det       detect.Config
+	detSet    bool
+	disabled  bool
+	network   netio.Options
+	db        mongosim.Options
+	traceW    io.Writer
+	traceFmt  TraceFormat
+	traceCfg  trace.ExporterConfig
+	traceOn   bool
+	metricsOn bool
+}
+
+// Option configures a Session. Options are applied in order; later
+// options win.
+type Option func(*config)
+
+// WithLoop configures the event-loop simulator (tick/time limits,
+// virtual costs).
+func WithLoop(opts eventloop.Options) Option {
+	return func(c *config) { c.loop = opts }
+}
+
+// WithGraph configures what the Async Graph builder tracks. Without this
+// option the builder tracks everything (asyncgraph.DefaultConfig).
+func WithGraph(cfg asyncgraph.Config) Option {
+	return func(c *config) { c.graph = cfg; c.graphSet = true }
+}
+
+// WithDetect configures the bug detectors. Without this option all
+// detectors run with the paper's thresholds (detect.DefaultConfig).
+func WithDetect(cfg detect.Config) Option {
+	return func(c *config) { c.det = cfg; c.detSet = true }
+}
+
+// WithNetwork configures the simulated network.
+func WithNetwork(opts netio.Options) Option {
+	return func(c *config) { c.network = opts }
+}
+
+// WithDB configures the simulated database.
+func WithDB(opts mongosim.Options) Option {
+	return func(c *config) { c.db = opts }
+}
+
+// Disabled runs the program without the Async Graph builder or the
+// detectors attached — the "baseline" setting of the paper's overhead
+// evaluation. Tracing and metrics, when requested, still attach: they
+// are independent probe consumers.
+func Disabled() Option {
+	return func(c *config) { c.disabled = true }
+}
+
+// WithTrace streams a structured event trace of the run to w in the
+// given format. The trace is buffered in a bounded ring (see
+// WithTraceConfig) and written when Run finishes.
+func WithTrace(w io.Writer, format TraceFormat) Option {
+	return func(c *config) {
+		if format == "" {
+			format = TraceNDJSON
+		}
+		c.traceW = w
+		c.traceFmt = format
+		c.traceOn = true
+	}
+}
+
+// WithTraceConfig tunes the trace exporter (ring capacity, drop policy,
+// nested-function and loop-iteration events). It implies nothing by
+// itself: combine with WithTrace, or read Session.Exporter directly.
+func WithTraceConfig(cfg trace.ExporterConfig) Option {
+	return func(c *config) { c.traceCfg = cfg; c.traceOn = true }
+}
+
+// WithMetrics attaches the online metrics registry; the Report's Metrics
+// field carries the resulting snapshot.
+func WithMetrics() Option {
+	return func(c *config) { c.metricsOn = true }
+}
+
+// Options is the legacy configuration struct.
+//
+// Deprecated: use New with functional options (WithLoop, WithDetect,
+// Disabled, ...). Retained so existing callers of NewFromOptions keep
+// compiling; it cannot express tracing or metrics.
 type Options struct {
-	// Loop configures the event-loop simulator (tick/time limits,
-	// virtual costs).
+	// Loop configures the event-loop simulator.
 	Loop eventloop.Options
-	// Graph configures what the Async Graph builder tracks; zero value
-	// means track everything.
+	// Graph configures the Async Graph builder; zero value means track
+	// everything.
 	Graph asyncgraph.Config
 	// Detect configures the bug detectors; zero value means all
 	// detectors with the paper's thresholds.
 	Detect detect.Config
-	// DisableTool runs the program without AsyncG attached (the
-	// "baseline" setting of the paper's overhead evaluation).
+	// DisableTool runs the program without AsyncG attached.
 	DisableTool bool
 	// Network configures the simulated network.
 	Network netio.Options
 	// DB configures the simulated database.
 	DB mongosim.Options
+}
+
+// NewFromOptions creates a session from the legacy Options struct,
+// preserving its zero-value-means-default semantics.
+//
+// Deprecated: use New with functional options.
+func NewFromOptions(opts Options) *Session {
+	o := []Option{WithLoop(opts.Loop), WithNetwork(opts.Network), WithDB(opts.DB)}
+	if opts.DisableTool {
+		o = append(o, Disabled())
+	}
+	if opts.Graph != (asyncgraph.Config{}) {
+		o = append(o, WithGraph(opts.Graph))
+	}
+	if opts.Detect != (detect.Config{}) {
+		o = append(o, WithDetect(opts.Detect))
+	}
+	return New(o...)
 }
 
 // Report is the outcome of a Session run.
@@ -75,10 +202,13 @@ type Report struct {
 	Ticks int
 	// Anomalies lists context-validator mismatches (should be empty).
 	Anomalies []string
+	// Metrics is the observability snapshot (nil unless WithMetrics).
+	Metrics *trace.Snapshot
 }
 
-// WarningsOf filters the report's warnings by category.
-func (r *Report) WarningsOf(category string) []asyncgraph.Warning {
+// WarningsOf filters the report's warnings by category. Use the typed
+// detect.Cat* constants; a bare string still converts but is not checked.
+func (r *Report) WarningsOf(category detect.Category) []asyncgraph.Warning {
 	var out []asyncgraph.Warning
 	for _, w := range r.Warnings {
 		if w.Category == category {
@@ -89,49 +219,84 @@ func (r *Report) WarningsOf(category string) []asyncgraph.Warning {
 }
 
 // HasWarning reports whether any warning of the category was found.
-func (r *Report) HasWarning(category string) bool { return len(r.WarningsOf(category)) > 0 }
+func (r *Report) HasWarning(category detect.Category) bool {
+	return len(r.WarningsOf(category)) > 0
+}
+
+// WarningsOfFamily filters the report's warnings by detector family
+// (scheduling, emitter, promise, race).
+func (r *Report) WarningsOfFamily(family detect.Family) []asyncgraph.Warning {
+	var out []asyncgraph.Warning
+	for _, w := range r.Warnings {
+		if detect.FamilyOf(w.Category) == family {
+			out = append(out, w)
+		}
+	}
+	return out
+}
 
 // Session owns one runtime instance plus the attached tool.
 type Session struct {
-	opts     Options
+	cfg      config
 	loop     *eventloop.Loop
 	builder  *asyncgraph.Builder
 	analyzer *detect.Analyzer
+	exporter *trace.Exporter
+	metrics  *trace.Metrics
 	ctx      *Context
 }
 
-// New creates a session. The zero Options enable full tracking and all
-// detectors.
-func New(opts Options) *Session {
-	if !opts.DisableTool {
-		zero := asyncgraph.Config{}
-		if opts.Graph == zero {
-			opts.Graph = asyncgraph.DefaultConfig()
+// New creates a session. With no options the session tracks everything
+// and runs all detectors.
+func New(opts ...Option) *Session {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.disabled {
+		if !cfg.graphSet {
+			cfg.graph = asyncgraph.DefaultConfig()
 		}
-		zeroD := detect.Config{}
-		if opts.Detect == zeroD {
-			opts.Detect = detect.DefaultConfig()
+		if !cfg.detSet {
+			cfg.det = detect.DefaultConfig()
 		}
 	}
-	s := &Session{opts: opts, loop: eventloop.New(opts.Loop)}
-	if !opts.DisableTool {
-		s.builder = asyncgraph.NewBuilder(opts.Graph)
-		s.analyzer = detect.NewAnalyzer(s.builder, opts.Detect)
+	s := &Session{cfg: cfg, loop: eventloop.New(cfg.loop)}
+	if !cfg.disabled {
+		s.builder = asyncgraph.NewBuilder(cfg.graph)
+		s.analyzer = detect.NewAnalyzer(s.builder, cfg.det)
 		// Order matters: the builder must see each event first so the
 		// analyzer can annotate the nodes it creates.
 		s.loop.Probes().Attach(s.builder)
 		s.loop.Probes().Attach(s.analyzer)
 	}
-	s.ctx = newContext(s.loop, opts)
+	if cfg.traceOn {
+		s.exporter = trace.NewExporter(s.loop, cfg.traceCfg)
+		s.loop.Probes().Attach(s.exporter)
+	}
+	if cfg.metricsOn {
+		s.metrics = trace.NewMetrics(s.loop, trace.MetricsConfig{})
+		s.loop.Probes().Attach(s.metrics)
+	}
+	s.ctx = newContext(s.loop, cfg.network, cfg.db)
 	return s
 }
 
 // Loop exposes the underlying event loop (e.g. to attach extra hooks).
 func (s *Session) Loop() *eventloop.Loop { return s.loop }
 
+// Exporter exposes the trace exporter (nil unless WithTrace or
+// WithTraceConfig was given) for mid-run inspection.
+func (s *Session) Exporter() *trace.Exporter { return s.exporter }
+
+// Metrics exposes the metrics registry (nil unless WithMetrics) for
+// mid-run snapshots.
+func (s *Session) Metrics() *trace.Metrics { return s.metrics }
+
 // Disable detaches AsyncG's hooks at runtime — the tool is pluggable and
 // "once disabled, introduces no overhead". Callable from inside
-// callbacks; events while disabled are simply not observed.
+// callbacks; events while disabled are simply not observed. Trace and
+// metrics probes stay attached: they observe, they are not the tool.
 func (s *Session) Disable() {
 	if s.builder != nil {
 		s.loop.Probes().Detach(s.builder)
@@ -159,6 +324,9 @@ func (s *Session) Context() *Context { return s.ctx }
 // Run executes program as the main tick and processes the event loop to
 // completion (or to a configured limit, returned as the error — the
 // report is still valid in that case, covering the truncated prefix).
+// When a trace writer was configured, the buffered trace is flushed to
+// it before Run returns; a flush failure is returned only if the run
+// itself succeeded.
 func (s *Session) Run(program func(ctx *Context)) (*Report, error) {
 	main := vm.NewFuncAt("main", loc.Caller(0), func([]Value) Value {
 		program(s.ctx)
@@ -175,6 +343,14 @@ func (s *Session) Run(program func(ctx *Context)) (*Report, error) {
 	}
 	if s.analyzer != nil {
 		report.Warnings = s.analyzer.Finish()
+	}
+	if s.metrics != nil {
+		report.Metrics = s.metrics.Snapshot()
+	}
+	if s.exporter != nil && s.cfg.traceW != nil {
+		if werr := s.exporter.WriteTo(s.cfg.traceW, s.cfg.traceFmt); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	return report, err
 }

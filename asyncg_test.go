@@ -15,7 +15,7 @@ import (
 func lochere() loc.Loc { return loc.Caller(0) }
 
 func TestSessionRunBuildsGraph(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.NextTick(asyncg.F("cb", func(args []asyncg.Value) asyncg.Value {
 			return asyncg.Undefined
@@ -33,7 +33,7 @@ func TestSessionRunBuildsGraph(t *testing.T) {
 }
 
 func TestSessionDisableTool(t *testing.T) {
-	session := asyncg.New(asyncg.Options{DisableTool: true})
+	session := asyncg.New(asyncg.Disabled())
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.NextTick(asyncg.F("cb", func(args []asyncg.Value) asyncg.Value {
 			return asyncg.Undefined
@@ -51,7 +51,7 @@ func TestSessionDisableTool(t *testing.T) {
 }
 
 func TestSessionDetectsBugs(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		e := ctx.NewEmitter("e")
 		ctx.Emit(e, "ghost")
@@ -68,9 +68,7 @@ func TestSessionDetectsBugs(t *testing.T) {
 }
 
 func TestSessionTickLimitReturnsTruncatedGraph(t *testing.T) {
-	session := asyncg.New(asyncg.Options{
-		Loop: eventloop.Options{TickLimit: 20},
-	})
+	session := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 20}))
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		var loop *asyncg.Function
 		loop = asyncg.F("loop", func(args []asyncg.Value) asyncg.Value {
@@ -91,7 +89,7 @@ func TestSessionTickLimitReturnsTruncatedGraph(t *testing.T) {
 }
 
 func TestContextTimersAndClocks(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var at time.Duration
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.SetTimeout(asyncg.F("late", func(args []asyncg.Value) asyncg.Value {
@@ -108,7 +106,7 @@ func TestContextTimersAndClocks(t *testing.T) {
 }
 
 func TestContextCallPropagatesThrow(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.Call(asyncg.F("boom", func(args []asyncg.Value) asyncg.Value {
 			asyncg.Throw("bang")
@@ -124,7 +122,7 @@ func TestContextCallPropagatesThrow(t *testing.T) {
 }
 
 func TestContextAsyncAwait(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var got asyncg.Value
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		data := ctx.Resolve(21)
@@ -148,7 +146,7 @@ func TestContextAsyncAwait(t *testing.T) {
 }
 
 func TestContextHTTPAndDB(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var status int
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		users := ctx.DB().C("users")
@@ -178,7 +176,7 @@ func TestContextHTTPAndDB(t *testing.T) {
 }
 
 func TestGraphExportsFromFacade(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.SetImmediate(asyncg.F("x", func(args []asyncg.Value) asyncg.Value {
 			return asyncg.Undefined
@@ -197,7 +195,7 @@ func TestGraphExportsFromFacade(t *testing.T) {
 }
 
 func TestSessionEnableDisableMidRun(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.NextTick(asyncg.F("observed1", func(args []asyncg.Value) asyncg.Value {
 			session.Disable()
@@ -237,7 +235,7 @@ func TestSessionEnableDisableMidRun(t *testing.T) {
 }
 
 func TestContextFS(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var got string
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.FS().Seed("/greeting", []byte("hello"))
@@ -255,7 +253,7 @@ func TestContextFS(t *testing.T) {
 }
 
 func TestContextCells(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		c := ctx.NewCell("x", 1)
 		if ctx.CellGet(c) != 1 {
@@ -272,7 +270,7 @@ func TestContextCells(t *testing.T) {
 }
 
 func TestContextQueueMicrotask(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var order []string
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		ctx.QueueMicrotask(asyncg.F("m", func(args []asyncg.Value) asyncg.Value {
@@ -293,7 +291,7 @@ func TestContextQueueMicrotask(t *testing.T) {
 }
 
 func TestOnceEventBridgesEmitterToPromise(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var got asyncg.Value
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		e := ctx.NewEmitter("source")

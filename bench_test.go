@@ -101,9 +101,7 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkGraphConstruction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		session := asyncg.New(asyncg.Options{
-			Loop: eventloop.Options{TickLimit: 100_000},
-		})
+		session := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 100_000}))
 		_, err := session.Run(func(ctx *asyncg.Context) {
 			e := ctx.NewEmitter("bench")
 			ctx.On(e, "x", asyncg.F("listener", func(args []asyncg.Value) asyncg.Value {
@@ -295,10 +293,10 @@ func BenchmarkAsyncAwait(b *testing.B) {
 // BenchmarkHTTPRoundTrip measures one full simulated HTTP exchange.
 func BenchmarkHTTPRoundTrip(b *testing.B) {
 	b.ReportAllocs()
-	session := asyncg.New(asyncg.Options{
-		DisableTool: true,
-		Loop:        eventloop.Options{TickLimit: 100 * (b.N + 10)},
-	})
+	session := asyncg.New(
+		asyncg.Disabled(),
+		asyncg.WithLoop(eventloop.Options{TickLimit: 100 * (b.N + 10)}),
+	)
 	served := 0
 	_, err := session.Run(func(ctx *asyncg.Context) {
 		srv := ctx.CreateServer(asyncg.F("h", func(args []asyncg.Value) asyncg.Value {
@@ -425,9 +423,7 @@ func BenchmarkExportJSONRoundTrip(b *testing.B) {
 // benchGraph builds a representative graph once per benchmark.
 func benchGraph(b *testing.B) *asyncgraph.Graph {
 	b.Helper()
-	session := asyncg.New(asyncg.Options{
-		Loop: eventloop.Options{TickLimit: 100_000},
-	})
+	session := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 100_000}))
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		e := ctx.NewEmitter("bench")
 		ctx.On(e, "x", asyncg.F("l", func(args []asyncg.Value) asyncg.Value { return asyncg.Undefined }))

@@ -8,6 +8,7 @@
 //	acmeair-bench                 both figures with the default load
 //	acmeair-bench -fig 6a         throughput only
 //	acmeair-bench -fig 6b         API usage only
+//	acmeair-bench -fig 6b -metrics   plus the observability metrics report
 //	acmeair-bench -requests 5000 -clients 32 -seed 7
 package main
 
@@ -26,6 +27,7 @@ func main() {
 		requests = flag.Int("requests", 0, "total client requests (default from harness)")
 		clients  = flag.Int("clients", 0, "concurrent virtual clients")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		metrics  = flag.Bool("metrics", false, "print the observability metrics report next to Fig. 6b")
 	)
 	flag.Parse()
 
@@ -43,11 +45,11 @@ func main() {
 	case "6a":
 		run6a(load)
 	case "6b":
-		run6b(load)
+		run6b(load, *metrics)
 	case "all":
 		run6a(load)
 		fmt.Println()
-		run6b(load)
+		run6b(load, *metrics)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -65,11 +67,18 @@ func run6a(load experiments.LoadSpec) {
 	experiments.WriteFig6a(os.Stdout, rows)
 }
 
-func run6b(load experiments.LoadSpec) {
-	row, err := experiments.RunFig6b(load)
+func run6b(load experiments.LoadSpec, metrics bool) {
+	row, snapshot, _, err := experiments.RunFig6bDetailed(load)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	experiments.WriteFig6b(os.Stdout, row)
+	if metrics {
+		fmt.Println()
+		if err := snapshot.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

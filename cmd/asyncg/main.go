@@ -9,6 +9,9 @@
 //	asyncg -case SO-33330277 -fixed    run the fixed version
 //	asyncg -case fig4 -dot fig5.dot    export the graph in DOT
 //	asyncg -case fig4 -json fig5.json  export the graph log (website format)
+//	asyncg -case fig4 -trace t.json -trace-format chrome
+//	                                   export an event trace (chrome://tracing)
+//	asyncg -case fig4 -metrics         print the observability metrics report
 //	asyncg -table1                     run all Table I cases and summarize
 //	asyncg -table2                     print the related-work matrix
 package main
@@ -18,8 +21,10 @@ import (
 	"fmt"
 	"os"
 
+	"asyncg"
 	"asyncg/internal/casestudy"
 	"asyncg/internal/experiments"
+	"asyncg/internal/trace"
 )
 
 func main() {
@@ -35,8 +40,17 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print the tick-by-tick Async Graph timeline")
 		dumpAll  = flag.String("dump-all", "", "run every case and write <dir>/<id>.{json,dot,svg} (the artifact's runExamples.sh)")
 		maxTicks = flag.Int("maxticks", 0, "restrict exports to the first N ticks (the paper shows the first 3 ticks of Fig. 3)")
+		traceOut = flag.String("trace", "", "write an event trace of the run to this file")
+		traceFmt = flag.String("trace-format", "ndjson", "trace serialization: ndjson or chrome")
+		metrics  = flag.Bool("metrics", false, "print the observability metrics report after the run")
 	)
 	flag.Parse()
+
+	format, err := trace.ParseFormat(*traceFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	switch {
 	case *dumpAll != "":
@@ -50,7 +64,7 @@ func main() {
 	case *table1:
 		runTable1()
 	case *caseID != "":
-		runCase(*caseID, *fixed, *dotOut, *jsonOut, *svgOut, *timeline, *maxTicks)
+		runCase(*caseID, *fixed, *dotOut, *jsonOut, *svgOut, *timeline, *maxTicks, *traceOut, format, *metrics)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -103,11 +117,26 @@ func runTable1() {
 	}
 }
 
-func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline bool, maxTicks int) {
+func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline bool, maxTicks int, traceOut string, traceFormat asyncg.TraceFormat, metrics bool) {
 	c, ok := casestudy.ByID(id)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown case %q (try -list)\n", id)
 		os.Exit(2)
+	}
+	// Observability options ride along into the case's session.
+	var extra []asyncg.Option
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceFile = f
+		extra = append(extra, asyncg.WithTrace(f, traceFormat))
+	}
+	if metrics {
+		extra = append(extra, asyncg.WithMetrics())
 	}
 	var res casestudy.Result
 	if fixed {
@@ -115,9 +144,16 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 			fmt.Fprintf(os.Stderr, "case %s has no fixed version\n", id)
 			os.Exit(2)
 		}
-		res = casestudy.RunFixed(c)
+		res = casestudy.RunFixed(c, extra...)
 	} else {
-		res = casestudy.RunBuggy(c)
+		res = casestudy.RunBuggy(c, extra...)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", traceOut)
 	}
 	fmt.Printf("%s — %s\n", c.ID, c.Title)
 	fmt.Printf("ticks: %d, graph: %d nodes / %d edges / %d ticks\n",
@@ -133,6 +169,13 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 	}
 	for _, w := range res.Report.Warnings {
 		fmt.Printf("⚡ %s\n", w)
+	}
+	if metrics && res.Report.Metrics != nil {
+		fmt.Println()
+		if err := res.Report.Metrics.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		fmt.Println()
 	}
 	graph := res.Report.Graph
 	if maxTicks > 0 {

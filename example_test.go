@@ -10,7 +10,7 @@ import (
 // ExampleSession_Run shows the §III ordering surprise: callbacks run by
 // queue priority, not registration order.
 func ExampleSession_Run() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	_, _ = session.Run(func(ctx *asyncg.Context) {
 		ctx.Then(ctx.Resolve("p"), asyncg.F("reaction", func(args []asyncg.Value) asyncg.Value {
 			fmt.Println("2: promise reaction")
@@ -34,7 +34,7 @@ func ExampleSession_Run() {
 // ExampleReport_HasWarning shows automatic bug detection: a dead emit is
 // flagged because the event fires before any listener exists.
 func ExampleReport_HasWarning() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, _ := session.Run(func(ctx *asyncg.Context) {
 		e := ctx.NewEmitter("bus")
 		ctx.Emit(e, "ready") // nobody is listening yet
@@ -52,7 +52,7 @@ func ExampleReport_HasWarning() {
 // ExampleContext_Async shows async/await over the virtual clock: a
 // one-hour timeout completes instantly in wall time.
 func ExampleContext_Async() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	_, _ = session.Run(func(ctx *asyncg.Context) {
 		slow := ctx.NewPromise(nil)
 		ctx.SetTimeout(asyncg.F("resolver", func(args []asyncg.Value) asyncg.Value {
@@ -75,7 +75,7 @@ func ExampleContext_Async() {
 // ExampleGraph_ticks shows how the Async Graph groups executions into
 // event-loop ticks.
 func Example_graphTicks() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, _ := session.Run(func(ctx *asyncg.Context) {
 		ctx.NextTick(asyncg.F("a", func(args []asyncg.Value) asyncg.Value {
 			return asyncg.Undefined

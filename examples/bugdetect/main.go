@@ -58,7 +58,7 @@ func fixed(ctx *asyncg.Context) {
 
 func run(name string, program func(*asyncg.Context)) {
 	fmt.Printf("--- %s ---\n", name)
-	report, err := asyncg.New(asyncg.Options{}).Run(program)
+	report, err := asyncg.New().Run(program)
 	if err != nil {
 		fmt.Println("run error:", err)
 		return

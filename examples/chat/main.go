@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	transcript := []string{}
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		net := ctx.Net()

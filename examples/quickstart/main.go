@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		// The §III motivating snippet: three callbacks registered in
 		// one order, executed in another.

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		// A "latest result" cache written by two concurrent lookups.
 		latest := ctx.NewCell("latestPrice", asyncg.Undefined)
@@ -53,7 +53,7 @@ func main() {
 	}
 
 	fmt.Println("\nThe fixed pattern chains the lookups, so the graph orders the writes:")
-	fixedReport, err := asyncg.New(asyncg.Options{}).Run(func(ctx *asyncg.Context) {
+	fixedReport, err := asyncg.New().Run(func(ctx *asyncg.Context) {
 		latest := ctx.NewCell("latestPrice", asyncg.Undefined)
 		prices := ctx.DB().C("prices")
 		prices.InsertSync(mongosim.Document{"sym": "GOOG", "price": 101})

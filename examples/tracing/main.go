@@ -1,0 +1,60 @@
+// Tracing: run a small event-loop program with the observability layer
+// attached — a Chrome trace (load trace.json in chrome://tracing or
+// https://ui.perfetto.dev) and an online metrics report.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"asyncg"
+)
+
+func main() {
+	traceFile, err := os.Create("trace.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer traceFile.Close()
+
+	session := asyncg.New(
+		asyncg.WithTrace(traceFile, asyncg.TraceChrome),
+		asyncg.WithMetrics(),
+	)
+	report, err := session.Run(func(ctx *asyncg.Context) {
+		// A busy interval competing with a slow timer: the trace shows
+		// the phase spans, the metrics show the loop lag it causes.
+		var n int
+		var id uint64
+		id = ctx.SetInterval(asyncg.F("heartbeat", func(args []asyncg.Value) asyncg.Value {
+			n++
+			ctx.Work(500 * time.Microsecond)
+			if n == 5 {
+				ctx.ClearInterval(id)
+			}
+			return asyncg.Undefined
+		}), time.Millisecond)
+		ctx.SetTimeout(asyncg.F("slowJob", func(args []asyncg.Value) asyncg.Value {
+			ctx.Work(10 * time.Millisecond) // blocks later heartbeats
+			return asyncg.Undefined
+		}), 2*time.Millisecond)
+		ctx.NextTick(asyncg.F("setup", func(args []asyncg.Value) asyncg.Value {
+			return asyncg.Undefined
+		}))
+	})
+	if err != nil {
+		fmt.Println("run error:", err)
+		return
+	}
+
+	fmt.Printf("wrote trace.json (%d events, %d dropped)\n",
+		len(session.Exporter().Events()), session.Exporter().Dropped())
+	fmt.Println()
+	if err := report.Metrics.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	report, err := session.Run(func(ctx *asyncg.Context) {
 		srv := ctx.CreateServer(asyncg.F("accept", func(args []asyncg.Value) asyncg.Value {
 			req := args[0].(*asyncg.IncomingMessage)

@@ -13,12 +13,13 @@ import (
 
 	"asyncg"
 	"asyncg/internal/asyncgraph"
+	"asyncg/internal/detect"
 	"asyncg/internal/loc"
 	"asyncg/internal/mongosim"
 )
 
 func TestFullStackIntegration(t *testing.T) {
-	session := asyncg.New(asyncg.Options{})
+	session := asyncg.New()
 	var audit []string
 
 	report, err := session.Run(func(ctx *asyncg.Context) {
@@ -134,7 +135,7 @@ func TestFullStackIntegration(t *testing.T) {
 
 	// No unexpected warnings on a healthy program: dead-emit /
 	// recursive / mixing categories must be absent.
-	for _, cat := range []string{"dead-emit", "recursive-microtask", "mixing-similar-apis"} {
+	for _, cat := range []detect.Category{detect.CatDeadEmit, detect.CatRecursiveMicrotask, detect.CatMixedAPIs} {
 		if report.HasWarning(cat) {
 			t.Errorf("unexpected %s warning: %v", cat, report.WarningsOf(cat))
 		}

@@ -139,9 +139,14 @@ type Tick struct {
 // Name renders the paper's tick label, e.g. "t3:io".
 func (t *Tick) Name() string { return fmt.Sprintf("t%d:%s", t.Index, t.Phase) }
 
+// Category identifies a warning's bug class. The detect package defines
+// the canonical constants (one per detector of the paper's §VI); typed
+// categories keep callers from silently filtering on a typo'd string.
+type Category string
+
 // Warning is a bug-detector finding attached to a node.
 type Warning struct {
-	Category string
+	Category Category
 	Message  string
 	Node     NodeID
 	Loc      loc.Loc
@@ -202,7 +207,7 @@ func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind, label string) {
 
 // AddWarning attaches a detector finding to a node (NoNode allowed for
 // program-level warnings).
-func (g *Graph) AddWarning(node NodeID, category, message string, at loc.Loc) {
+func (g *Graph) AddWarning(node NodeID, category Category, message string, at loc.Loc) {
 	g.Warnings = append(g.Warnings, Warning{Category: category, Message: message, Node: node, Loc: at})
 	if n := g.Node(node); n != nil {
 		n.Warnings = append(n.Warnings, fmt.Sprintf("%s: %s", category, message))

@@ -94,7 +94,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	}
 	for _, jw := range in.Warnings {
 		g.Warnings = append(g.Warnings, Warning{
-			Category: jw.Category,
+			Category: Category(jw.Category),
 			Message:  jw.Message,
 			Node:     NodeID(jw.Node),
 		})
@@ -156,7 +156,7 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	}
 	for _, warn := range g.Warnings {
 		out.Warnings = append(out.Warnings, jsonWarning{
-			Category: warn.Category,
+			Category: string(warn.Category),
 			Message:  warn.Message,
 			Node:     int(warn.Node),
 			Loc:      warn.Loc.String(),

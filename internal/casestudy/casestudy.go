@@ -12,6 +12,7 @@ import (
 
 	"asyncg"
 	"asyncg/internal/asyncgraph"
+	"asyncg/internal/detect"
 	"asyncg/internal/eventloop"
 )
 
@@ -25,7 +26,7 @@ type Case struct {
 	Category string
 	// Expect lists the detector categories the buggy version must
 	// trigger (usually one; the Table I category's detector).
-	Expect []string
+	Expect []detect.Category
 	// TickLimit bounds non-terminating programs; 0 means 500.
 	TickLimit int
 	// Buggy is the program as reported.
@@ -45,9 +46,9 @@ type Result struct {
 	Report  *asyncg.Report
 	Err     error // ErrTickLimit is expected for starvation bugs
 	Fixed   bool
-	Matched []string // which Expect categories were found (buggy runs)
-	Missing []string // Expect categories not found (buggy runs)
-	Leaked  []string // Expect categories found in a fixed run
+	Matched []detect.Category // which Expect categories were found (buggy runs)
+	Missing []detect.Category // Expect categories not found (buggy runs)
+	Leaked  []detect.Category // Expect categories found in a fixed run
 }
 
 // Clean reports whether the run met its expectation.
@@ -95,21 +96,21 @@ func ByID(id string) (Case, bool) {
 	return Case{}, false
 }
 
-// session creates the analysis session for a case.
-func session(c Case) *asyncg.Session {
+// session creates the analysis session for a case; extra options (e.g.
+// asyncg.WithTrace, asyncg.WithMetrics from the CLI) ride along.
+func session(c Case, extra ...asyncg.Option) *asyncg.Session {
 	limit := c.TickLimit
 	if limit == 0 {
 		limit = 500
 	}
-	return asyncg.New(asyncg.Options{
-		Loop: eventloop.Options{TickLimit: limit},
-	})
+	opts := append([]asyncg.Option{asyncg.WithLoop(eventloop.Options{TickLimit: limit})}, extra...)
+	return asyncg.New(opts...)
 }
 
 // RunBuggy executes the buggy program under AsyncG and checks the
 // expected categories.
-func RunBuggy(c Case) Result {
-	report, err := session(c).Run(c.Buggy)
+func RunBuggy(c Case, extra ...asyncg.Option) Result {
+	report, err := session(c, extra...).Run(c.Buggy)
 	if c.Manual != nil {
 		report.Warnings = append(report.Warnings, c.Manual(report)...)
 	}
@@ -126,11 +127,11 @@ func RunBuggy(c Case) Result {
 
 // RunFixed executes the fixed program (when present) and checks that the
 // buggy categories are gone.
-func RunFixed(c Case) Result {
+func RunFixed(c Case, extra ...asyncg.Option) Result {
 	if c.Fixed == nil {
 		return Result{Case: c, Fixed: true}
 	}
-	report, err := session(c).Run(c.Fixed)
+	report, err := session(c, extra...).Run(c.Fixed)
 	res := Result{Case: c, Report: report, Err: err, Fixed: true}
 	for _, cat := range c.Expect {
 		if report.HasWarning(cat) {

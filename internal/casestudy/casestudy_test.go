@@ -97,7 +97,7 @@ func TestFig3GraphShape(t *testing.T) {
 	}
 	hasDead := false
 	for _, w := range serverCR.Warnings {
-		if strings.Contains(w, detect.CatDeadListener) {
+		if strings.Contains(w, string(detect.CatDeadListener)) {
 			hasDead = true
 		}
 	}

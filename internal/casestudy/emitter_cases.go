@@ -33,7 +33,7 @@ func caseSO38140113() Case {
 		ID:       "SO-38140113",
 		Title:    "emit inside the constructor vs inside nextTick",
 		Category: "Dead Emits",
-		Expect:   []string{detect.CatDeadEmit},
+		Expect:   []detect.Category{detect.CatDeadEmit},
 		Buggy:    func(ctx *asyncg.Context) { build(ctx, false) },
 		Fixed:    func(ctx *asyncg.Context) { build(ctx, true) },
 	}
@@ -70,7 +70,7 @@ func caseSO32559324() Case {
 		ID:       "SO-32559324",
 		Title:    "stream emits synchronously before listeners attach",
 		Category: "Dead Emits",
-		Expect:   []string{detect.CatDeadEmit, detect.CatDeadListener},
+		Expect:   []detect.Category{detect.CatDeadEmit, detect.CatDeadListener},
 		Buggy:    func(ctx *asyncg.Context) { build(ctx, false) },
 		Fixed:    func(ctx *asyncg.Context) { build(ctx, true) },
 	}
@@ -83,7 +83,7 @@ func caseSO30724625() Case {
 		ID:       "SO-30724625",
 		Title:    "listener and emit on different emitter instances",
 		Category: "Dead Emits",
-		Expect:   []string{detect.CatDeadEmit, detect.CatDeadListener},
+		Expect:   []detect.Category{detect.CatDeadEmit, detect.CatDeadListener},
 		Buggy: func(ctx *asyncg.Context) {
 			newClient := func() *asyncg.Emitter { return ctx.NewEmitter("client") }
 			a := newClient()
@@ -110,7 +110,7 @@ func caseSO10444077() Case {
 		ID:       "SO-10444077",
 		Title:    "removeListener with a different function identity",
 		Category: "Invalid Listener Removal",
-		Expect:   []string{detect.CatInvalidRemoval},
+		Expect:   []detect.Category{detect.CatInvalidRemoval},
 		Buggy: func(ctx *asyncg.Context) {
 			e := ctx.NewEmitter("e")
 			makeHandler := func() *asyncg.Function {
@@ -142,7 +142,7 @@ func caseSO45881685() Case {
 		ID:       "SO-45881685",
 		Title:    "the same listener registered on every subscribe call",
 		Category: "Duplicate Listeners",
-		Expect:   []string{detect.CatDuplicateListener},
+		Expect:   []detect.Category{detect.CatDuplicateListener},
 		Buggy: func(ctx *asyncg.Context) {
 			bus := ctx.NewEmitter("bus")
 			onUpdate := asyncg.F("onUpdate", func(args []asyncg.Value) asyncg.Value {
@@ -177,7 +177,7 @@ func caseSO17894000() Case {
 		ID:       "SO-17894000",
 		Title:    "'close' listener registered inside the 'data' listener",
 		Category: "Add Listener within Listener",
-		Expect:   []string{detect.CatListenerInListener},
+		Expect:   []detect.Category{detect.CatListenerInListener},
 		Buggy: func(ctx *asyncg.Context) {
 			client, server := ctx.Net().Pipe(loc.Here())
 			server.On(loc.Here(), netio.EventData, asyncg.F("onData", func(args []asyncg.Value) asyncg.Value {

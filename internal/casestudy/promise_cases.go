@@ -18,7 +18,7 @@ func caseSO50996870() Case {
 		ID:        "SO-50996870",
 		Title:     "missing return disconnects the DB promise chain",
 		Category:  "Broken Promise Chain",
-		Expect:    []string{detect.CatBrokenChain, detect.CatMissingReturn},
+		Expect:    []detect.Category{detect.CatBrokenChain, detect.CatMissingReturn},
 		TickLimit: 2000,
 		Buggy: func(ctx *asyncg.Context) {
 			users := ctx.DB().C("users")
@@ -80,7 +80,7 @@ func caseSO43422932() Case {
 		ID:       "SO-43422932",
 		Title:    "async function called without await",
 		Category: "Missing Reaction",
-		Expect:   []string{detect.CatMissingReaction},
+		Expect:   []detect.Category{detect.CatMissingReaction},
 		Buggy: func(ctx *asyncg.Context) {
 			result := fetchJSON(ctx) // BUG: missing await
 			_ = result               // used as if it were the JSON value
@@ -106,7 +106,7 @@ func caseGHVuex2() Case {
 		ID:        "GH-vuex-2",
 		Title:     "then callback ignores the promises its actions produce",
 		Category:  "Missing Return In Then",
-		Expect:    []string{detect.CatMissingReturn},
+		Expect:    []detect.Category{detect.CatMissingReturn},
 		TickLimit: 2000,
 		Buggy: func(ctx *asyncg.Context) {
 			runAction := func(name string) *asyncg.Promise {
@@ -160,7 +160,7 @@ func caseGHFlock13() Case {
 		ID:        "GH-flock-13",
 		Title:     "migration chain without exception handler",
 		Category:  "Missing Exceptional Reaction",
-		Expect:    []string{detect.CatMissingRejectHandler},
+		Expect:    []detect.Category{detect.CatMissingRejectHandler},
 		TickLimit: 2000,
 		Buggy: func(ctx *asyncg.Context) {
 			migrations := ctx.DB().C("migrations")
@@ -200,7 +200,7 @@ func caseSO31978347() Case {
 		ID:        "SO-31978347",
 		Title:     "reads state before the async callback populated it",
 		Category:  "Expect Sync Callback",
-		Expect:    []string{detect.CatExpectSyncCallback},
+		Expect:    []detect.Category{detect.CatExpectSyncCallback},
 		TickLimit: 2000,
 		Buggy: func(ctx *asyncg.Context) {
 			users := ctx.DB().C("users")
@@ -245,7 +245,7 @@ func caseFig4() Case {
 		ID:       "fig4",
 		Title:    "Example 2: promises and emitters combined (Fig. 4)",
 		Category: "Dead Emits + Missing Exceptional Reaction",
-		Expect: []string{
+		Expect: []detect.Category{
 			detect.CatDeadEmit,
 			detect.CatDeadListener,
 			detect.CatMissingRejectHandler,

@@ -17,7 +17,7 @@ func caseSO33330277() Case {
 		ID:       "SO-33330277",
 		Title:    "recursive nextTick blocks the event loop (Fig. 1)",
 		Category: "Recursive Micro Tasks",
-		Expect:   []string{detect.CatRecursiveMicrotask, detect.CatDeadListener},
+		Expect:   []detect.Category{detect.CatRecursiveMicrotask, detect.CatDeadListener},
 		// The graph "grows infinitely"; the paper shows the first
 		// ticks, we keep the first ~60.
 		TickLimit: 60,
@@ -93,7 +93,7 @@ func caseSO30515037() Case {
 		ID:        "SO-30515037",
 		Title:     "nextTick busy-wait on a flag set by a timer",
 		Category:  "Recursive Micro Tasks",
-		Expect:    []string{detect.CatRecursiveMicrotask},
+		Expect:    []detect.Category{detect.CatRecursiveMicrotask},
 		TickLimit: 100,
 		Buggy:     func(ctx *asyncg.Context) { buggy(ctx, false) },
 		Fixed:     func(ctx *asyncg.Context) { buggy(ctx, true) },
@@ -108,7 +108,7 @@ func caseGHNpm12754() Case {
 		ID:        "GH-npm-12754",
 		Title:     "npm work-queue drainer loops on process.nextTick",
 		Category:  "Recursive Micro Tasks",
-		Expect:    []string{detect.CatRecursiveMicrotask},
+		Expect:    []detect.Category{detect.CatRecursiveMicrotask},
 		TickLimit: 100,
 		Buggy: func(ctx *asyncg.Context) {
 			pendingIO := 1
@@ -154,7 +154,7 @@ func caseSO28830663() Case {
 		ID:       "SO-28830663",
 		Title:    "direct call vs nextTick vs setImmediate ordering",
 		Category: "Mixing Similar APIs",
-		Expect:   []string{detect.CatMixedAPIs},
+		Expect:   []detect.Category{detect.CatMixedAPIs},
 		Buggy: func(ctx *asyncg.Context) {
 			var order []string
 			ctx.SetImmediate(asyncg.F("first", func(args []asyncg.Value) asyncg.Value {
@@ -192,7 +192,7 @@ func caseMotivation() Case {
 		ID:       "motivation",
 		Title:    "§III: assumed registration order crashes on nextTick",
 		Category: "Mixing Similar APIs",
-		Expect:   []string{detect.CatMixedAPIs},
+		Expect:   []detect.Category{detect.CatMixedAPIs},
 		Buggy: func(ctx *asyncg.Context) {
 			var foo asyncg.Value = asyncg.Undefined
 			p := ctx.Resolve(map[string]asyncg.Value{})

@@ -14,29 +14,87 @@
 package detect
 
 import (
+	"sort"
+
 	"asyncg/internal/asyncgraph"
 	"asyncg/internal/vm"
 )
 
+// Category is the typed identity of a warning's bug class. It aliases
+// the graph-level type so detector findings and report filters share one
+// vocabulary; using the constants below (rather than bare strings) means
+// a typo'd category is a compile error, not a silently-empty filter.
+type Category = asyncgraph.Category
+
 // Warning categories, one per bug class of the paper's §VI.
 const (
-	CatRecursiveMicrotask   = "recursive-microtask"
-	CatMicroStarvation      = "microtask-starvation"
-	CatMixedAPIs            = "mixing-similar-apis"
-	CatTimeoutOrder         = "unexpected-timeout-order"
-	CatDeadListener         = "dead-listener"
-	CatDeadEmit             = "dead-emit"
-	CatInvalidRemoval       = "invalid-listener-removal"
-	CatDuplicateListener    = "duplicate-listener"
-	CatListenerInListener   = "add-listener-within-listener"
-	CatDeadPromise          = "dead-promise"
-	CatMissingReaction      = "missing-reaction"
-	CatMissingRejectHandler = "missing-reject-handler"
-	CatMissingReturn        = "missing-return"
-	CatDoubleSettle         = "double-settle"
-	CatExpectSyncCallback   = "expect-sync-callback"
-	CatBrokenChain          = "broken-promise-chain"
+	CatRecursiveMicrotask   Category = "recursive-microtask"
+	CatMicroStarvation      Category = "microtask-starvation"
+	CatMixedAPIs            Category = "mixing-similar-apis"
+	CatTimeoutOrder         Category = "unexpected-timeout-order"
+	CatDeadListener         Category = "dead-listener"
+	CatDeadEmit             Category = "dead-emit"
+	CatInvalidRemoval       Category = "invalid-listener-removal"
+	CatDuplicateListener    Category = "duplicate-listener"
+	CatListenerInListener   Category = "add-listener-within-listener"
+	CatDeadPromise          Category = "dead-promise"
+	CatMissingReaction      Category = "missing-reaction"
+	CatMissingRejectHandler Category = "missing-reject-handler"
+	CatMissingReturn        Category = "missing-return"
+	CatDoubleSettle         Category = "double-settle"
+	CatExpectSyncCallback   Category = "expect-sync-callback"
+	CatBrokenChain          Category = "broken-promise-chain"
 )
+
+// Family groups warning categories by the detector subsystem that emits
+// them — the paper's §VI section structure.
+type Family string
+
+// Detector families.
+const (
+	FamilyScheduling Family = "scheduling"
+	FamilyEmitter    Family = "emitter"
+	FamilyPromise    Family = "promise"
+	FamilyRace       Family = "race"
+)
+
+// families maps every known category to its detector family.
+var families = map[Category]Family{
+	CatRecursiveMicrotask:   FamilyScheduling,
+	CatMicroStarvation:      FamilyScheduling,
+	CatMixedAPIs:            FamilyScheduling,
+	CatTimeoutOrder:         FamilyScheduling,
+	CatDeadListener:         FamilyEmitter,
+	CatDeadEmit:             FamilyEmitter,
+	CatInvalidRemoval:       FamilyEmitter,
+	CatDuplicateListener:    FamilyEmitter,
+	CatListenerInListener:   FamilyEmitter,
+	CatExpectSyncCallback:   FamilyEmitter,
+	CatDeadPromise:          FamilyPromise,
+	CatMissingReaction:      FamilyPromise,
+	CatMissingRejectHandler: FamilyPromise,
+	CatMissingReturn:        FamilyPromise,
+	CatDoubleSettle:         FamilyPromise,
+	CatBrokenChain:          FamilyPromise,
+	CatRace:                 FamilyRace,
+}
+
+// FamilyOf returns the detector family of a category, or "" for unknown
+// categories (e.g. manual §VI-B query labels).
+func FamilyOf(c Category) Family { return families[c] }
+
+// Categories returns every category of a family, or all known categories
+// when family is "". The result is sorted for stable iteration.
+func Categories(family Family) []Category {
+	var out []Category
+	for c, f := range families {
+		if family == "" || f == family {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Config enables detector families and sets thresholds.
 type Config struct {
@@ -129,7 +187,7 @@ func NewAnalyzer(b *asyncgraph.Builder, cfg Config) *Analyzer {
 func (a *Analyzer) Warnings() []asyncgraph.Warning { return a.g.Warnings }
 
 // WarningsOf returns the findings in the given category.
-func (a *Analyzer) WarningsOf(category string) []asyncgraph.Warning {
+func (a *Analyzer) WarningsOf(category Category) []asyncgraph.Warning {
 	var out []asyncgraph.Warning
 	for _, w := range a.g.Warnings {
 		if w.Category == category {

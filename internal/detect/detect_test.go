@@ -37,7 +37,7 @@ func analyze(t *testing.T, program func(l *eventloop.Loop)) *Analyzer {
 	return a
 }
 
-func wantWarning(t *testing.T, a *Analyzer, category string) asyncgraph.Warning {
+func wantWarning(t *testing.T, a *Analyzer, category Category) asyncgraph.Warning {
 	t.Helper()
 	ws := a.WarningsOf(category)
 	if len(ws) == 0 {
@@ -46,7 +46,7 @@ func wantWarning(t *testing.T, a *Analyzer, category string) asyncgraph.Warning 
 	return ws[0]
 }
 
-func wantNoWarning(t *testing.T, a *Analyzer, category string) {
+func wantNoWarning(t *testing.T, a *Analyzer, category Category) {
 	t.Helper()
 	if ws := a.WarningsOf(category); len(ws) != 0 {
 		t.Fatalf("unexpected %q warnings: %v", category, ws)

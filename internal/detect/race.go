@@ -15,7 +15,7 @@ import (
 // paper's §IX ongoing research ("race conditions caused by
 // non-deterministic event ordering"), implemented here on top of the
 // Async Graph's causal edges.
-const CatRace = "event-race"
+const CatRace Category = "event-race"
 
 // access is one recorded read or write of a shared cell.
 type access struct {

@@ -84,11 +84,12 @@ type Loop struct {
 	io     ioHeap
 	closeQ fifo
 
-	timerSeq uint64 // ids for timers and immediates
-	orderSeq uint64 // scheduling tie-breakers
-	regSeq   uint64 // callback-registration sequence (probe protocol)
-	trigSeq  uint64 // trigger sequence (probe protocol)
-	objSeq   uint64 // object identity (emitters, promises, sockets)
+	timerSeq  uint64 // ids for timers and immediates
+	orderSeq  uint64 // scheduling tie-breakers
+	regSeq    uint64 // callback-registration sequence (probe protocol)
+	trigSeq   uint64 // trigger sequence (probe protocol)
+	objSeq    uint64 // object identity (emitters, promises, sockets)
+	iteration uint64 // loop-iteration count (probe protocol)
 
 	ticksRun int
 	uncaught []UncaughtError
@@ -309,8 +310,14 @@ func (l *Loop) Run(main *vm.Function, args ...vm.Value) error {
 	l.invokeTop(task{fn: main, args: args, dispatch: &vm.Dispatch{API: "main"}}, PhaseMain)
 	l.drainMicro()
 	for l.stopErr == nil && l.hasWork() {
+		l.iteration++
 		l.now += l.opts.IterationCost
 		l.advanceClock()
+		if l.probes.WantLoop() {
+			l.probes.LoopIteration(&vm.LoopInfo{
+				Iteration: l.iteration, Now: l.now, Depths: l.Depths(),
+			})
+		}
 		l.runTimerPhase()
 		l.runIOPhase()
 		l.runImmediatePhase()
@@ -320,6 +327,26 @@ func (l *Loop) Run(main *vm.Function, args ...vm.Value) error {
 		return nil
 	}
 	return l.stopErr
+}
+
+// phaseEnter announces a macro-phase entry when probes subscribe and the
+// phase has runnable work; it reports whether a matching phaseExit is
+// owed. Skipping idle phases keeps trace volume proportional to work.
+func (l *Loop) phaseEnter(phase Phase, runnable int) bool {
+	if runnable == 0 || !l.probes.WantPhases() {
+		return false
+	}
+	l.probes.PhaseEnter(&vm.PhaseInfo{
+		Phase: string(phase), Now: l.now, Iteration: l.iteration, Runnable: runnable,
+	})
+	return true
+}
+
+// phaseExit closes a phase span opened by phaseEnter.
+func (l *Loop) phaseExit(phase Phase, runnable int) {
+	l.probes.PhaseExit(&vm.PhaseInfo{
+		Phase: string(phase), Now: l.now, Iteration: l.iteration, Runnable: runnable,
+	})
 }
 
 // runTimerPhase executes every timer whose deadline has passed, in
@@ -334,6 +361,8 @@ func (l *Loop) runTimerPhase() {
 		}
 		due = append(due, l.timers.removeMin())
 	}
+	span := l.phaseEnter(PhaseTimer, len(due))
+	wantFires := l.probes.WantTimers()
 	for _, t := range due {
 		if l.stopErr != nil {
 			// Not executed: put it back so hasWork stays truthful.
@@ -342,6 +371,11 @@ func (l *Loop) runTimerPhase() {
 		}
 		if t.cleared { // cleared by an earlier callback in this phase
 			continue
+		}
+		if wantFires {
+			l.probes.TimerFired(&vm.TimerFire{
+				ID: t.id, Scheduled: t.due, Fired: l.now, Interval: t.interval > 0,
+			})
 		}
 		l.invokeTop(t.task, PhaseTimer)
 		if t.interval > 0 && !t.cleared {
@@ -356,6 +390,9 @@ func (l *Loop) runTimerPhase() {
 		}
 		l.drainMicro()
 	}
+	if span {
+		l.phaseExit(PhaseTimer, len(due))
+	}
 }
 
 // runIOPhase delivers external events whose virtual arrival time has
@@ -369,6 +406,7 @@ func (l *Loop) runIOPhase() {
 		}
 		ready = append(ready, l.io.removeMin())
 	}
+	span := l.phaseEnter(PhaseIO, len(ready))
 	for _, e := range ready {
 		if l.stopErr != nil {
 			l.io.add(e)
@@ -377,6 +415,9 @@ func (l *Loop) runIOPhase() {
 		l.invokeTop(e.task, PhaseIO)
 		l.drainMicro()
 	}
+	if span {
+		l.phaseExit(PhaseIO, len(ready))
+	}
 }
 
 // runImmediatePhase executes the immediates queued before the phase
@@ -384,6 +425,8 @@ func (l *Loop) runIOPhase() {
 // (Node's check-phase snapshot semantics).
 func (l *Loop) runImmediatePhase() {
 	n := len(l.immediates)
+	span := l.phaseEnter(PhaseImmediate, n-l.immHead)
+	runnable := n - l.immHead
 	for l.immHead < n {
 		im := l.immediates[l.immHead]
 		l.immediates[l.immHead] = nil
@@ -403,11 +446,15 @@ func (l *Loop) runImmediatePhase() {
 		l.immediates = l.immediates[:0]
 		l.immHead = 0
 	}
+	if span {
+		l.phaseExit(PhaseImmediate, runnable)
+	}
 }
 
 // runClosePhase executes close handlers queued before the phase started.
 func (l *Loop) runClosePhase() {
 	n := l.closeQ.len()
+	span := l.phaseEnter(PhaseClose, n)
 	for i := 0; i < n; i++ {
 		t, ok := l.closeQ.pop()
 		if !ok {
@@ -418,5 +465,8 @@ func (l *Loop) runClosePhase() {
 		}
 		l.invokeTop(t, PhaseClose)
 		l.drainMicro()
+	}
+	if span {
+		l.phaseExit(PhaseClose, n)
 	}
 }

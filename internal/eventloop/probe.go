@@ -1,0 +1,61 @@
+package eventloop
+
+import "asyncg/internal/vm"
+
+// Probe is the single hook surface every observability consumer attaches
+// through — the Async Graph builder, the bug detectors, the instrument
+// tracer/counter, and the streaming trace exporter and metrics registry
+// all implement it and attach via Loop.Probes().Attach.
+//
+// The required methods are the NodeProf-style core of the paper's
+// instrumentation:
+//
+//	FunctionEnter(fn, info)  — a callback (top-level or nested) starts
+//	FunctionExit(fn, ret, thrown) — it returns or throws
+//	APICall(ev)              — an async API registers/triggers/binds
+//
+// A Probe may additionally implement any of the optional extension
+// interfaces, discovered once at Attach time (attaching a plain Probe
+// costs nothing extra):
+//
+//	PhaseProbe — PhaseEnter/PhaseExit at macro-phase boundaries
+//	LoopProbe  — LoopIteration once per loop turn, with queue depths
+//	TimerProbe — TimerFired with scheduled-vs-fired timestamps
+//
+// All probe methods run synchronously on the loop goroutine; they may
+// read Loop state (Now, Phase, Tick) but must not schedule work or block.
+type Probe = vm.Hooks
+
+// Optional Probe extensions and their event payloads, re-exported from
+// the vm probe protocol so consumers only import eventloop.
+type (
+	// PhaseProbe observes macro-phase boundaries. Phases with nothing
+	// runnable are skipped, keeping event volume proportional to work.
+	PhaseProbe = vm.PhaseHooks
+	// LoopProbe observes one event per loop iteration.
+	LoopProbe = vm.LoopHooks
+	// TimerProbe observes timer dispatches and their loop lag.
+	TimerProbe = vm.TimerHooks
+
+	// PhaseInfo accompanies PhaseEnter/PhaseExit.
+	PhaseInfo = vm.PhaseInfo
+	// LoopInfo accompanies LoopIteration.
+	LoopInfo = vm.LoopInfo
+	// TimerFire accompanies TimerFired.
+	TimerFire = vm.TimerFire
+	// QueueDepths is the per-queue backlog census carried by LoopInfo.
+	QueueDepths = vm.QueueDepths
+)
+
+// Depths returns the current per-queue backlog. Probes receive the same
+// census in LoopInfo; this accessor serves pull-style consumers.
+func (l *Loop) Depths() QueueDepths {
+	return QueueDepths{
+		NextTick:  l.nextTickQ.len(),
+		Promise:   l.promiseQ.len(),
+		Timer:     l.activeTimers,
+		IO:        l.io.Len(),
+		Immediate: l.activeImmediate,
+		Close:     l.closeQ.len(),
+	}
+}

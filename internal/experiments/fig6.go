@@ -18,6 +18,7 @@ import (
 	"asyncg/internal/instrument"
 	"asyncg/internal/mongosim"
 	"asyncg/internal/netio"
+	"asyncg/internal/trace"
 	"asyncg/internal/vm"
 	"asyncg/internal/workload"
 )
@@ -163,9 +164,21 @@ type Fig6bRow struct {
 
 // RunFig6b drives AcmeAir with the usage counter attached.
 func RunFig6b(load LoadSpec) (Fig6bRow, error) {
+	row, _, _, err := RunFig6bDetailed(load)
+	return row, err
+}
+
+// RunFig6bDetailed drives AcmeAir with both the Fig. 6(b) usage counter
+// and the trace metrics registry attached, returning the row plus the
+// snapshot and the raw counter so callers can cross-validate the two
+// measurement paths (their per-API execution counts must agree exactly)
+// or print the full metrics report next to the figure.
+func RunFig6bDetailed(load LoadSpec) (Fig6bRow, *trace.Snapshot, *instrument.Counter, error) {
 	loop := eventloop.New(eventloop.Options{TickLimit: 100_000_000})
 	counter := instrument.NewCounter()
 	loop.Probes().Attach(counter)
+	metrics := trace.NewMetrics(loop, trace.MetricsConfig{})
+	loop.Probes().Attach(metrics)
 	net := netio.New(loop, netio.Options{})
 	db := mongosim.New(loop, mongosim.Options{})
 	acmeair.LoadSampleData(db, load.Data)
@@ -184,18 +197,19 @@ func RunFig6b(load LoadSpec) (Fig6bRow, error) {
 		return vm.Undefined
 	})
 	if err := loop.Run(main); err != nil {
-		return Fig6bRow{}, err
+		return Fig6bRow{}, nil, nil, err
 	}
 	n := float64(driver.Stats().Completed)
 	if n == 0 {
-		return Fig6bRow{}, fmt.Errorf("experiments: no requests completed")
+		return Fig6bRow{}, nil, nil, fmt.Errorf("experiments: no requests completed")
 	}
-	return Fig6bRow{
+	row := Fig6bRow{
 		Requests: driver.Stats().Completed,
 		NextTick: float64(counter.NextTick) / n,
 		Emitter:  float64(counter.Emitter) / n,
 		Promise:  float64(counter.Promise) / n,
-	}, nil
+	}
+	return row, metrics.Snapshot(), counter, nil
 }
 
 // WriteFig6a renders the Fig. 6(a) rows as the harness's table.

@@ -96,3 +96,44 @@ func TestRunSettingRejectsUnknown(t *testing.T) {
 		t.Fatal("unknown setting accepted")
 	}
 }
+
+// TestFig6bMetricsParity is the acceptance check for the metrics
+// registry: on the same AcmeAir run, its per-API execution counts must
+// exactly equal the Fig. 6(b) instrument.Counter — two independent
+// probes measuring the same population.
+func TestFig6bMetricsParity(t *testing.T) {
+	row, snapshot, counter, err := RunFig6bDetailed(smallLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if snapshot == nil || counter == nil {
+		t.Fatal("detailed run lost the snapshot or counter")
+	}
+	got := snapshot.APIExecutions()
+	if len(got) != len(counter.ByAPI) {
+		t.Errorf("metrics track %d APIs, counter tracks %d", len(got), len(counter.ByAPI))
+	}
+	for api, want := range counter.ByAPI {
+		if got[api] != want {
+			t.Errorf("API %q: metrics count %d, counter %d", api, got[api], want)
+		}
+	}
+	for api := range got {
+		if _, ok := counter.ByAPI[api]; !ok {
+			t.Errorf("metrics track %q, counter does not", api)
+		}
+	}
+	if snapshot.Executions != counter.Executions {
+		t.Errorf("total executions: metrics %d, counter %d", snapshot.Executions, counter.Executions)
+	}
+	// AcmeAir is purely I/O-driven: no timers should fire at all.
+	if snapshot.TimerLag.Count != 0 {
+		t.Errorf("unexpected timer fires on AcmeAir: %d", snapshot.TimerLag.Count)
+	}
+	if snapshot.Iterations == 0 {
+		t.Error("no loop iterations observed")
+	}
+}

@@ -8,13 +8,24 @@ import (
 	"asyncg/internal/vm"
 )
 
-// Tracer is a hook that writes a human-readable line per probe event —
+// Tracer is a probe that writes a human-readable line per event —
 // useful when debugging programs (or the simulator) without building a
-// full Async Graph.
+// full Async Graph. It implements eventloop.Probe plus the optional
+// phase and timer extensions; for structured, machine-readable output
+// use internal/trace instead.
 type Tracer struct {
 	w     io.Writer
 	depth int
 }
+
+// The unified probe surface (eventloop.Probe and its extensions, aliased
+// from these vm interfaces) is what every consumer implements.
+var (
+	_ vm.Hooks      = (*Tracer)(nil)
+	_ vm.PhaseHooks = (*Tracer)(nil)
+	_ vm.TimerHooks = (*Tracer)(nil)
+	_ vm.Hooks      = (*Counter)(nil)
+)
 
 // NewTracer creates a tracer writing to w.
 func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
@@ -50,4 +61,17 @@ func (t *Tracer) APICall(ev *vm.APIEvent) {
 		detail = fmt.Sprintf("(%s)", ev.Event)
 	}
 	fmt.Fprintf(t.w, "%s* %s%s at %s\n", t.indent(), ev.API, detail, ev.Loc)
+}
+
+// PhaseEnter implements the optional phase extension.
+func (t *Tracer) PhaseEnter(info *vm.PhaseInfo) {
+	fmt.Fprintf(t.w, "%s-- phase %s (%d runnable) @%s\n", t.indent(), info.Phase, info.Runnable, info.Now)
+}
+
+// PhaseExit implements the optional phase extension.
+func (t *Tracer) PhaseExit(info *vm.PhaseInfo) {}
+
+// TimerFired implements the optional timer extension, reporting loop lag.
+func (t *Tracer) TimerFired(info *vm.TimerFire) {
+	fmt.Fprintf(t.w, "%s-- timer %d fires (scheduled %s, lag %s)\n", t.indent(), info.ID, info.Scheduled, info.Lag())
 }

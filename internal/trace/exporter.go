@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"asyncg/internal/vm"
+)
+
+// DefaultCapacity is the exporter's ring size when the config leaves it 0.
+const DefaultCapacity = 65536
+
+// ExporterConfig parameterizes an Exporter.
+type ExporterConfig struct {
+	// Capacity bounds the retained event count; 0 means DefaultCapacity.
+	Capacity int
+	// Policy picks which events to discard when the ring is full.
+	Policy DropPolicy
+	// Functions also records nested (non-top-level) callback frames as
+	// CE events. Off by default: top-level CEs are the tick structure;
+	// nested frames multiply event volume.
+	Functions bool
+	// Loops records one event per loop iteration with queue depths. Off
+	// by default; metrics consume iteration data without the ring cost.
+	Loops bool
+}
+
+// frame tracks one in-flight callback execution.
+type frame struct {
+	start    time.Duration
+	tick     int
+	phase    string
+	api      string
+	name     string
+	zone     string
+	topLevel bool
+}
+
+// Exporter converts the probe stream into structured Events in a bounded
+// ring buffer. It implements eventloop.Probe plus the phase, loop, and
+// timer extensions, so it attaches exactly like the Async Graph builder:
+//
+//	exp := trace.NewExporter(loop, trace.ExporterConfig{})
+//	loop.Probes().Attach(exp)
+//	... run ...
+//	exp.WriteTo(w, trace.FormatNDJSON)
+type Exporter struct {
+	clock Clock
+	cfg   ExporterConfig
+	ring  *Ring
+	seq   uint64
+	tick  int
+	stack []frame
+}
+
+// NewExporter creates an exporter reading virtual time from clock
+// (normally the *eventloop.Loop it attaches to).
+func NewExporter(clock Clock, cfg ExporterConfig) *Exporter {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	return &Exporter{clock: clock, cfg: cfg, ring: NewRing(cfg.Capacity, cfg.Policy)}
+}
+
+// emit stamps the sequence number and pushes the event.
+func (e *Exporter) emit(ev Event) {
+	e.seq++
+	ev.Seq = e.seq
+	e.ring.Push(ev)
+}
+
+// Ring exposes the underlying buffer (tests, custom sinks).
+func (e *Exporter) Ring() *Ring { return e.ring }
+
+// Dropped returns how many events fell outside the ring window.
+func (e *Exporter) Dropped() uint64 { return e.ring.Dropped() }
+
+// Events returns the retained events, oldest first.
+func (e *Exporter) Events() []Event { return e.ring.Events() }
+
+// FunctionEnter implements eventloop.Probe.
+func (e *Exporter) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	f := frame{start: e.clock.Now(), phase: info.Phase, topLevel: info.TopLevel, name: fn.Name}
+	if info.TopLevel {
+		e.tick++
+		f.tick = e.tick
+	}
+	if d := info.Dispatch; d != nil {
+		f.api = d.API
+		f.zone = d.Zone
+	}
+	e.stack = append(e.stack, f)
+}
+
+// FunctionExit implements eventloop.Probe. The CE event is emitted here
+// so it can carry the execution's virtual duration.
+func (e *Exporter) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.Thrown) {
+	if len(e.stack) == 0 {
+		return
+	}
+	f := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	if !f.topLevel && !e.cfg.Functions {
+		return
+	}
+	e.emit(Event{
+		Kind: KindCE, TS: f.start, Dur: e.clock.Now() - f.start,
+		Tick: f.tick, Phase: f.phase, API: f.api, Name: f.name,
+		Zone: f.zone, Thrown: thrown != nil,
+	})
+}
+
+// APICall implements eventloop.Probe: object bindings become OB events,
+// registrations CR events, triggers CT events, and anything else (clears,
+// removals) a generic API event.
+func (e *Exporter) APICall(ev *vm.APIEvent) {
+	now := e.clock.Now()
+	loc := ev.Loc.String()
+	structural := false
+	if strings.HasPrefix(ev.API, "new ") {
+		structural = true
+		e.emit(Event{
+			Kind: KindOB, TS: now, API: ev.API, Loc: loc,
+			Obj: ev.Receiver.ID, ObjKind: string(ev.Receiver.Kind),
+		})
+	}
+	for _, reg := range ev.Regs {
+		structural = true
+		name := ""
+		if reg.Callback != nil {
+			name = reg.Callback.Name
+		}
+		e.emit(Event{
+			Kind: KindCR, TS: now, API: ev.API, Name: name, Loc: loc,
+			Obj: ev.Receiver.ID, ObjKind: string(ev.Receiver.Kind),
+			RegSeq: reg.Seq, Phase: reg.Phase,
+		})
+	}
+	if ev.TriggerSeq != 0 {
+		structural = true
+		e.emit(Event{
+			Kind: KindCT, TS: now, API: ev.API, Name: ev.Event, Loc: loc,
+			Obj: ev.Receiver.ID, ObjKind: string(ev.Receiver.Kind),
+			TrigSeq: ev.TriggerSeq,
+		})
+	}
+	if !structural {
+		e.emit(Event{
+			Kind: KindAPI, TS: now, API: ev.API, Name: ev.Event, Loc: loc,
+			Obj: ev.Receiver.ID, ObjKind: string(ev.Receiver.Kind),
+		})
+	}
+}
+
+// PhaseEnter implements the optional phase extension.
+func (e *Exporter) PhaseEnter(info *vm.PhaseInfo) {
+	e.emit(Event{
+		Kind: KindPhaseEnter, TS: info.Now, Phase: info.Phase,
+		Iteration: info.Iteration, Runnable: info.Runnable,
+	})
+}
+
+// PhaseExit implements the optional phase extension.
+func (e *Exporter) PhaseExit(info *vm.PhaseInfo) {
+	e.emit(Event{
+		Kind: KindPhaseExit, TS: info.Now, Phase: info.Phase,
+		Iteration: info.Iteration, Runnable: info.Runnable,
+	})
+}
+
+// LoopIteration implements the optional loop extension.
+func (e *Exporter) LoopIteration(info *vm.LoopInfo) {
+	if !e.cfg.Loops {
+		return
+	}
+	depths := info.Depths
+	e.emit(Event{
+		Kind: KindLoop, TS: info.Now, Iteration: info.Iteration, Depths: &depths,
+	})
+}
+
+// TimerFired implements the optional timer extension.
+func (e *Exporter) TimerFired(info *vm.TimerFire) {
+	e.emit(Event{
+		Kind: KindTimerFire, TS: info.Fired, Obj: info.ID,
+		ObjKind: string(vm.ObjTimer), Lag: info.Lag(),
+	})
+}
+
+// WriteTo serializes the retained events in the given format.
+func (e *Exporter) WriteTo(w io.Writer, format Format) error {
+	switch format {
+	case FormatChrome:
+		return WriteChrome(w, e.Events(), e.Dropped())
+	default:
+		return WriteNDJSON(w, e.Events(), e.Dropped())
+	}
+}

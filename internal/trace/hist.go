@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"math/bits"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket 0
+// holds [0, 1µs), bucket i holds [2^(i-1), 2^i) µs, and the last bucket
+// absorbs everything above ~17 minutes of virtual time.
+const histBuckets = 31
+
+// Histogram is a fixed-size log₂ latency histogram over virtual time.
+// The zero value is ready to use; Observe is O(1) with no allocation, so
+// a million-request run costs a constant 31 counters per tracked API.
+type Histogram struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // [2^(b-1), 2^b) µs
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Buckets[bucketOf(d)]++
+	h.Count++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// Mean returns the average observed latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using
+// the containing bucket's bound — the usual log-histogram estimate.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			b := BucketBound(i)
+			if b > h.Max {
+				return h.Max
+			}
+			return b
+		}
+	}
+	return h.Max
+}

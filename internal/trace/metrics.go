@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"asyncg/internal/vm"
+)
+
+// MetricsConfig parameterizes a Metrics registry.
+type MetricsConfig struct {
+	// IncludeClientZone also counts callbacks of the simulated workload
+	// driver. Off by default: the paper's measurements run inside the
+	// server process, and the default keeps per-API counts identical to
+	// instrument.Counter (Fig. 6b).
+	IncludeClientZone bool
+}
+
+// PhaseStats aggregates the top-level callbacks of one loop phase.
+type PhaseStats struct {
+	// Ticks counts top-level callback executions in the phase.
+	Ticks int64
+	// Busy sums their virtual durations.
+	Busy time.Duration
+}
+
+// APIStats aggregates the callback executions registered by one API.
+type APIStats struct {
+	Count int64
+	// Latency is the virtual-time execution-duration histogram.
+	Latency Histogram
+}
+
+// LagStats aggregates timer loop lag (fire time minus deadline).
+type LagStats struct {
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average lag.
+func (l LagStats) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Count)
+}
+
+// Snapshot is a point-in-time copy of the registry, safe to retain after
+// the run.
+type Snapshot struct {
+	// Ticks counts all top-level callback executions.
+	Ticks int64
+	// Executions counts dispatched callback executions in scope (the
+	// Fig. 6b population: nested listener/reaction frames included,
+	// engine plumbing and out-of-zone callbacks excluded).
+	Executions int64
+	// Iterations counts event-loop turns.
+	Iterations uint64
+	// PerPhase maps phase name to its tick stats.
+	PerPhase map[string]PhaseStats
+	// PerAPI maps registering API to execution count and latency.
+	PerAPI map[string]APIStats
+	// QueueHighWater holds the maximum observed depth of each queue.
+	QueueHighWater vm.QueueDepths
+	// TimerLag aggregates timer fire delays.
+	TimerLag LagStats
+}
+
+// APIExecutions returns the per-API execution counts alone — the Fig. 6b
+// comparison surface.
+func (s *Snapshot) APIExecutions() map[string]int64 {
+	out := make(map[string]int64, len(s.PerAPI))
+	for api, st := range s.PerAPI {
+		out[api] = st.Count
+	}
+	return out
+}
+
+// mframe tracks one in-flight callback frame.
+type mframe struct {
+	start    time.Duration
+	api      string
+	phase    string
+	counted  bool
+	topLevel bool
+}
+
+// Metrics computes observability metrics online from the probe stream in
+// O(distinct APIs) memory. It implements eventloop.Probe plus the phase,
+// loop, and timer extensions and attaches through Loop.Probes() like
+// every other consumer.
+type Metrics struct {
+	clock Clock
+	cfg   MetricsConfig
+
+	ticks      int64
+	executions int64
+	iterations uint64
+	perPhase   map[string]*PhaseStats
+	perAPI     map[string]*APIStats
+	highWater  vm.QueueDepths
+	lag        LagStats
+	stack      []mframe
+}
+
+// NewMetrics creates a registry reading virtual time from clock
+// (normally the *eventloop.Loop it attaches to).
+func NewMetrics(clock Clock, cfg MetricsConfig) *Metrics {
+	return &Metrics{
+		clock:    clock,
+		cfg:      cfg,
+		perPhase: make(map[string]*PhaseStats),
+		perAPI:   make(map[string]*APIStats),
+	}
+}
+
+// inScope mirrors instrument.Counter's population: dispatched callbacks
+// only, excluding the synthetic main tick, engine-internal promise
+// plumbing, and (by default) the client zone.
+func (m *Metrics) inScope(d *vm.Dispatch) bool {
+	if d == nil || d.API == "main" || d.API == "promise.passthrough" {
+		return false
+	}
+	if d.Zone == "client" && !m.cfg.IncludeClientZone {
+		return false
+	}
+	return true
+}
+
+// FunctionEnter implements eventloop.Probe.
+func (m *Metrics) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
+	f := mframe{start: m.clock.Now(), phase: info.Phase, topLevel: info.TopLevel}
+	if d := info.Dispatch; m.inScope(d) {
+		f.counted = true
+		f.api = d.API
+		m.executions++
+		if _, ok := m.perAPI[f.api]; !ok {
+			m.perAPI[f.api] = &APIStats{}
+		}
+		m.perAPI[f.api].Count++
+	}
+	if info.TopLevel {
+		m.ticks++
+		ps, ok := m.perPhase[f.phase]
+		if !ok {
+			ps = &PhaseStats{}
+			m.perPhase[f.phase] = ps
+		}
+		ps.Ticks++
+	}
+	m.stack = append(m.stack, f)
+}
+
+// FunctionExit implements eventloop.Probe.
+func (m *Metrics) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.Thrown) {
+	if len(m.stack) == 0 {
+		return
+	}
+	f := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	dur := m.clock.Now() - f.start
+	if f.counted {
+		m.perAPI[f.api].Latency.Observe(dur)
+	}
+	if f.topLevel {
+		m.perPhase[f.phase].Busy += dur
+	}
+}
+
+// APICall implements eventloop.Probe. Registrations and triggers carry
+// no metric of their own; execution counting happens at dispatch.
+func (m *Metrics) APICall(ev *vm.APIEvent) {}
+
+// PhaseEnter implements the optional phase extension.
+func (m *Metrics) PhaseEnter(info *vm.PhaseInfo) {}
+
+// PhaseExit implements the optional phase extension.
+func (m *Metrics) PhaseExit(info *vm.PhaseInfo) {}
+
+// LoopIteration implements the optional loop extension, tracking queue
+// high-water marks.
+func (m *Metrics) LoopIteration(info *vm.LoopInfo) {
+	m.iterations = info.Iteration
+	d := info.Depths
+	if d.NextTick > m.highWater.NextTick {
+		m.highWater.NextTick = d.NextTick
+	}
+	if d.Promise > m.highWater.Promise {
+		m.highWater.Promise = d.Promise
+	}
+	if d.Timer > m.highWater.Timer {
+		m.highWater.Timer = d.Timer
+	}
+	if d.IO > m.highWater.IO {
+		m.highWater.IO = d.IO
+	}
+	if d.Immediate > m.highWater.Immediate {
+		m.highWater.Immediate = d.Immediate
+	}
+	if d.Close > m.highWater.Close {
+		m.highWater.Close = d.Close
+	}
+}
+
+// TimerFired implements the optional timer extension.
+func (m *Metrics) TimerFired(info *vm.TimerFire) {
+	lag := info.Lag()
+	if lag < 0 {
+		lag = 0
+	}
+	m.lag.Count++
+	m.lag.Total += lag
+	if lag > m.lag.Max {
+		m.lag.Max = lag
+	}
+}
+
+// Snapshot copies the registry's current state.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Ticks:          m.ticks,
+		Executions:     m.executions,
+		Iterations:     m.iterations,
+		PerPhase:       make(map[string]PhaseStats, len(m.perPhase)),
+		PerAPI:         make(map[string]APIStats, len(m.perAPI)),
+		QueueHighWater: m.highWater,
+		TimerLag:       m.lag,
+	}
+	for phase, ps := range m.perPhase {
+		s.PerPhase[phase] = *ps
+	}
+	for api, as := range m.perAPI {
+		s.PerAPI[api] = *as
+	}
+	return s
+}
+
+// phaseOrder lists phases in the loop's dispatch order for rendering.
+var phaseOrder = []string{"main", "nextTick", "promise", "timer", "io", "immediate", "close"}
+
+// WriteText renders the snapshot as an aligned report.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "metrics — %d ticks over %d loop iterations\n", s.Ticks, s.Iterations); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %10s %14s\n", "phase", "ticks", "busy(vtime)")
+	seen := make(map[string]bool)
+	writePhase := func(phase string) {
+		ps, ok := s.PerPhase[phase]
+		if !ok {
+			return
+		}
+		seen[phase] = true
+		fmt.Fprintf(w, "%-10s %10d %14s\n", phase, ps.Ticks, ps.Busy)
+	}
+	for _, phase := range phaseOrder {
+		writePhase(phase)
+	}
+	var rest []string
+	for phase := range s.PerPhase {
+		if !seen[phase] {
+			rest = append(rest, phase)
+		}
+	}
+	sort.Strings(rest)
+	for _, phase := range rest {
+		writePhase(phase)
+	}
+	hw := s.QueueHighWater
+	fmt.Fprintf(w, "queue high-water: nextTick=%d promise=%d timer=%d io=%d immediate=%d close=%d\n",
+		hw.NextTick, hw.Promise, hw.Timer, hw.IO, hw.Immediate, hw.Close)
+	if s.TimerLag.Count > 0 {
+		fmt.Fprintf(w, "timer lag: %d fires, mean %s, max %s\n",
+			s.TimerLag.Count, s.TimerLag.Mean(), s.TimerLag.Max)
+	}
+	fmt.Fprintf(w, "%-24s %10s %12s %12s %12s\n", "api", "execs", "lat mean", "lat p95", "lat max")
+	apis := make([]string, 0, len(s.PerAPI))
+	for api := range s.PerAPI {
+		apis = append(apis, api)
+	}
+	sort.Slice(apis, func(i, j int) bool {
+		if s.PerAPI[apis[i]].Count != s.PerAPI[apis[j]].Count {
+			return s.PerAPI[apis[i]].Count > s.PerAPI[apis[j]].Count
+		}
+		return apis[i] < apis[j]
+	})
+	for _, api := range apis {
+		as := s.PerAPI[api]
+		_, err := fmt.Fprintf(w, "%-24s %10d %12s %12s %12s\n",
+			api, as.Count, as.Latency.Mean(), as.Latency.Quantile(0.95), as.Latency.Max)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

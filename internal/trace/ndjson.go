@@ -1,0 +1,24 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteNDJSON streams events as newline-delimited JSON, one Event per
+// line, closing with a summary line that carries the retained/dropped
+// accounting — the format online consumers (and the golden tests) read.
+func WriteNDJSON(w io.Writer, events []Event, dropped uint64) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(Event{Kind: KindSummary, Events: len(events), Dropped: dropped}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkEvent(i int) Event {
+	return Event{Seq: uint64(i + 1), Kind: KindCE, TS: time.Duration(i) * time.Microsecond}
+}
+
+func TestRingBelowCapacityKeepsEverything(t *testing.T) {
+	r := NewRing(8, DropOldest)
+	for i := 0; i < 5; i++ {
+		r.Push(mkEvent(i))
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestRingDropOldestKeepsSuffix(t *testing.T) {
+	r := NewRing(4, DropOldest)
+	for i := 0; i < 10; i++ {
+		r.Push(mkEvent(i))
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	want := []uint64{7, 8, 9, 10}
+	for i, ev := range evs {
+		if ev.Seq != want[i] {
+			t.Fatalf("events = %v, want seqs %v", evs, want)
+		}
+	}
+}
+
+func TestRingDropNewestKeepsPrefix(t *testing.T) {
+	r := NewRing(4, DropNewest)
+	for i := 0; i < 10; i++ {
+		r.Push(mkEvent(i))
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	want := []uint64{1, 2, 3, 4}
+	for i, ev := range evs {
+		if ev.Seq != want[i] {
+			t.Fatalf("events = %v, want seqs %v", evs, want)
+		}
+	}
+}
+
+// TestRingBoundsMemoryAtScale is the acceptance check: a 100k-event
+// stream through a 1k ring retains exactly 1k events and accounts for
+// every drop.
+func TestRingBoundsMemoryAtScale(t *testing.T) {
+	const total, capacity = 100_000, 1_000
+	for _, policy := range []DropPolicy{DropOldest, DropNewest} {
+		r := NewRing(capacity, policy)
+		for i := 0; i < total; i++ {
+			r.Push(mkEvent(i))
+		}
+		if r.Len() != capacity {
+			t.Fatalf("%v: retained %d events, want %d", policy, r.Len(), capacity)
+		}
+		if got := r.Dropped(); got != total-capacity {
+			t.Fatalf("%v: dropped %d, want %d", policy, got, total-capacity)
+		}
+		if got := len(r.Events()); got != capacity {
+			t.Fatalf("%v: snapshot has %d events", policy, got)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2, DropOldest)
+	for i := 0; i < 5; i++ {
+		r.Push(mkEvent(i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("reset left len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	r.Push(mkEvent(0))
+	if r.Len() != 1 {
+		t.Fatalf("push after reset: len=%d", r.Len())
+	}
+}
+
+func TestRingTinyCapacity(t *testing.T) {
+	r := NewRing(0, DropOldest) // clamped to 1
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	r.Push(mkEvent(0))
+	r.Push(mkEvent(1))
+	if r.Len() != 1 || r.Events()[0].Seq != 2 {
+		t.Fatalf("events = %v", r.Events())
+	}
+}
+
+func TestDropPolicyString(t *testing.T) {
+	for policy, want := range map[DropPolicy]string{DropOldest: "drop-oldest", DropNewest: "drop-newest"} {
+		if got := fmt.Sprint(policy); got != want {
+			t.Fatalf("%d renders as %q", policy, got)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package vm
 
-import "asyncg/internal/loc"
+import (
+	"time"
+
+	"asyncg/internal/loc"
+)
 
 // ObjKind classifies runtime objects that async callbacks can be bound to.
 type ObjKind string
@@ -120,15 +124,98 @@ type Hooks interface {
 	APICall(ev *APIEvent)
 }
 
+// QueueDepths is a point-in-time census of the loop's pending work, one
+// field per queue in phase order. Tools use it for backlog metrics
+// (high-water marks) without walking loop internals.
+type QueueDepths struct {
+	NextTick  int
+	Promise   int
+	Timer     int // active (non-cleared) timers, due or not
+	IO        int
+	Immediate int
+	Close     int
+}
+
+// Total sums the pending work across all queues.
+func (q QueueDepths) Total() int {
+	return q.NextTick + q.Promise + q.Timer + q.IO + q.Immediate + q.Close
+}
+
+// PhaseInfo accompanies PhaseEnter/PhaseExit probe events.
+type PhaseInfo struct {
+	// Phase is the macro phase being entered or left ("timer", "io",
+	// "immediate", "close").
+	Phase string
+	// Now is the virtual time at the boundary.
+	Now time.Duration
+	// Iteration is the 1-based loop-iteration count.
+	Iteration uint64
+	// Runnable is the number of callbacks dispatchable in this phase at
+	// entry (for PhaseExit it repeats the entry census).
+	Runnable int
+}
+
+// LoopInfo accompanies LoopIteration probe events, announced once per
+// event-loop iteration before the timer phase runs.
+type LoopInfo struct {
+	Iteration uint64
+	Now       time.Duration
+	Depths    QueueDepths
+}
+
+// TimerFire accompanies TimerFired probe events: the loop is about to
+// dispatch a due timer. Fired-Scheduled is the loop lag — how long after
+// its deadline the callback actually runs, the paper's event-loop
+// responsiveness signal.
+type TimerFire struct {
+	ID        uint64
+	Scheduled time.Duration // the deadline the timer was due at
+	Fired     time.Duration // virtual time at dispatch
+	Interval  bool          // true for setInterval re-fires
+}
+
+// Lag returns how far past its deadline the timer fired.
+func (t TimerFire) Lag() time.Duration { return t.Fired - t.Scheduled }
+
+// PhaseHooks is an optional probe extension: hooks that also implement
+// it observe macro-phase boundaries. Phases with nothing runnable are
+// not announced, keeping traces proportional to work done.
+type PhaseHooks interface {
+	PhaseEnter(info *PhaseInfo)
+	PhaseExit(info *PhaseInfo)
+}
+
+// LoopHooks is an optional probe extension: hooks that also implement
+// it observe one event per loop iteration with queue depths.
+type LoopHooks interface {
+	LoopIteration(info *LoopInfo)
+}
+
+// TimerHooks is an optional probe extension: hooks that also implement
+// it observe timer dispatches with scheduled-vs-fired timestamps.
+type TimerHooks interface {
+	TimerFired(info *TimerFire)
+}
+
 // Probes dispatches runtime events to attached hooks. Attaching and
 // detaching is allowed at any point during execution (AsyncG is
 // "pluggable" and can be enabled/disabled at runtime); with no hooks
 // attached every probe site costs a single length check.
+//
+// Beyond the required Hooks methods, a hook may implement any of the
+// optional extension interfaces (PhaseHooks, LoopHooks, TimerHooks).
+// Attach discovers them once, so extended dispatch costs nothing when no
+// attached hook subscribes.
 type Probes struct {
 	hooks []Hooks
+
+	phase []PhaseHooks
+	loops []LoopHooks
+	timer []TimerHooks
 }
 
-// Attach adds a hook. It is a no-op if the hook is already attached.
+// Attach adds a hook and discovers its optional extension interfaces.
+// It is a no-op if the hook is already attached.
 func (p *Probes) Attach(h Hooks) {
 	for _, existing := range p.hooks {
 		if existing == h {
@@ -140,6 +227,7 @@ func (p *Probes) Attach(h Hooks) {
 	next := make([]Hooks, len(p.hooks), len(p.hooks)+1)
 	copy(next, p.hooks)
 	p.hooks = append(next, h)
+	p.rediscover()
 }
 
 // Detach removes a hook. It is a no-op if the hook is not attached.
@@ -150,7 +238,25 @@ func (p *Probes) Detach(h Hooks) {
 			next = append(next, p.hooks[:i]...)
 			next = append(next, p.hooks[i+1:]...)
 			p.hooks = next
+			p.rediscover()
 			return
+		}
+	}
+}
+
+// rediscover rebuilds the optional-interface fan-out lists, preserving
+// attachment order within each extension.
+func (p *Probes) rediscover() {
+	p.phase, p.loops, p.timer = nil, nil, nil
+	for _, h := range p.hooks {
+		if ph, ok := h.(PhaseHooks); ok {
+			p.phase = append(p.phase, ph)
+		}
+		if lh, ok := h.(LoopHooks); ok {
+			p.loops = append(p.loops, lh)
+		}
+		if th, ok := h.(TimerHooks); ok {
+			p.timer = append(p.timer, th)
 		}
 	}
 }
@@ -176,5 +282,45 @@ func (p *Probes) FunctionExit(fn *Function, ret Value, thrown *Thrown) {
 func (p *Probes) APICall(ev *APIEvent) {
 	for _, h := range p.hooks {
 		h.APICall(ev)
+	}
+}
+
+// WantPhases reports whether any attached hook subscribes to phase
+// boundaries, so emitters can skip building PhaseInfo.
+func (p *Probes) WantPhases() bool { return len(p.phase) > 0 }
+
+// WantLoop reports whether any attached hook subscribes to per-iteration
+// events.
+func (p *Probes) WantLoop() bool { return len(p.loops) > 0 }
+
+// WantTimers reports whether any attached hook subscribes to timer
+// dispatches.
+func (p *Probes) WantTimers() bool { return len(p.timer) > 0 }
+
+// PhaseEnter announces a macro-phase entry to subscribing hooks.
+func (p *Probes) PhaseEnter(info *PhaseInfo) {
+	for _, h := range p.phase {
+		h.PhaseEnter(info)
+	}
+}
+
+// PhaseExit announces a macro-phase exit to subscribing hooks.
+func (p *Probes) PhaseExit(info *PhaseInfo) {
+	for _, h := range p.phase {
+		h.PhaseExit(info)
+	}
+}
+
+// LoopIteration announces one loop iteration to subscribing hooks.
+func (p *Probes) LoopIteration(info *LoopInfo) {
+	for _, h := range p.loops {
+		h.LoopIteration(info)
+	}
+}
+
+// TimerFired announces an imminent timer dispatch to subscribing hooks.
+func (p *Probes) TimerFired(info *TimerFire) {
+	for _, h := range p.timer {
+		h.TimerFired(info)
 	}
 }

@@ -1,0 +1,161 @@
+package asyncg_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncg"
+	"asyncg/internal/eventloop"
+	"asyncg/internal/trace"
+)
+
+// countdown schedules a small deterministic program.
+func countdown(ctx *asyncg.Context) {
+	ctx.SetTimeout(asyncg.F("tock", func(args []asyncg.Value) asyncg.Value {
+		return asyncg.Undefined
+	}), 2*time.Millisecond)
+	ctx.NextTick(asyncg.F("tick", func(args []asyncg.Value) asyncg.Value {
+		ctx.Work(time.Millisecond)
+		return asyncg.Undefined
+	}))
+}
+
+func TestNewFromOptionsShimMatchesNew(t *testing.T) {
+	legacy, err := asyncg.NewFromOptions(asyncg.Options{
+		Loop: eventloop.Options{TickLimit: 50},
+	}).Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 50})).Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Graph == nil || modern.Graph == nil {
+		t.Fatal("shim or modern session lost the graph")
+	}
+	if legacy.Ticks != modern.Ticks {
+		t.Fatalf("shim ran %d ticks, functional options %d", legacy.Ticks, modern.Ticks)
+	}
+	if len(legacy.Graph.Nodes) != len(modern.Graph.Nodes) {
+		t.Fatalf("graphs differ: %d vs %d nodes", len(legacy.Graph.Nodes), len(modern.Graph.Nodes))
+	}
+}
+
+func TestNewFromOptionsDisableTool(t *testing.T) {
+	report, err := asyncg.NewFromOptions(asyncg.Options{DisableTool: true}).Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Graph != nil {
+		t.Fatal("DisableTool still built a graph")
+	}
+}
+
+func TestWithTraceStreamsNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	report, err := asyncg.New(asyncg.WithTrace(&buf, asyncg.TraceNDJSON)).Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Graph == nil {
+		t.Fatal("tracing must not disable the tool")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("trace has only %d lines:\n%s", len(lines), buf.String())
+	}
+	var last trace.Event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != trace.KindSummary || last.Events != len(lines)-1 {
+		t.Fatalf("bad summary line: %+v over %d lines", last, len(lines))
+	}
+}
+
+func TestWithTraceChromeValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := asyncg.New(asyncg.WithTrace(&buf, asyncg.TraceChrome)).Run(countdown); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	for i, ev := range arr {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("chrome event %d lacks %q: %v", i, field, ev)
+			}
+		}
+	}
+}
+
+func TestWithMetricsPopulatesReport(t *testing.T) {
+	report, err := asyncg.New(asyncg.WithMetrics()).Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := report.Metrics
+	if m == nil {
+		t.Fatal("Report.Metrics is nil despite WithMetrics")
+	}
+	if m.PerAPI["setTimeout"].Count != 1 || m.PerAPI["process.nextTick"].Count != 1 {
+		t.Fatalf("per-API counts: %v", m.APIExecutions())
+	}
+	if m.Ticks != int64(report.Ticks) {
+		t.Fatalf("metrics saw %d ticks, loop ran %d", m.Ticks, report.Ticks)
+	}
+	if m.TimerLag.Count != 1 {
+		t.Fatalf("timer lag count = %d", m.TimerLag.Count)
+	}
+}
+
+func TestWithoutMetricsReportHasNone(t *testing.T) {
+	report, err := asyncg.New().Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics != nil {
+		t.Fatal("Report.Metrics set without WithMetrics")
+	}
+}
+
+func TestDisabledKeepsTraceAttached(t *testing.T) {
+	var buf bytes.Buffer
+	session := asyncg.New(asyncg.Disabled(), asyncg.WithTrace(&buf, asyncg.TraceNDJSON), asyncg.WithMetrics())
+	report, err := session.Run(countdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Graph != nil {
+		t.Fatal("Disabled still built a graph")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Disabled suppressed the trace")
+	}
+	if report.Metrics == nil || report.Metrics.Ticks == 0 {
+		t.Fatal("Disabled suppressed metrics")
+	}
+}
+
+func TestWithTraceConfigBoundsRing(t *testing.T) {
+	session := asyncg.New(asyncg.WithTraceConfig(trace.ExporterConfig{Capacity: 4}))
+	if _, err := session.Run(countdown); err != nil {
+		t.Fatal(err)
+	}
+	exp := session.Exporter()
+	if exp == nil {
+		t.Fatal("WithTraceConfig did not create an exporter")
+	}
+	if got := len(exp.Events()); got != 4 {
+		t.Fatalf("ring holds %d events, want 4", got)
+	}
+	if exp.Dropped() == 0 {
+		t.Fatal("tiny ring recorded no drops")
+	}
+}
