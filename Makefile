@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -16,6 +16,14 @@ fmt-check:
 
 test:
 	$(GO) test ./...
+
+# Bounded schedule exploration of two case-study bugs (CI smoke).
+# SO-17894000 must yield at least one schedule-dependent ("sometimes")
+# warning with a witness token; GH-npm-12754 must stay deterministic
+# ("always") under the same perturbations.
+explore-smoke:
+	$(GO) run ./cmd/asyncg explore -case SO-17894000 -runs 16 -seed 1 -expect-sometimes
+	$(GO) run ./cmd/asyncg explore -case GH-npm-12754 -runs 8 -seed 1
 
 # Regenerate the golden trace fixtures from the deterministic program in
 # internal/trace/exporter_test.go, then check they still pass.

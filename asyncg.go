@@ -80,6 +80,7 @@ type config struct {
 	traceCfg  trace.ExporterConfig
 	traceOn   bool
 	metricsOn bool
+	sched     eventloop.Scheduler
 }
 
 // Option configures a Session. Options are applied in order; later
@@ -90,6 +91,14 @@ type Option func(*config)
 // virtual costs).
 func WithLoop(opts eventloop.Options) Option {
 	return func(c *config) { c.loop = opts }
+}
+
+// WithScheduler installs a schedule-exploration scheduler on the event
+// loop (see eventloop.Scheduler and the explore package). It composes
+// with WithLoop regardless of option order: the scheduler is merged into
+// the loop options when the session is built.
+func WithScheduler(s eventloop.Scheduler) Option {
+	return func(c *config) { c.sched = s }
 }
 
 // WithGraph configures what the Async Graph builder tracks. Without this
@@ -260,6 +269,9 @@ func New(opts ...Option) *Session {
 		if !cfg.detSet {
 			cfg.det = detect.DefaultConfig()
 		}
+	}
+	if cfg.sched != nil {
+		cfg.loop.Scheduler = cfg.sched
 	}
 	s := &Session{cfg: cfg, loop: eventloop.New(cfg.loop)}
 	if !cfg.disabled {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncg"
+	"asyncg/internal/explore"
+	"asyncg/internal/trace"
+)
+
+// runExplore implements the "asyncg explore" subcommand: schedule-space
+// exploration of a case study (or the AcmeAir workload), classification
+// of every warning as always/sometimes/never, and replay of recorded
+// schedule tokens.
+func runExplore(args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	var (
+		caseID     = fs.String("case", "", "case id to explore (see asyncg -list)")
+		fixed      = fs.Bool("fixed", false, "explore the fixed version")
+		acme       = fs.Bool("acmeair", false, "explore the AcmeAir workload instead of a case")
+		requests   = fs.Int("requests", 50, "AcmeAir: total requests")
+		clients    = fs.Int("clients", 4, "AcmeAir: concurrent clients")
+		runs       = fs.Int("runs", 32, "number of schedules to execute")
+		seed       = fs.Int64("seed", 1, "base seed for the random/delay strategies")
+		strategy   = fs.String("strategy", "random", "exploration strategy: random, delay, exhaustive")
+		kinds      = fs.String("kinds", "", "comma-separated choice kinds to perturb (default io-order,timer-tie,latency; also listener-order, data-order)")
+		delayBound = fs.Int("delay-bound", 2, "delay strategy: max non-default picks per run")
+		replay     = fs.String("replay", "", "replay one schedule token instead of exploring")
+		ndjsonOut  = fs.String("ndjson", "", "write NDJSON exploration records to this file ('-' for stdout)")
+		traceOut   = fs.String("trace", "", "with -replay: write an event trace of the replayed run")
+		traceFmt   = fs.String("trace-format", "ndjson", "trace serialization: ndjson or chrome")
+		expectSome = fs.Bool("expect-sometimes", false, "exit 1 unless a sometimes-classified warning with witness and counter-witness was found (CI smoke)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: asyncg explore -case <id> [flags]\n")
+		fmt.Fprintf(fs.Output(), "       asyncg explore -case <id> -replay <token> [-trace t.json]\n")
+		fmt.Fprintf(fs.Output(), "       asyncg explore -acmeair [-requests N -clients N] [flags]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var target explore.Target
+	switch {
+	case *acme:
+		target = explore.AcmeAirTarget(*requests, *clients, *seed)
+	case *caseID != "":
+		tg, err := explore.CaseTargetByID(*caseID, *fixed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		target = tg
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		replaySchedule(target, *replay, *traceOut, *traceFmt)
+		return
+	}
+
+	strat, err := explore.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kindList, err := explore.ParseKinds(*kinds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res := explore.Run(target, explore.Config{
+		Runs:       *runs,
+		Seed:       *seed,
+		Strategy:   strat,
+		Kinds:      kindList,
+		DelayBound: *delayBound,
+	})
+	if *ndjsonOut != "" {
+		out := os.Stdout
+		if *ndjsonOut != "-" {
+			f, err := os.Create(*ndjsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteNDJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *ndjsonOut != "-" {
+			fmt.Printf("wrote %s\n", *ndjsonOut)
+		}
+	}
+	if *ndjsonOut != "-" {
+		if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *expectSome && len(res.Sometimes()) == 0 {
+		fmt.Fprintf(os.Stderr, "explore: no schedule-dependent (sometimes) warning found in %d runs\n", len(res.Runs))
+		os.Exit(1)
+	}
+}
+
+// replaySchedule re-executes one recorded schedule, optionally with the
+// trace exporter attached — a witness token from an exploration becomes
+// a fully-observable run.
+func replaySchedule(target explore.Target, token, traceOut, traceFmt string) {
+	format, err := trace.ParseFormat(traceFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var extra []asyncg.Option
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceFile = f
+		extra = append(extra, asyncg.WithTrace(f, format))
+	}
+	rr, report, err := explore.Replay(target, token, extra...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", traceOut)
+	}
+	fmt.Printf("replayed %s under %s\n", target.Name, token)
+	fmt.Printf("fingerprint: %s  ticks: %d\n", rr.Fingerprint, rr.Ticks)
+	if rr.Err != "" {
+		fmt.Printf("run stopped: %s (expected for starvation bugs)\n", rr.Err)
+	}
+	if len(rr.Warnings) == 0 {
+		fmt.Println("no warnings under this schedule")
+	}
+	for _, w := range report.Warnings {
+		fmt.Printf("⚡ %s\n", w)
+	}
+}

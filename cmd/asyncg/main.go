@@ -14,6 +14,9 @@
 //	asyncg -case fig4 -metrics         print the observability metrics report
 //	asyncg -table1                     run all Table I cases and summarize
 //	asyncg -table2                     print the related-work matrix
+//	asyncg explore -case SO-17894000   explore the case's schedule space
+//	asyncg explore -case SO-17894000 -replay <token>
+//	                                   replay one recorded schedule
 package main
 
 import (
@@ -28,6 +31,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch; the flag-only interface below predates it.
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		runExplore(os.Args[2:])
+		return
+	}
 	var (
 		list     = flag.Bool("list", false, "list case studies")
 		caseID   = flag.String("case", "", "case id to run (see -list)")

@@ -3,6 +3,7 @@ package asyncgraph
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -12,6 +13,12 @@ import (
 // OB; solid arrows for direct causal edges and dashed (optionally
 // labelled) arrows for binding and relation edges. Nodes carrying
 // warnings are highlighted.
+//
+// Emission order is canonical — ticks by index, stray nodes by id,
+// edges by (from, to, kind, label) — so equal graphs render to equal
+// bytes regardless of construction order. Diffing two runs' DOT files
+// (the explore engine's witness vs. counter-witness) then shows only
+// real structural differences.
 func (g *Graph) WriteDOT(w io.Writer, title string) error {
 	var b strings.Builder
 	b.WriteString("digraph AsyncGraph {\n")
@@ -22,23 +29,46 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 	if title != "" {
 		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
 	}
+	ticks := append([]*Tick(nil), g.Ticks...)
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i].Index < ticks[j].Index })
 	inTick := make(map[NodeID]bool)
-	for _, t := range g.Ticks {
+	for _, t := range ticks {
 		fmt.Fprintf(&b, "  subgraph cluster_t%d {\n", t.Index)
 		fmt.Fprintf(&b, "    label=%q;\n    style=dashed;\n", t.Name())
-		for _, id := range t.Nodes {
+		ids := append([]NodeID(nil), t.Nodes...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			inTick[id] = true
 			b.WriteString("    " + g.nodeDOT(id) + "\n")
 		}
 		b.WriteString("  }\n")
 	}
 	// Nodes from an uncommitted tick (truncated run) still render.
+	var stray []NodeID
 	for _, n := range g.Nodes {
 		if !inTick[n.ID] {
-			b.WriteString("  " + g.nodeDOT(n.ID) + "\n")
+			stray = append(stray, n.ID)
 		}
 	}
-	for _, e := range g.Edges {
+	sort.Slice(stray, func(i, j int) bool { return stray[i] < stray[j] })
+	for _, id := range stray {
+		b.WriteString("  " + g.nodeDOT(id) + "\n")
+	}
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Label < b.Label
+	})
+	for _, e := range edges {
 		b.WriteString("  " + edgeDOT(e) + "\n")
 	}
 	b.WriteString("}\n")

@@ -1,0 +1,131 @@
+package asyncgraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// fingerprintRounds is the number of Weisfeiler-Lehman refinement
+// rounds. Three rounds propagate structure across CR→CE→(created nodes)
+// chains far enough to separate every graph shape the detectors care
+// about, while staying O(rounds · edges · log).
+const fingerprintRounds = 3
+
+// Fingerprint returns a canonical hash of the graph's structure: the
+// multiset of CR/CE/CT/OB nodes (kind, API, event, callback name, source
+// location, removal state, containing phase) connected by direct,
+// binding and relation edges. It is invariant under node numbering, edge
+// order and tick numbering, so two runs of a program produce the same
+// fingerprint exactly when they built the same Async Graph shape —
+// the equivalence the explore package uses to diff schedules.
+//
+// Volatile decoration is deliberately excluded: display labels and
+// object ids (both depend on allocation order), registration/trigger
+// sequence numbers, execution counters (already represented by CE nodes
+// and binding edges), warnings (classified separately), and promise
+// stacks.
+func (g *Graph) Fingerprint() string {
+	n := len(g.Nodes)
+	labels := make([]uint64, n)
+	for i, node := range g.Nodes {
+		labels[i] = nodeBaseLabel(g, node)
+	}
+
+	type arc struct {
+		tag uint64 // edge kind + edge label
+		nbr int
+	}
+	out := make([][]arc, n)
+	in := make([][]arc, n)
+	for _, e := range g.Edges {
+		if g.Node(e.From) == nil || g.Node(e.To) == nil {
+			continue
+		}
+		tag := hashStrings("edge", e.Kind.String(), e.Label)
+		out[e.From] = append(out[e.From], arc{tag: tag, nbr: int(e.To)})
+		in[e.To] = append(in[e.To], arc{tag: tag, nbr: int(e.From)})
+	}
+
+	next := make([]uint64, n)
+	neigh := make([]uint64, 0, 16)
+	for round := 0; round < fingerprintRounds; round++ {
+		for i := 0; i < n; i++ {
+			h := fnv.New64a()
+			putUint64(h, labels[i])
+			for dir, arcs := range [2][]arc{out[i], in[i]} {
+				neigh = neigh[:0]
+				for _, a := range arcs {
+					neigh = append(neigh, a.tag^mix(labels[a.nbr]))
+				}
+				sort.Slice(neigh, func(x, y int) bool { return neigh[x] < neigh[y] })
+				putUint64(h, uint64(dir)<<32|uint64(len(neigh)))
+				for _, v := range neigh {
+					putUint64(h, v)
+				}
+			}
+			next[i] = h.Sum64()
+		}
+		labels, next = next, labels
+	}
+
+	sorted := append([]uint64(nil), labels...)
+	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+	final := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	final.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.Edges)))
+	final.Write(buf[:])
+	for _, v := range sorted {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		final.Write(buf[:])
+	}
+	sum := final.Sum(nil)
+	return fmt.Sprintf("ag1-%x", sum[:8])
+}
+
+// nodeBaseLabel hashes the schedule-stable attributes of one node. The
+// containing tick's phase participates (a callback running in the timer
+// phase is different behaviour from the same callback in the I/O phase)
+// but the tick index does not.
+func nodeBaseLabel(g *Graph, n *Node) uint64 {
+	phase := ""
+	if tk := g.TickOf(n.ID); tk != nil {
+		phase = tk.Phase
+	}
+	removed := "live"
+	if n.Removed {
+		removed = "removed"
+	}
+	return hashStrings("node", n.Kind.String(), n.API, n.Event, n.Func, n.Loc.String(), phase, removed)
+}
+
+func hashStrings(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func putUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// mix finalizes a label before it joins a neighbour multiset, so that a
+// node label and an edge tag cannot cancel structurally (xor without
+// mixing would make a-tag-b and b-tag-a collide).
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}

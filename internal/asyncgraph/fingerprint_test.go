@@ -1,0 +1,115 @@
+package asyncgraph
+
+import (
+	"bytes"
+	"testing"
+
+	"asyncg/internal/loc"
+)
+
+// fpGraph builds a three-node graph (OB → CR → CE) inserting the nodes
+// in the given order, so tests can check the fingerprint is invariant
+// under node numbering.
+func fpGraph(order []int) *Graph {
+	specs := []*Node{
+		{Kind: OB, API: "new EventEmitter", Label: "E1", Loc: loc.Loc{File: "a.go", Line: 1}},
+		{Kind: CR, API: "emitter.on", Event: "data", Func: "onData", Label: "L2: on", Loc: loc.Loc{File: "a.go", Line: 2}},
+		{Kind: CE, API: "emitter.on", Event: "data", Func: "onData", Loc: loc.Loc{File: "a.go", Line: 2}},
+	}
+	g := NewGraph()
+	tick := &Tick{Index: 1, Phase: "main"}
+	ids := make(map[int]NodeID)
+	for _, idx := range order {
+		n := *specs[idx]
+		node := g.addNode(&n)
+		node.Tick = 1
+		tick.Nodes = append(tick.Nodes, node.ID)
+		ids[idx] = node.ID
+	}
+	g.Ticks = append(g.Ticks, tick)
+	g.AddEdge(ids[0], ids[1], EdgeRelation, "link")
+	g.AddEdge(ids[2], ids[1], EdgeBinding, "")
+	return g
+}
+
+func TestFingerprintInvariantUnderNodeOrder(t *testing.T) {
+	a := fpGraph([]int{0, 1, 2})
+	b := fpGraph([]int{2, 0, 1})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ under node renumbering: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	// Edge insertion order must not matter either.
+	c := fpGraph([]int{0, 1, 2})
+	c.Edges[0], c.Edges[1] = c.Edges[1], c.Edges[0]
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Errorf("fingerprints differ under edge reordering: %s vs %s", a.Fingerprint(), c.Fingerprint())
+	}
+}
+
+func TestFingerprintSeparatesStructure(t *testing.T) {
+	base := fpGraph([]int{0, 1, 2})
+	seen := map[string]string{base.Fingerprint(): "base"}
+
+	mutations := []struct {
+		name string
+		make func() *Graph
+	}{
+		{"removed CR", func() *Graph {
+			g := fpGraph([]int{0, 1, 2})
+			g.Nodes[1].Removed = true
+			return g
+		}},
+		{"different phase", func() *Graph {
+			g := fpGraph([]int{0, 1, 2})
+			g.Ticks[0].Phase = "io"
+			return g
+		}},
+		{"extra edge", func() *Graph {
+			g := fpGraph([]int{0, 1, 2})
+			g.AddEdge(0, 2, EdgeDirect, "")
+			return g
+		}},
+		{"different event", func() *Graph {
+			g := fpGraph([]int{0, 1, 2})
+			g.Nodes[1].Event = "end"
+			return g
+		}},
+	}
+	for _, m := range mutations {
+		fp := m.make().Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s (%s)", m.name, prev, fp)
+		}
+		seen[fp] = m.name
+	}
+}
+
+func TestFingerprintIgnoresVolatileDecoration(t *testing.T) {
+	a := fpGraph([]int{0, 1, 2})
+	b := fpGraph([]int{0, 1, 2})
+	// Display labels, sequence numbers and execution counters depend on
+	// allocation order across schedules and must not affect the hash.
+	b.Nodes[0].Label = "E7"
+	b.Nodes[1].RegSeq = 99
+	b.Nodes[1].Executions = 3
+	b.Nodes[2].TrigSeq = 42
+	b.Warnings = append(b.Warnings, Warning{Category: "dead-listener", Message: "x", Node: 1})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("volatile decoration changed the fingerprint: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintStableAcrossJSONRoundtrip(t *testing.T) {
+	g := fpGraph([]int{0, 1, 2})
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != back.Fingerprint() {
+		t.Errorf("JSON roundtrip changed the fingerprint: %s vs %s", g.Fingerprint(), back.Fingerprint())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"asyncg/internal/loc"
 	"asyncg/internal/vm"
 )
 
@@ -68,6 +69,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		n := &Node{
 			Kind:     kinds[jn.Kind],
 			Tick:     jn.Tick,
+			Loc:      loc.Parse(jn.Loc),
 			API:      jn.API,
 			Event:    jn.Event,
 			Label:    jn.Label,
@@ -97,6 +99,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 			Category: Category(jw.Category),
 			Message:  jw.Message,
 			Node:     NodeID(jw.Node),
+			Loc:      loc.Parse(jw.Loc),
 		})
 	}
 	return g, nil

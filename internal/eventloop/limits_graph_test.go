@@ -1,0 +1,153 @@
+package eventloop_test
+
+// External-package tests for the loop's limit paths with an Async
+// Graph builder attached: when a run is cut short by the tick limit,
+// the virtual-time limit, or StopOnUncaught, the partial graph built
+// so far stays observable — the tool's answer to "what was the loop
+// doing when we killed it".
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// buildRun executes program on a fresh loop with a graph builder
+// attached and returns the run error and the partial graph.
+func buildRun(t *testing.T, opts eventloop.Options, program func(l *eventloop.Loop)) (error, *asyncgraph.Graph) {
+	t.Helper()
+	l := eventloop.New(opts)
+	b := asyncgraph.NewBuilder(asyncgraph.DefaultConfig())
+	l.Probes().Attach(b)
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		program(l)
+		return vm.Undefined
+	})
+	err := l.Run(main)
+	l.Probes().Detach(b)
+	return err, b.Graph()
+}
+
+func countKind(g *asyncgraph.Graph, k asyncgraph.NodeKind) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTickLimitLeavesPendingMicrotasksAndPartialGraph(t *testing.T) {
+	// A self-rescheduling nextTick chain hits the tick limit with work
+	// still queued: more callback registrations (CR) than executions
+	// (CE) in the partial graph.
+	var reschedule *vm.Function
+	var l0 *eventloop.Loop
+	reschedule = vm.NewFunc("spin", func([]vm.Value) vm.Value {
+		l0.NextTick(loc.Here(), reschedule)
+		return vm.Undefined
+	})
+	err, g := buildRun(t, eventloop.Options{TickLimit: 10}, func(l *eventloop.Loop) {
+		l0 = l
+		l.NextTick(loc.Here(), reschedule)
+	})
+	if !errors.Is(err, eventloop.ErrTickLimit) {
+		t.Fatalf("err = %v, want ErrTickLimit", err)
+	}
+	cr, ce := countKind(g, asyncgraph.CR), countKind(g, asyncgraph.CE)
+	if ce == 0 {
+		t.Fatal("no callback executions recorded before the limit")
+	}
+	if cr <= ce {
+		t.Fatalf("expected pending registrations: CR=%d CE=%d", cr, ce)
+	}
+	if len(g.Ticks) == 0 {
+		t.Fatal("no ticks committed to the partial graph")
+	}
+}
+
+func TestTimeLimitLeavesPartialGraph(t *testing.T) {
+	// Each timer callback burns 30ms of virtual CPU and re-arms itself;
+	// the 100ms budget stops the run after a few firings.
+	fired := 0
+	var rearm *vm.Function
+	var l0 *eventloop.Loop
+	rearm = vm.NewFunc("tick", func([]vm.Value) vm.Value {
+		fired++
+		l0.Work(30 * time.Millisecond)
+		l0.SetTimeout(loc.Here(), rearm, time.Millisecond)
+		return vm.Undefined
+	})
+	err, g := buildRun(t, eventloop.Options{TimeLimit: 100 * time.Millisecond}, func(l *eventloop.Loop) {
+		l0 = l
+		l.SetTimeout(loc.Here(), rearm, time.Millisecond)
+	})
+	if !errors.Is(err, eventloop.ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+	if fired == 0 || fired > 10 {
+		t.Fatalf("fired %d times under a 100ms budget of 30ms callbacks", fired)
+	}
+	if countKind(g, asyncgraph.CE) < fired {
+		t.Fatalf("graph lost executions: CE=%d, fired=%d", countKind(g, asyncgraph.CE), fired)
+	}
+}
+
+func TestStopOnUncaughtTruncatesGraphAtTheCrash(t *testing.T) {
+	// Two timers; the first throws. With StopOnUncaught the second never
+	// executes, but its registration is already in the graph.
+	ranSecond := false
+	err, g := buildRun(t, eventloop.Options{StopOnUncaught: true}, func(l *eventloop.Loop) {
+		l.SetTimeout(loc.Here(), vm.NewFunc("boom", func([]vm.Value) vm.Value {
+			vm.Throw("kaboom")
+			return vm.Undefined
+		}), time.Millisecond)
+		l.SetTimeout(loc.Here(), vm.NewFunc("after", func([]vm.Value) vm.Value {
+			ranSecond = true
+			return vm.Undefined
+		}), 2*time.Millisecond)
+	})
+	if err == nil {
+		t.Fatal("StopOnUncaught run returned nil error")
+	}
+	if errors.Is(err, eventloop.ErrTickLimit) || errors.Is(err, eventloop.ErrTimeLimit) {
+		t.Fatalf("unexpected limit error: %v", err)
+	}
+	if ranSecond {
+		t.Fatal("callback ran after the uncaught exception")
+	}
+	if cr := countKind(g, asyncgraph.CR); cr < 2 {
+		t.Fatalf("second timer's registration missing from partial graph: CR=%d", cr)
+	}
+
+	// Default behaviour: the loop keeps going and the error is only
+	// recorded, so the second callback executes.
+	ranSecond = false
+	l := eventloop.New(eventloop.Options{})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		l.SetTimeout(loc.Here(), vm.NewFunc("boom", func([]vm.Value) vm.Value {
+			vm.Throw("kaboom")
+			return vm.Undefined
+		}), time.Millisecond)
+		l.SetTimeout(loc.Here(), vm.NewFunc("after", func([]vm.Value) vm.Value {
+			ranSecond = true
+			return vm.Undefined
+		}), 2*time.Millisecond)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != nil {
+		t.Fatalf("default run failed: %v", err)
+	}
+	if !ranSecond {
+		t.Fatal("default run skipped the second callback")
+	}
+	if got := l.Uncaught(); len(got) != 1 {
+		t.Fatalf("uncaught count = %d", len(got))
+	}
+}

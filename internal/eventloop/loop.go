@@ -39,6 +39,11 @@ type Options struct {
 	// instead of recording it and continuing (the default keeps
 	// analysing, like a debugger with an uncaughtException handler).
 	StopOnUncaught bool
+	// Scheduler resolves scheduling choice points (I/O completion
+	// order, same-deadline timer ties, latency jitter). nil keeps the
+	// historical deterministic order. See Scheduler and the explore
+	// package.
+	Scheduler Scheduler
 }
 
 // DefaultTickLimit is the tick bound applied when Options.TickLimit is 0.
@@ -361,6 +366,7 @@ func (l *Loop) runTimerPhase() {
 		}
 		due = append(due, l.timers.removeMin())
 	}
+	l.permuteTimerTies(due)
 	span := l.phaseEnter(PhaseTimer, len(due))
 	wantFires := l.probes.WantTimers()
 	for _, t := range due {
@@ -395,6 +401,24 @@ func (l *Loop) runTimerPhase() {
 	}
 }
 
+// permuteTimerTies lets the scheduler reorder timers that share one
+// deadline. Only equal-deadline runs are permutable — deadline order
+// itself is contractual.
+func (l *Loop) permuteTimerTies(due []*timer) {
+	if l.opts.Scheduler == nil {
+		return
+	}
+	for lo := 0; lo < len(due); {
+		hi := lo + 1
+		for hi < len(due) && due[hi].due == due[lo].due {
+			hi++
+		}
+		group := due[lo:hi]
+		l.Permute(ChoiceTimerTie, len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		lo = hi
+	}
+}
+
 // runIOPhase delivers external events whose virtual arrival time has
 // passed (the poll phase).
 func (l *Loop) runIOPhase() {
@@ -406,6 +430,9 @@ func (l *Loop) runIOPhase() {
 		}
 		ready = append(ready, l.io.removeMin())
 	}
+	// The whole poll batch is permutable: the OS reports completions
+	// that became ready by now in arbitrary order.
+	l.Permute(ChoiceIOOrder, len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
 	span := l.phaseEnter(PhaseIO, len(ready))
 	for _, e := range ready {
 		if l.stopErr != nil {

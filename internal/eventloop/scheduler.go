@@ -1,0 +1,90 @@
+package eventloop
+
+import "time"
+
+// ChoiceKind names a class of scheduling choice point. Every place where
+// the Node.js spec leaves ordering or timing unspecified — the order the
+// OS reports poll completions, ties between timers with the same
+// deadline, I/O latency, and the few spots where listener order is not
+// contractual — is reduced to a discrete pick so schedule exploration
+// can enumerate, record, and replay it.
+type ChoiceKind string
+
+const (
+	// ChoiceIOOrder permutes the batch of I/O completions delivered in
+	// one poll phase. Real epoll/kqueue report ready events in an order
+	// the program must not rely on.
+	ChoiceIOOrder ChoiceKind = "io-order"
+	// ChoiceTimerTie permutes timers that share one deadline. Node
+	// documents insertion order for equal timeouts loosely enough that
+	// libuv versions have differed here.
+	ChoiceTimerTie ChoiceKind = "timer-tie"
+	// ChoiceLatency scales a simulated I/O latency, modelling network,
+	// disk, or database jitter.
+	ChoiceLatency ChoiceKind = "latency"
+	// ChoiceListenerOrder permutes emitter listener invocation. This is
+	// stricter than Node's contract (listeners run in registration
+	// order), so it is opt-in: it finds programs that would break under
+	// prependListener-style reorderings.
+	ChoiceListenerOrder ChoiceKind = "listener-order"
+	// ChoiceDataOrder permutes result-set order from the database
+	// simulator, modelling MongoDB's unspecified natural order.
+	ChoiceDataOrder ChoiceKind = "data-order"
+)
+
+// LatencySteps is the domain size of every ChoiceLatency pick: pick k in
+// [0, LatencySteps) scales a base latency to base*(1 + k/2).
+const LatencySteps = 4
+
+// Scheduler resolves scheduling choice points. Choose is called with the
+// kind of choice and the domain size n (always >= 2) and must return a
+// pick in [0, n); out-of-range picks are clamped to 0. A nil Scheduler
+// (the default) resolves every choice to 0, which reproduces the loop's
+// historical deterministic order exactly.
+//
+// Schedulers run on the loop goroutine and may be stateful; the explore
+// package uses that to record the pick sequence as a replayable token.
+type Scheduler interface {
+	Choose(kind ChoiceKind, n int) int
+}
+
+// Choose resolves one scheduling choice. Choices with fewer than two
+// alternatives consume nothing and return 0, so the pick sequence of a
+// run only contains genuine branching points.
+func (l *Loop) Choose(kind ChoiceKind, n int) int {
+	if l.opts.Scheduler == nil || n < 2 {
+		return 0
+	}
+	k := l.opts.Scheduler.Choose(kind, n)
+	if k < 0 || k >= n {
+		return 0
+	}
+	return k
+}
+
+// Permute applies a scheduler-driven permutation to n elements through
+// swap (a selection shuffle: position i receives the element the
+// scheduler picks from the remaining suffix). With a nil scheduler it is
+// the identity and performs no calls at all.
+func (l *Loop) Permute(kind ChoiceKind, n int, swap func(i, j int)) {
+	if l.opts.Scheduler == nil || n < 2 {
+		return
+	}
+	for i := 0; i < n-1; i++ {
+		if j := i + l.Choose(kind, n-i); j != i {
+			swap(i, j)
+		}
+	}
+}
+
+// PerturbLatency scales a base latency by a scheduler-chosen jitter
+// factor in {1, 1.5, 2, 2.5}. With a nil scheduler it returns base
+// unchanged, keeping default runs identical to the pre-exploration
+// behaviour.
+func (l *Loop) PerturbLatency(base time.Duration) time.Duration {
+	if l.opts.Scheduler == nil || base <= 0 {
+		return base
+	}
+	k := l.Choose(ChoiceLatency, LatencySteps)
+	return base + base*time.Duration(k)/2
+}

@@ -1,0 +1,134 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// scripted is a Scheduler that replays a fixed pick sequence and then
+// returns 0 forever, recording every call it receives.
+type scripted struct {
+	picks []int
+	calls []ChoiceKind
+}
+
+func (s *scripted) Choose(kind ChoiceKind, n int) int {
+	s.calls = append(s.calls, kind)
+	if len(s.picks) == 0 {
+		return 0
+	}
+	k := s.picks[0]
+	s.picks = s.picks[1:]
+	return k
+}
+
+func TestTimerTiePermutation(t *testing.T) {
+	// Two timers at the same deadline: the default order is insertion
+	// order; a timer-tie pick of 1 swaps them. A third timer at a later
+	// deadline must never join the tie group.
+	run := func(sched Scheduler) []string {
+		l := New(Options{Scheduler: sched})
+		var trace []string
+		log := func(s string) { trace = append(trace, s) }
+		main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+			l.SetTimeout(loc.Here(), step(l, log, "a"), 5*time.Millisecond)
+			l.SetTimeout(loc.Here(), step(l, log, "b"), 5*time.Millisecond)
+			l.SetTimeout(loc.Here(), step(l, log, "late"), 10*time.Millisecond)
+			return vm.Undefined
+		})
+		if err := l.Run(main); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	wantTrace(t, run(nil), []string{"a", "b", "late"})
+	wantTrace(t, run(&scripted{picks: []int{1}}), []string{"b", "a", "late"})
+}
+
+func TestIOOrderPermutation(t *testing.T) {
+	// Two I/O completions ready in the same poll: pick 1 delivers the
+	// second-scheduled one first.
+	run := func(sched Scheduler) []string {
+		l := New(Options{Scheduler: sched})
+		var trace []string
+		log := func(s string) { trace = append(trace, s) }
+		main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+			l.ScheduleIOAt(time.Millisecond, step(l, log, "first"), nil, nil)
+			l.ScheduleIOAt(time.Millisecond, step(l, log, "second"), nil, nil)
+			return vm.Undefined
+		})
+		if err := l.Run(main); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	wantTrace(t, run(nil), []string{"first", "second"})
+	wantTrace(t, run(&scripted{picks: []int{1}}), []string{"second", "first"})
+}
+
+func TestPerturbLatencySteps(t *testing.T) {
+	base := 10 * time.Millisecond
+	for k, want := range []time.Duration{
+		10 * time.Millisecond, // 1.0×
+		15 * time.Millisecond, // 1.5×
+		20 * time.Millisecond, // 2.0×
+		25 * time.Millisecond, // 2.5×
+	} {
+		l := New(Options{Scheduler: &scripted{picks: []int{k}}})
+		if got := l.PerturbLatency(base); got != want {
+			t.Errorf("pick %d: PerturbLatency(%v) = %v, want %v", k, base, got, want)
+		}
+	}
+	// Nil scheduler and non-positive latency pass through untouched.
+	l := New(Options{})
+	if got := l.PerturbLatency(base); got != base {
+		t.Errorf("nil scheduler perturbed latency: %v", got)
+	}
+	l = New(Options{Scheduler: &scripted{picks: []int{3}}})
+	if got := l.PerturbLatency(0); got != 0 {
+		t.Errorf("zero latency perturbed: %v", got)
+	}
+}
+
+func TestChooseClampsAndSkipsTrivialDomains(t *testing.T) {
+	s := &scripted{picks: []int{99, -1, 1}}
+	l := New(Options{Scheduler: s})
+	if got := l.Choose(ChoiceIOOrder, 3); got != 0 {
+		t.Errorf("out-of-range pick not clamped: %d", got)
+	}
+	if got := l.Choose(ChoiceIOOrder, 3); got != 0 {
+		t.Errorf("negative pick not clamped: %d", got)
+	}
+	// Domains of size < 2 must not consume a pick at the loop layer.
+	if got := l.Choose(ChoiceIOOrder, 1); got != 0 {
+		t.Errorf("trivial domain returned %d", got)
+	}
+	if len(s.calls) != 2 {
+		t.Errorf("trivial domain consulted the scheduler: %d calls", len(s.calls))
+	}
+	if got := l.Choose(ChoiceIOOrder, 2); got != 1 {
+		t.Errorf("in-range pick altered: %d", got)
+	}
+}
+
+func TestPermuteSelectionShuffle(t *testing.T) {
+	// Picks (2, 1) on [a b c d]: position 0 takes index 2 → [c b a d];
+	// position 1 takes index 1+1 → [c a b d]; position 2 keeps.
+	l := New(Options{Scheduler: &scripted{picks: []int{2, 1, 0}}})
+	elems := []string{"a", "b", "c", "d"}
+	l.Permute(ChoiceIOOrder, len(elems), func(i, j int) {
+		elems[i], elems[j] = elems[j], elems[i]
+	})
+	wantTrace(t, elems, []string{"c", "a", "b", "d"})
+
+	// Nil scheduler: identity, zero swap calls.
+	l = New(Options{})
+	swaps := 0
+	l.Permute(ChoiceIOOrder, 4, func(i, j int) { swaps++ })
+	if swaps != 0 {
+		t.Errorf("nil scheduler performed %d swaps", swaps)
+	}
+}

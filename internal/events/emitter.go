@@ -191,6 +191,14 @@ func (e *Emitter) Emit(at loc.Loc, event string, args ...vm.Value) bool {
 	// so listeners added during dispatch do not run for this emission.
 	copied := make([]*listener, len(snapshot))
 	copy(copied, snapshot)
+	if at != loc.Internal {
+		// Opt-in exploration point: ChoiceListenerOrder is stricter than
+		// Node's registration-order contract, so schedulers leave it
+		// alone unless explicitly asked (see eventloop.ChoiceKind).
+		e.loop.Permute(eventloop.ChoiceListenerOrder, len(copied), func(i, j int) {
+			copied[i], copied[j] = copied[j], copied[i]
+		})
+	}
 	for _, entry := range copied {
 		if entry.once {
 			if !e.removeEntry(event, entry) {

@@ -1,0 +1,449 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"asyncg"
+	"asyncg/internal/acmeair"
+	"asyncg/internal/casestudy"
+	"asyncg/internal/detect"
+	"asyncg/internal/eventloop"
+	"asyncg/internal/loc"
+	"asyncg/internal/mongosim"
+	"asyncg/internal/netio"
+	"asyncg/internal/workload"
+)
+
+// Target is a program the engine can run repeatedly. Run must build a
+// fresh runtime per call (schedules only compose with a cold start) and
+// thread extra through to asyncg.New so the engine can install its
+// scheduler.
+type Target struct {
+	// Name labels the target in reports.
+	Name string
+	// Expect lists detector categories of interest (a case study's
+	// Expect set); they are classified even when never observed.
+	Expect []detect.Category
+	// Run executes the program once and returns its report. A limit
+	// error (ErrTickLimit for starvation bugs) is expected and recorded,
+	// not fatal.
+	Run func(extra ...asyncg.Option) (*asyncg.Report, error)
+}
+
+// CaseTarget wraps a casestudy case (its buggy or fixed version).
+func CaseTarget(c casestudy.Case, fixed bool) Target {
+	name := c.ID + " (buggy)"
+	run := func(extra ...asyncg.Option) (*asyncg.Report, error) {
+		res := casestudy.RunBuggy(c, extra...)
+		return res.Report, res.Err
+	}
+	if fixed {
+		name = c.ID + " (fixed)"
+		run = func(extra ...asyncg.Option) (*asyncg.Report, error) {
+			res := casestudy.RunFixed(c, extra...)
+			return res.Report, res.Err
+		}
+	}
+	return Target{Name: name, Expect: c.Expect, Run: run}
+}
+
+// CaseTargetByID looks up a case study by ID and wraps it.
+func CaseTargetByID(id string, fixed bool) (Target, error) {
+	c, ok := casestudy.ByID(id)
+	if !ok {
+		return Target{}, fmt.Errorf("explore: unknown case %q", id)
+	}
+	if fixed && c.Fixed == nil {
+		return Target{}, fmt.Errorf("explore: case %q has no fixed version", id)
+	}
+	return CaseTarget(c, fixed), nil
+}
+
+// AcmeAirTarget wraps the AcmeAir benchmark server under its workload
+// driver (the Fig. 6 setup, scaled down): requests total requests from
+// clients concurrent clients, with the driver's operation mix drawn from
+// seed.
+func AcmeAirTarget(requests, clients int, seed int64) Target {
+	return Target{
+		Name: fmt.Sprintf("acmeair[requests=%d,clients=%d,seed=%d]", requests, clients, seed),
+		Run: func(extra ...asyncg.Option) (*asyncg.Report, error) {
+			opts := append([]asyncg.Option{asyncg.WithLoop(eventloop.Options{TickLimit: 100_000_000})}, extra...)
+			s := asyncg.New(opts...)
+			loop := s.Loop()
+			net := netio.New(loop, netio.Options{})
+			db := mongosim.New(loop, mongosim.Options{})
+			acmeair.LoadSampleData(db, acmeair.DefaultDataSpec())
+			app := acmeair.New(loop, net, db, acmeair.Config{UsePromises: true})
+			driver := workload.NewDriver(net, workload.Options{
+				Port:     app.Port(),
+				Clients:  clients,
+				Requests: requests,
+				Seed:     seed,
+			})
+			return s.Run(func(*asyncg.Context) {
+				if err := app.Listen(loc.Here()); err != nil {
+					panic(err)
+				}
+				driver.Start()
+			})
+		},
+	}
+}
+
+// Config parameterizes an exploration.
+type Config struct {
+	// Runs bounds the number of executions. 0 means 32.
+	Runs int
+	// Seed feeds the random and delay strategies; run i derives its
+	// generator from Seed+i, so explorations are reproducible.
+	Seed int64
+	// Strategy selects the walk; empty means StrategyRandom.
+	Strategy Strategy
+	// Kinds restricts which choice-point classes are perturbed; nil
+	// means DefaultKinds.
+	Kinds []eventloop.ChoiceKind
+	// DelayBound caps non-default picks per run for StrategyDelay;
+	// 0 means 2.
+	DelayBound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 32
+	}
+	if c.Strategy == "" {
+		c.Strategy = StrategyRandom
+	}
+	if c.Kinds == nil {
+		c.Kinds = DefaultKinds()
+	}
+	if c.DelayBound == 0 {
+		c.DelayBound = 2
+	}
+	return c
+}
+
+// Outcome classifies a warning across the explored schedules.
+type Outcome string
+
+// Warning outcomes.
+const (
+	// OutcomeAlways: present in every explored schedule — the bug (or
+	// detector finding) is schedule-independent.
+	OutcomeAlways Outcome = "always"
+	// OutcomeSometimes: present in some schedules and absent in others —
+	// the finding is schedule-dependent; Witness and CounterWitness
+	// reproduce one run of each.
+	OutcomeSometimes Outcome = "sometimes"
+	// OutcomeNever: an expected category that no explored schedule
+	// produced.
+	OutcomeNever Outcome = "never"
+)
+
+// RunResult summarizes one executed schedule.
+type RunResult struct {
+	Index int `json:"index"`
+	// Token replays this run (see Replay and asyncg explore -replay).
+	Token string `json:"token"`
+	// Fingerprint is the canonical Async-Graph hash of the run.
+	Fingerprint string `json:"fingerprint"`
+	// Warnings lists the run's warning keys ("category @ location"),
+	// sorted and deduplicated.
+	Warnings []string `json:"warnings,omitempty"`
+	// Err records a run-limit error (tick/time limit), if any.
+	Err string `json:"err,omitempty"`
+	// Ticks is the number of top-level callbacks executed.
+	Ticks int `json:"ticks"`
+}
+
+// WarningStat classifies one warning key across all runs.
+type WarningStat struct {
+	Key            string          `json:"key"`
+	Category       detect.Category `json:"category"`
+	Outcome        Outcome         `json:"outcome"`
+	Runs           int             `json:"runs"`
+	Witness        string          `json:"witness,omitempty"`
+	CounterWitness string          `json:"counterWitness,omitempty"`
+}
+
+// CategoryStat classifies one detector category across all runs
+// (coarser than WarningStat: any warning of the category counts).
+type CategoryStat struct {
+	Category       detect.Category `json:"category"`
+	Outcome        Outcome         `json:"outcome"`
+	Runs           int             `json:"runs"`
+	Expected       bool            `json:"expected"`
+	Witness        string          `json:"witness,omitempty"`
+	CounterWitness string          `json:"counterWitness,omitempty"`
+}
+
+// FingerprintStat counts the runs that produced one graph shape.
+type FingerprintStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Runs        int    `json:"runs"`
+	// Token reproduces the first run that hit this shape.
+	Token string `json:"token"`
+}
+
+// Result is a completed exploration.
+type Result struct {
+	Target   string   `json:"target"`
+	Strategy Strategy `json:"strategy"`
+	Seed     int64    `json:"seed"`
+	// Exhausted reports that StrategyExhaustive enumerated the entire
+	// choice tree within the run budget.
+	Exhausted    bool              `json:"exhausted,omitempty"`
+	Runs         []RunResult       `json:"runs"`
+	Fingerprints []FingerprintStat `json:"fingerprints"`
+	Warnings     []WarningStat     `json:"warnings"`
+	Categories   []CategoryStat    `json:"categories"`
+}
+
+// Sometimes returns the schedule-dependent warning stats.
+func (r *Result) Sometimes() []WarningStat {
+	var out []WarningStat
+	for _, w := range r.Warnings {
+		if w.Outcome == OutcomeSometimes {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Run explores the target's schedule space under cfg.
+func Run(t Target, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Target: t.Name, Strategy: cfg.Strategy, Seed: cfg.Seed}
+	switch cfg.Strategy {
+	case StrategyExhaustive:
+		runExhaustive(t, cfg, res)
+	default:
+		for i := 0; i < cfg.Runs; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			var next func(pos int, kind eventloop.ChoiceKind, n int) int
+			if cfg.Strategy == StrategyDelay {
+				next = delayNext(rng, cfg.DelayBound)
+			} else {
+				next = randomNext(rng)
+			}
+			res.Runs = append(res.Runs, runOnce(t, i, newChooser(cfg.Kinds, next)))
+		}
+	}
+	aggregate(t, res)
+	return res
+}
+
+// runExhaustive enumerates the choice tree breadth-first. Each frontier
+// entry is a forced pick prefix; running it with zero-defaults past the
+// prefix visits one concrete schedule and exposes the branching domains
+// observed along the way, from which the unvisited siblings (non-zero
+// picks at positions after the prefix) are enqueued. Every reachable
+// pick vector is generated exactly once: a vector's canonical prefix is
+// itself up to its last non-zero pick.
+func runExhaustive(t Target, cfg Config, res *Result) {
+	frontier := [][]int{nil}
+	for len(frontier) > 0 && len(res.Runs) < cfg.Runs {
+		prefix := frontier[0]
+		frontier = frontier[1:]
+		ch := newChooser(cfg.Kinds, playbackNext(prefix))
+		res.Runs = append(res.Runs, runOnce(t, len(res.Runs), ch))
+		for pos := len(prefix); pos < len(ch.domains); pos++ {
+			for v := 1; v < ch.domains[pos]; v++ {
+				child := make([]int, pos+1)
+				copy(child, ch.picks[:pos])
+				child[pos] = v
+				frontier = append(frontier, child)
+			}
+		}
+	}
+	res.Exhausted = len(frontier) == 0
+}
+
+// runOnce executes the target under one scheduler and summarizes it.
+func runOnce(t Target, idx int, ch *chooser) RunResult {
+	report, err := t.Run(asyncg.WithScheduler(ch))
+	rr := RunResult{Index: idx, Token: ch.Schedule().Token()}
+	if err != nil {
+		rr.Err = err.Error()
+	}
+	if report == nil {
+		return rr
+	}
+	rr.Ticks = report.Ticks
+	if report.Graph != nil {
+		rr.Fingerprint = report.Graph.Fingerprint()
+	}
+	seen := make(map[string]bool)
+	for _, w := range report.Warnings {
+		key := fmt.Sprintf("%s @ %s", w.Category, w.Loc)
+		if !seen[key] {
+			seen[key] = true
+			rr.Warnings = append(rr.Warnings, key)
+		}
+	}
+	sort.Strings(rr.Warnings)
+	return rr
+}
+
+// Replay runs the target once under a recorded schedule token; extra
+// options (tracing, metrics) ride along, so a witness schedule can be
+// re-examined with the full observability stack attached.
+func Replay(t Target, token string, extra ...asyncg.Option) (RunResult, *asyncg.Report, error) {
+	sched, err := ParseToken(token)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	ch := newChooser(AllKinds(), playbackNext(sched.Picks))
+	opts := append([]asyncg.Option{asyncg.WithScheduler(ch)}, extra...)
+	report, rerr := t.Run(opts...)
+	rr := RunResult{Token: token}
+	if rerr != nil {
+		rr.Err = rerr.Error()
+	}
+	if report != nil {
+		rr.Ticks = report.Ticks
+		if report.Graph != nil {
+			rr.Fingerprint = report.Graph.Fingerprint()
+		}
+		seen := make(map[string]bool)
+		for _, w := range report.Warnings {
+			key := fmt.Sprintf("%s @ %s", w.Category, w.Loc)
+			if !seen[key] {
+				seen[key] = true
+				rr.Warnings = append(rr.Warnings, key)
+			}
+		}
+		sort.Strings(rr.Warnings)
+	}
+	return rr, report, nil
+}
+
+// aggregate fills the result's fingerprint census and warning/category
+// classification from the per-run records.
+func aggregate(t Target, res *Result) {
+	total := len(res.Runs)
+	fpCount := make(map[string]int)
+	fpToken := make(map[string]string)
+	warnCount := make(map[string]int)
+	warnWitness := make(map[string]string)
+	catCount := make(map[detect.Category]int)
+	catWitness := make(map[detect.Category]string)
+	for _, rr := range res.Runs {
+		if fpCount[rr.Fingerprint] == 0 {
+			fpToken[rr.Fingerprint] = rr.Token
+		}
+		fpCount[rr.Fingerprint]++
+		cats := make(map[detect.Category]bool)
+		for _, key := range rr.Warnings {
+			if warnCount[key] == 0 {
+				warnWitness[key] = rr.Token
+			}
+			warnCount[key]++
+			cats[warnKeyCategory(key)] = true
+		}
+		for cat := range cats {
+			if catCount[cat] == 0 {
+				catWitness[cat] = rr.Token
+			}
+			catCount[cat]++
+		}
+	}
+
+	counterFor := func(has func(RunResult) bool) string {
+		for _, rr := range res.Runs {
+			if !has(rr) {
+				return rr.Token
+			}
+		}
+		return ""
+	}
+	outcomeOf := func(count int) Outcome {
+		switch {
+		case count == 0:
+			return OutcomeNever
+		case count == total:
+			return OutcomeAlways
+		default:
+			return OutcomeSometimes
+		}
+	}
+
+	for key, count := range warnCount {
+		ws := WarningStat{
+			Key:      key,
+			Category: warnKeyCategory(key),
+			Outcome:  outcomeOf(count),
+			Runs:     count,
+			Witness:  warnWitness[key],
+		}
+		if ws.Outcome == OutcomeSometimes {
+			k := key
+			ws.CounterWitness = counterFor(func(rr RunResult) bool {
+				for _, w := range rr.Warnings {
+					if w == k {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		res.Warnings = append(res.Warnings, ws)
+	}
+	sort.Slice(res.Warnings, func(i, j int) bool { return res.Warnings[i].Key < res.Warnings[j].Key })
+
+	// Category classification covers the union of observed categories
+	// and the target's expected set, so "never" is expressible.
+	expected := make(map[detect.Category]bool)
+	for _, cat := range t.Expect {
+		expected[cat] = true
+		if _, ok := catCount[cat]; !ok {
+			catCount[cat] = 0
+		}
+	}
+	for cat, count := range catCount {
+		cs := CategoryStat{
+			Category: cat,
+			Outcome:  outcomeOf(count),
+			Runs:     count,
+			Expected: expected[cat],
+			Witness:  catWitness[cat],
+		}
+		if cs.Outcome == OutcomeSometimes {
+			c := cat
+			cs.CounterWitness = counterFor(func(rr RunResult) bool {
+				for _, w := range rr.Warnings {
+					if warnKeyCategory(w) == c {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		res.Categories = append(res.Categories, cs)
+	}
+	sort.Slice(res.Categories, func(i, j int) bool { return res.Categories[i].Category < res.Categories[j].Category })
+
+	for fp, count := range fpCount {
+		res.Fingerprints = append(res.Fingerprints, FingerprintStat{Fingerprint: fp, Runs: count, Token: fpToken[fp]})
+	}
+	sort.Slice(res.Fingerprints, func(i, j int) bool {
+		a, b := res.Fingerprints[i], res.Fingerprints[j]
+		if a.Runs != b.Runs {
+			return a.Runs > b.Runs
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+}
+
+// warnKeyCategory recovers the category from a "category @ location"
+// warning key.
+func warnKeyCategory(key string) detect.Category {
+	for i := 0; i+3 <= len(key); i++ {
+		if key[i:i+3] == " @ " {
+			return detect.Category(key[:i])
+		}
+	}
+	return detect.Category(key)
+}

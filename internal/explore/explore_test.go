@@ -1,0 +1,288 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"asyncg/internal/detect"
+	"asyncg/internal/eventloop"
+)
+
+func caseTarget(t *testing.T, id string) Target {
+	t.Helper()
+	tg, err := CaseTargetByID(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		picks := make([]int, rng.Intn(40))
+		for j := range picks {
+			picks[j] = rng.Intn(6)
+		}
+		tok := Schedule{Picks: picks}.Token()
+		back, err := ParseToken(tok)
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", tok, err)
+		}
+		// Trailing zeros are trimmed by design; replay treats positions
+		// past the end as zero, so pad before comparing.
+		padded := append([]int{}, back.Picks...)
+		for len(padded) < len(picks) {
+			padded = append(padded, 0)
+		}
+		if !reflect.DeepEqual(padded, picks) {
+			t.Fatalf("roundtrip %v -> %q -> %v", picks, tok, back.Picks)
+		}
+	}
+	if _, err := ParseToken("bogus"); err == nil {
+		t.Fatal("ParseToken accepted a token without prefix")
+	}
+	if _, err := ParseToken("s1.!!!"); err == nil {
+		t.Fatal("ParseToken accepted invalid base64")
+	}
+}
+
+// TestReplayDeterminism is the replay-fidelity property of the
+// acceptance criteria: across at least 100 random seeds, replaying a
+// run's token reproduces the identical Async-Graph fingerprint and the
+// identical warning set.
+func TestReplayDeterminism(t *testing.T) {
+	cases := []string{"SO-17894000", "GH-vuex-2"}
+	for _, id := range cases {
+		tg := caseTarget(t, id)
+		for seed := int64(0); seed < 50; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			orig := runOnce(tg, 0, newChooser(AllKinds(), randomNext(rng)))
+			rep, _, err := Replay(tg, orig.Token)
+			if err != nil {
+				t.Fatalf("%s seed %d: replay: %v", id, seed, err)
+			}
+			if rep.Fingerprint != orig.Fingerprint {
+				t.Errorf("%s seed %d: fingerprint %s != %s (token %s)",
+					id, seed, rep.Fingerprint, orig.Fingerprint, orig.Token)
+			}
+			if !reflect.DeepEqual(rep.Warnings, orig.Warnings) {
+				t.Errorf("%s seed %d: warnings %v != %v (token %s)",
+					id, seed, rep.Warnings, orig.Warnings, orig.Token)
+			}
+		}
+	}
+}
+
+// TestSometimesClassification checks the paper-derived SO-17894000 case
+// (listener added within a listener) is schedule-dependent: the 'data'
+// and 'end' deliveries become ready at the same instant, so the I/O
+// completion order decides whether the inner listener registration ever
+// happens. The engine must classify it sometimes, with working witness
+// and counter-witness tokens.
+func TestSometimesClassification(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	res := Run(tg, Config{Runs: 24, Seed: 3})
+	var found *WarningStat
+	for i := range res.Warnings {
+		if res.Warnings[i].Category == detect.CatListenerInListener {
+			found = &res.Warnings[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no %s warning observed in %d runs", detect.CatListenerInListener, len(res.Runs))
+	}
+	if found.Outcome != OutcomeSometimes {
+		t.Fatalf("%s classified %s, want %s", found.Key, found.Outcome, OutcomeSometimes)
+	}
+	if found.Witness == "" || found.CounterWitness == "" {
+		t.Fatalf("sometimes warning missing tokens: witness=%q counter=%q", found.Witness, found.CounterWitness)
+	}
+
+	wit, _, err := Replay(tg, found.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKey(wit.Warnings, found.Key) {
+		t.Errorf("witness %s does not reproduce %s (got %v)", found.Witness, found.Key, wit.Warnings)
+	}
+	cnt, _, err := Replay(tg, found.CounterWitness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasKey(cnt.Warnings, found.Key) {
+		t.Errorf("counter-witness %s still shows %s", found.CounterWitness, found.Key)
+	}
+
+	// The category-level classification must agree and mark the
+	// case study's expected category.
+	for _, cs := range res.Categories {
+		if cs.Category == detect.CatListenerInListener {
+			if cs.Outcome != OutcomeSometimes || !cs.Expected {
+				t.Errorf("category stat = %+v, want expected sometimes", cs)
+			}
+		}
+	}
+}
+
+// TestExhaustiveCoversRandom: on a small case the exhaustive strategy
+// must terminate within budget and visit every distinct fingerprint that
+// random sampling finds.
+func TestExhaustiveCoversRandom(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
+	ex := Run(tg, Config{Runs: 400, Strategy: StrategyExhaustive, Kinds: kinds})
+	if !ex.Exhausted {
+		t.Fatalf("exhaustive strategy did not finish in %d runs", len(ex.Runs))
+	}
+	covered := make(map[string]bool)
+	for _, fp := range ex.Fingerprints {
+		covered[fp.Fingerprint] = true
+	}
+	rnd := Run(tg, Config{Runs: 60, Seed: 11, Kinds: kinds})
+	for _, fp := range rnd.Fingerprints {
+		if !covered[fp.Fingerprint] {
+			t.Errorf("random found fingerprint %s (token %s) missed by exhaustive enumeration", fp.Fingerprint, fp.Token)
+		}
+	}
+	if len(ex.Fingerprints) < 2 {
+		t.Errorf("expected schedule-dependent graph shapes, got %d fingerprint(s)", len(ex.Fingerprints))
+	}
+}
+
+// TestDelayBound: the delay strategy deviates from the default schedule
+// in at most DelayBound positions per run.
+func TestDelayBound(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	const bound = 2
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ch := newChooser(DefaultKinds(), delayNext(rng, bound))
+		runOnce(tg, 0, ch)
+		nonzero := 0
+		for _, p := range ch.picks {
+			if p != 0 {
+				nonzero++
+			}
+		}
+		if nonzero > bound {
+			t.Fatalf("seed %d: %d non-default picks, bound %d", seed, nonzero, bound)
+		}
+	}
+}
+
+// TestDefaultScheduleMatchesNoScheduler: the all-zero schedule must
+// reproduce the historical deterministic order, so exploration results
+// always include the unperturbed baseline.
+func TestDefaultScheduleMatchesNoScheduler(t *testing.T) {
+	for _, id := range []string{"SO-17894000", "GH-npm-12754", "fig4"} {
+		tg := caseTarget(t, id)
+		base, err := tg.Run()
+		if err != nil && err != eventloop.ErrTickLimit {
+			t.Fatalf("%s: %v", id, err)
+		}
+		zero, _, rerr := Replay(tg, Schedule{}.Token())
+		if rerr != nil {
+			t.Fatalf("%s: %v", id, rerr)
+		}
+		if base.Graph.Fingerprint() != zero.Fingerprint {
+			t.Errorf("%s: zero schedule fingerprint %s != unscheduled %s", id, zero.Fingerprint, base.Graph.Fingerprint())
+		}
+	}
+}
+
+// TestAlwaysClassification: GH-npm-12754's recursive-microtask drain is
+// schedule-independent (the starvation happens before any I/O or timer
+// choice can matter), so exploration must classify it always.
+func TestAlwaysClassification(t *testing.T) {
+	tg := caseTarget(t, "GH-npm-12754")
+	res := Run(tg, Config{Runs: 8, Seed: 5})
+	found := false
+	for _, cs := range res.Categories {
+		if cs.Category == detect.CatRecursiveMicrotask {
+			found = true
+			if cs.Outcome != OutcomeAlways {
+				t.Errorf("recursive-microtask classified %s, want always", cs.Outcome)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("recursive-microtask not classified at all")
+	}
+}
+
+func TestAcmeAirExploreAndReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acmeair exploration in -short mode")
+	}
+	tg := AcmeAirTarget(30, 3, 1)
+	res := Run(tg, Config{Runs: 2, Seed: 9})
+	if len(res.Runs) != 2 {
+		t.Fatalf("got %d runs", len(res.Runs))
+	}
+	for _, rr := range res.Runs {
+		if rr.Err != "" {
+			t.Fatalf("run %d failed: %s", rr.Index, rr.Err)
+		}
+		rep, _, err := Replay(tg, rr.Token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Fingerprint != rr.Fingerprint {
+			t.Errorf("run %d: replay fingerprint %s != %s", rr.Index, rep.Fingerprint, rr.Fingerprint)
+		}
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	res := Run(tg, Config{Runs: 6, Seed: 1})
+	var buf bytes.Buffer
+	if err := res.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(&buf)
+	kinds := make(map[string]int)
+	var lastKind string
+	for scanner.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(scanner.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		kind, _ := line["kind"].(string)
+		kinds[kind]++
+		lastKind = kind
+	}
+	if kinds[KindRun] != 6 {
+		t.Errorf("got %d %s lines, want 6", kinds[KindRun], KindRun)
+	}
+	if kinds[KindSummary] != 1 || lastKind != KindSummary {
+		t.Errorf("summary line count=%d last=%q", kinds[KindSummary], lastKind)
+	}
+	if kinds[KindWarning] == 0 {
+		t.Error("no warning lines")
+	}
+
+	var text strings.Builder
+	if err := res.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "distinct async-graph fingerprints") {
+		t.Errorf("text report missing fingerprint census:\n%s", text.String())
+	}
+}
+
+func hasKey(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}

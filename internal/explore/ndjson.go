@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// NDJSON record kinds. The stream shares the shape of the trace
+// exporter's NDJSON output — one self-describing JSON object per line,
+// discriminated by a "kind" field — so the same tooling can consume
+// both.
+const (
+	KindRun     = "explore-run"
+	KindWarning = "explore-warning"
+	KindSummary = "explore-summary"
+)
+
+// runLine is one executed schedule.
+type runLine struct {
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	RunResult
+}
+
+// warningLine is one classified warning key.
+type warningLine struct {
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	WarningStat
+}
+
+// summaryLine closes the stream.
+type summaryLine struct {
+	Kind         string            `json:"kind"`
+	Target       string            `json:"target"`
+	Strategy     Strategy          `json:"strategy"`
+	Seed         int64             `json:"seed"`
+	Runs         int               `json:"runs"`
+	Exhausted    bool              `json:"exhausted,omitempty"`
+	Fingerprints []FingerprintStat `json:"fingerprints"`
+	Categories   []CategoryStat    `json:"categories"`
+}
+
+// WriteNDJSON streams the exploration as newline-delimited JSON: one
+// explore-run line per schedule, one explore-warning line per classified
+// warning, and a final explore-summary line with the fingerprint census
+// and category classification.
+func (r *Result) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rr := range r.Runs {
+		if err := enc.Encode(runLine{Kind: KindRun, Target: r.Target, RunResult: rr}); err != nil {
+			return err
+		}
+	}
+	for _, ws := range r.Warnings {
+		if err := enc.Encode(warningLine{Kind: KindWarning, Target: r.Target, WarningStat: ws}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(summaryLine{
+		Kind: KindSummary, Target: r.Target, Strategy: r.Strategy, Seed: r.Seed,
+		Runs: len(r.Runs), Exhausted: r.Exhausted,
+		Fingerprints: r.Fingerprints, Categories: r.Categories,
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,48 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the exploration summary as a human-readable report.
+func (r *Result) WriteText(w io.Writer) error {
+	distinct := len(r.Fingerprints)
+	exhausted := ""
+	if r.Strategy == StrategyExhaustive {
+		exhausted = " exhausted=false"
+		if r.Exhausted {
+			exhausted = " exhausted=true"
+		}
+	}
+	if _, err := fmt.Fprintf(w, "explored %s: %d runs, strategy=%s, seed=%d%s\n",
+		r.Target, len(r.Runs), r.Strategy, r.Seed, exhausted); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ndistinct async-graph fingerprints: %d\n", distinct)
+	for _, fp := range r.Fingerprints {
+		fmt.Fprintf(w, "  %-22s %4d run(s)   replay %s\n", fp.Fingerprint, fp.Runs, fp.Token)
+	}
+	fmt.Fprintf(w, "\nwarnings (%d distinct):\n", len(r.Warnings))
+	if len(r.Warnings) == 0 {
+		fmt.Fprintf(w, "  none observed in any schedule\n")
+	}
+	for _, ws := range r.Warnings {
+		fmt.Fprintf(w, "  [%-9s] %-60s %d/%d runs\n", ws.Outcome, ws.Key, ws.Runs, len(r.Runs))
+		if ws.Outcome == OutcomeSometimes {
+			fmt.Fprintf(w, "              witness         %s\n", ws.Witness)
+			fmt.Fprintf(w, "              counter-witness %s\n", ws.CounterWitness)
+		}
+	}
+	fmt.Fprintf(w, "\ncategories (* = expected by the case study):\n")
+	for _, cs := range r.Categories {
+		mark := " "
+		if cs.Expected {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, " %s[%-9s] %-40s %d/%d runs\n", mark, cs.Outcome, cs.Category, cs.Runs, len(r.Runs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asyncg/internal/eventloop"
+)
+
+// Strategy selects how the engine walks the schedule space.
+type Strategy string
+
+// The exploration strategies.
+const (
+	// StrategyRandom draws every pick uniformly from its domain — the
+	// fuzzing baseline. Run i uses seed Config.Seed+i.
+	StrategyRandom Strategy = "random"
+	// StrategyDelay perturbs the default schedule by at most
+	// Config.DelayBound non-zero picks per run (delay-bounded search:
+	// most schedule-dependent bugs need only a few reorderings, so
+	// spending the budget near the default schedule finds them with far
+	// fewer runs than uniform sampling).
+	StrategyDelay Strategy = "delay"
+	// StrategyExhaustive enumerates the choice tree breadth-first,
+	// visiting every reachable pick vector once, up to Config.Runs. For
+	// small programs this provably covers the whole schedule space (the
+	// Result.Exhausted flag reports whether it finished).
+	StrategyExhaustive Strategy = "exhaustive"
+)
+
+// ParseStrategy converts a CLI string to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyRandom, StrategyDelay, StrategyExhaustive:
+		return Strategy(s), nil
+	default:
+		return "", fmt.Errorf("explore: unknown strategy %q (random, delay, exhaustive)", s)
+	}
+}
+
+// DefaultKinds is the choice-point classes explored unless configured
+// otherwise: orderings real systems genuinely vary. ChoiceListenerOrder
+// and ChoiceDataOrder are stricter than (respectively looser than) what
+// most programs assume, so they are opt-in.
+func DefaultKinds() []eventloop.ChoiceKind {
+	return []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceTimerTie, eventloop.ChoiceLatency}
+}
+
+// AllKinds returns every choice-point class. Replay uses it: a token
+// stores picks by position, so the replaying scheduler must answer every
+// choice point, whatever kinds produced the recording.
+func AllKinds() []eventloop.ChoiceKind {
+	return []eventloop.ChoiceKind{
+		eventloop.ChoiceIOOrder, eventloop.ChoiceTimerTie, eventloop.ChoiceLatency,
+		eventloop.ChoiceListenerOrder, eventloop.ChoiceDataOrder,
+	}
+}
+
+// ParseKinds converts a comma-separated kind list ("io-order,latency").
+func ParseKinds(s string) ([]eventloop.ChoiceKind, error) {
+	if s == "" {
+		return DefaultKinds(), nil
+	}
+	known := make(map[eventloop.ChoiceKind]bool)
+	for _, k := range AllKinds() {
+		known[k] = true
+	}
+	var kinds []eventloop.ChoiceKind
+	for _, part := range splitComma(s) {
+		k := eventloop.ChoiceKind(part)
+		if !known[k] {
+			return nil, fmt.Errorf("explore: unknown choice kind %q", part)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// chooser is the eventloop.Scheduler the engine installs for each run.
+// It consults a strategy function for enabled kinds, forces the default
+// pick for disabled ones, and records every pick with its effective
+// domain — the recording is the run's replay token and the exhaustive
+// strategy's branching information.
+//
+// Every Choose call appends exactly one pick, including disabled kinds
+// (forced to 0 with domain 1), so pick positions line up between
+// recording and replay regardless of which kinds were enabled.
+type chooser struct {
+	enabled map[eventloop.ChoiceKind]bool
+	next    func(pos int, kind eventloop.ChoiceKind, n int) int
+
+	picks   []int
+	domains []int
+}
+
+func newChooser(kinds []eventloop.ChoiceKind, next func(pos int, kind eventloop.ChoiceKind, n int) int) *chooser {
+	enabled := make(map[eventloop.ChoiceKind]bool, len(kinds))
+	for _, k := range kinds {
+		enabled[k] = true
+	}
+	return &chooser{enabled: enabled, next: next}
+}
+
+// Choose implements eventloop.Scheduler.
+func (c *chooser) Choose(kind eventloop.ChoiceKind, n int) int {
+	pick, domain := 0, 1
+	if c.enabled[kind] {
+		domain = n
+		pick = c.next(len(c.picks), kind, n)
+		if pick < 0 || pick >= n {
+			pick = 0
+		}
+	}
+	c.picks = append(c.picks, pick)
+	c.domains = append(c.domains, domain)
+	return pick
+}
+
+// Schedule returns the recorded pick sequence.
+func (c *chooser) Schedule() Schedule { return Schedule{Picks: c.picks} }
+
+// randomNext draws every pick uniformly.
+func randomNext(rng *rand.Rand) func(pos int, kind eventloop.ChoiceKind, n int) int {
+	return func(_ int, _ eventloop.ChoiceKind, n int) int { return rng.Intn(n) }
+}
+
+// delayNext perturbs the default schedule with at most bound non-default
+// picks, each site deviating with probability 1/4.
+func delayNext(rng *rand.Rand, bound int) func(pos int, kind eventloop.ChoiceKind, n int) int {
+	budget := bound
+	return func(_ int, _ eventloop.ChoiceKind, n int) int {
+		if budget > 0 && rng.Intn(4) == 0 {
+			budget--
+			return 1 + rng.Intn(n-1)
+		}
+		return 0
+	}
+}
+
+// playbackNext replays a recorded pick sequence, defaulting to 0 past
+// its end (tokens trim trailing zeros, and a deviated prefix may make
+// the run shorter or longer than the recording).
+func playbackNext(picks []int) func(pos int, kind eventloop.ChoiceKind, n int) int {
+	return func(pos int, _ eventloop.ChoiceKind, _ int) int {
+		if pos < len(picks) {
+			return picks[pos]
+		}
+		return 0
+	}
+}

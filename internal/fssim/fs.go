@@ -96,7 +96,7 @@ func (f *FS) run(at loc.Loc, api string, cb *vm.Function, op func() (vm.Value, e
 		f.loop.ScheduleTickJob(cb, []vm.Value{errVal, res}, &vm.Dispatch{API: api, RegSeq: seq})
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOAt(f.loop.Now()+f.latency, ioFn, nil, &vm.Dispatch{API: api})
+	f.loop.ScheduleIOAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), ioFn, nil, &vm.Dispatch{API: api})
 }
 
 // runP is run with a promise result instead of a callback.
@@ -114,7 +114,7 @@ func (f *FS) runP(at loc.Loc, api string, op func() (vm.Value, error)) *promise.
 		p.Resolve(loc.Internal, res)
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOAt(f.loop.Now()+f.latency, ioFn, nil, &vm.Dispatch{API: api})
+	f.loop.ScheduleIOAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), ioFn, nil, &vm.Dispatch{API: api})
 	return p
 }
 

@@ -44,6 +44,23 @@ func (l Loc) String() string {
 	return fmt.Sprintf("%s:%d", l.File, l.Line)
 }
 
+// Parse inverts String: "file:line" becomes a Loc, "*" (and anything
+// unparsable) becomes Internal. Graph logs store locations in rendered
+// form; readers use Parse so a deserialized graph keeps location
+// identity (fingerprints and warning keys compare rendered locations).
+func Parse(s string) Loc {
+	for i := len(s) - 1; i > 0; i-- {
+		if s[i] == ':' {
+			line := 0
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &line); err == nil && line > 0 {
+				return Loc{File: s[:i], Line: line}
+			}
+			break
+		}
+	}
+	return Internal
+}
+
 // Short renders the paper's node-name prefix: "L<line>" for user code,
 // "*" for internals.
 func (l Loc) Short() string {

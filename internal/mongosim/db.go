@@ -121,7 +121,7 @@ func (c *Collection) run(api string, op func() result, deliver func(result)) {
 		hop(ticks)
 		return vm.Undefined
 	})
-	l.ScheduleIOAt(l.Now()+c.db.opts.Latency, ioFn, nil, &vm.Dispatch{API: api})
+	l.ScheduleIOAt(l.Now()+l.PerturbLatency(c.db.opts.Latency), ioFn, nil, &vm.Dispatch{API: api})
 }
 
 // registerCallback announces the user callback registration under the
@@ -365,6 +365,10 @@ func (c *Collection) findSync(query string) ([]Document, error) {
 			out = append(out, doc)
 		}
 	}
+	// MongoDB's natural order is unspecified without a sort, so the
+	// result order is an explorable (opt-in) choice point. It covers
+	// every read path: Find, FindOne (docs[0]), cursors and promises.
+	c.db.loop.Permute(eventloop.ChoiceDataOrder, len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out, nil
 }
 

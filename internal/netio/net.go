@@ -78,7 +78,7 @@ func (n *Network) deliver(api string, fn func()) {
 		fn()
 		return vm.Undefined
 	})
-	n.loop.ScheduleIOAt(n.loop.Now()+n.latency, wrapped, nil, &vm.Dispatch{API: api})
+	n.loop.ScheduleIOAt(n.loop.Now()+n.loop.PerturbLatency(n.latency), wrapped, nil, &vm.Dispatch{API: api})
 }
 
 // Server is a listening endpoint. It is an event emitter: 'connection'

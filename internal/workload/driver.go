@@ -111,6 +111,12 @@ type Options struct {
 	Requests int // total requests across all clients
 	Seed     int64
 	Mix      Mix
+	// Rand, when non-nil, supplies the driver's randomness instead of a
+	// private source seeded with Seed. Harnesses that derive the whole
+	// run from one master seed (the explore engine, multi-phase
+	// benchmarks) inject their generator here; the driver never touches
+	// the global math/rand source either way.
+	Rand *rand.Rand
 }
 
 // Stats accumulates driver-side results.
@@ -176,10 +182,14 @@ func NewDriver(n *netio.Network, opts Options) *Driver {
 	if opts.Mix == nil {
 		opts.Mix = DefaultMix()
 	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
 	return &Driver{
 		net:     n,
 		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		rng:     rng,
 		stats:   Stats{ByOp: make(map[string]int)},
 		airport: acmeair.Airports(),
 	}
