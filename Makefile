@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke race-explore bench-record
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -24,6 +24,17 @@ test:
 explore-smoke:
 	$(GO) run ./cmd/asyncg explore -case SO-17894000 -runs 16 -seed 1 -expect-sometimes
 	$(GO) run ./cmd/asyncg explore -case GH-npm-12754 -runs 8 -seed 1
+
+# Parallel-exploration determinism under the race detector: 1-, 2-, and
+# 8-worker explores must produce byte-identical Result JSON.
+race-explore:
+	$(GO) test -race ./internal/explore/...
+
+# Record the sequential-vs-parallel exploration benchmarks into
+# BENCH_explore.json (ns/op, allocs/op, schedules/sec, speedup).
+# See EXPERIMENTS.md §Recording benchmarks for the schema.
+bench-record:
+	$(GO) run ./cmd/asyncg bench -out BENCH_explore.json
 
 # Regenerate the golden trace fixtures from the deterministic program in
 # internal/trace/exporter_test.go, then check they still pass.

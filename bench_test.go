@@ -14,6 +14,7 @@ package asyncg_test
 //	go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"asyncg/internal/eventloop"
 	"asyncg/internal/events"
 	"asyncg/internal/experiments"
+	"asyncg/internal/explore"
 	"asyncg/internal/loc"
 	"asyncg/internal/mongosim"
 	"asyncg/internal/netio"
@@ -184,6 +186,38 @@ func BenchmarkAblationDetectorsOnly(b *testing.B) {
 		l.Probes().Attach(detect.NewAnalyzer(builder, detect.DefaultConfig()))
 	})
 }
+
+// --- Schedule exploration --------------------------------------------
+
+// benchExplore measures schedule exploration with a fixed worker count;
+// one op explores 64 schedules of the paper's schedule-dependent
+// listener case, so ns/op is directly comparable between the
+// sequential and parallel configurations (the benchio harness records
+// the same pair into BENCH_explore.json).
+func benchExplore(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	tg, err := explore.CaseTargetByID("SO-17894000", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const runs = 64
+	for i := 0; i < b.N; i++ {
+		res := explore.Run(tg, explore.Config{Runs: runs, Seed: 1, Workers: workers})
+		if len(res.Runs) != runs {
+			b.Fatalf("explored %d/%d schedules", len(res.Runs), runs)
+		}
+	}
+	b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "schedules/sec")
+}
+
+// BenchmarkExploreSeq is the sequential exploration baseline.
+func BenchmarkExploreSeq(b *testing.B) { benchExplore(b, 1) }
+
+// BenchmarkExplorePar explores with one worker per CPU; each worker
+// owns an isolated event loop, VM, builder, and scheduler, so the
+// speedup over BenchmarkExploreSeq tracks available cores.
+func BenchmarkExplorePar(b *testing.B) { benchExplore(b, runtime.GOMAXPROCS(0)) }
 
 // --- Substrate micro-benchmarks --------------------------------------
 

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"asyncg/internal/benchio"
+)
+
+// runBench implements the "asyncg bench" subcommand: it records the
+// exploration benchmark pair (sequential vs parallel schedule
+// exploration) through the in-process harness and writes the
+// machine-readable report (BENCH_explore.json). With -compare it diffs
+// two existing recordings instead.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		out       = fs.String("out", "BENCH_explore.json", "write the benchmark report to this file ('-' for stdout)")
+		caseID    = fs.String("case", "SO-17894000", "case study the exploration benchmarks run")
+		runs      = fs.Int("runs", 64, "schedules explored per benchmark operation")
+		workers   = fs.Int("workers", 0, "parallel worker count for ExplorePar (0 = GOMAXPROCS)")
+		benchtime = fs.String("benchtime", "1s", "per-benchmark measuring time (Go -benchtime syntax, e.g. 2s or 5x)")
+		compare   = fs.String("compare", "", "compare two recordings: -compare old.json,new.json (no benchmarks run)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: asyncg bench [-out BENCH_explore.json] [-case <id>] [-runs N] [-benchtime 2s]\n")
+		fmt.Fprintf(fs.Output(), "       asyncg bench -compare old.json,new.json\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *compare != "" {
+		compareReports(*compare)
+		return
+	}
+
+	// testing.Benchmark reads the standard test flags; register them so
+	// -benchtime is honored outside a test binary.
+	testing.Init()
+	flag.Parse()
+	if err := benchio.SetBenchtime(*benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	suite, err := benchio.ExploreSuite(benchio.ExploreOptions{
+		CaseID:  *caseID,
+		Runs:    *runs,
+		Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "recording %d benchmark(s) on %s (runs/op=%d, benchtime=%s)...\n",
+		len(suite), *caseID, *runs, *benchtime)
+	rep := benchio.NewReport(benchio.RunSuite(suite))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s (speedup par vs seq: %.2fx on %d cpu)\n", *out, rep.SpeedupParVsSeq, rep.CPUs)
+	}
+}
+
+// compareReports loads "old,new" report paths and prints the delta
+// table.
+func compareReports(spec string) {
+	var oldPath, newPath string
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == ',' {
+			oldPath, newPath = spec[:i], spec[i+1:]
+			break
+		}
+	}
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench: -compare wants old.json,new.json")
+		os.Exit(2)
+	}
+	read := func(path string) *benchio.Report {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rep, err := benchio.ReadReport(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return rep
+	}
+	fmt.Print(benchio.Compare(read(oldPath), read(newPath)))
+}

@@ -22,7 +22,8 @@ func runExplore(args []string) {
 		acme       = fs.Bool("acmeair", false, "explore the AcmeAir workload instead of a case")
 		requests   = fs.Int("requests", 50, "AcmeAir: total requests")
 		clients    = fs.Int("clients", 4, "AcmeAir: concurrent clients")
-		runs       = fs.Int("runs", 32, "number of schedules to execute")
+		runs       = fs.Int("runs", 32, "number of schedules to execute; with -strategy exhaustive this is a budget — the run stops early when the space is exhausted and warns either way when the enumerated space and the budget disagree")
+		workers    = fs.Int("workers", 0, "schedules executed concurrently (0 = GOMAXPROCS, 1 = sequential); results are identical for any worker count")
 		seed       = fs.Int64("seed", 1, "base seed for the random/delay strategies")
 		strategy   = fs.String("strategy", "random", "exploration strategy: random, delay, exhaustive")
 		kinds      = fs.String("kinds", "", "comma-separated choice kinds to perturb (default io-order,timer-tie,latency; also listener-order, data-order)")
@@ -80,7 +81,11 @@ func runExplore(args []string) {
 		Strategy:   strat,
 		Kinds:      kindList,
 		DelayBound: *delayBound,
+		Workers:    *workers,
 	})
+	if note := res.BudgetNote(); note != "" {
+		fmt.Fprintf(os.Stderr, "explore: %s\n", note)
+	}
 	if *ndjsonOut != "" {
 		out := os.Stdout
 		if *ndjsonOut != "-" {

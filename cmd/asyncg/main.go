@@ -17,6 +17,10 @@
 //	asyncg explore -case SO-17894000   explore the case's schedule space
 //	asyncg explore -case SO-17894000 -replay <token>
 //	                                   replay one recorded schedule
+//	asyncg bench -out BENCH_explore.json
+//	                                   record the exploration benchmarks
+//	asyncg bench -compare old.json,new.json
+//	                                   diff two benchmark recordings
 package main
 
 import (
@@ -32,9 +36,15 @@ import (
 
 func main() {
 	// Subcommand dispatch; the flag-only interface below predates it.
-	if len(os.Args) > 1 && os.Args[1] == "explore" {
-		runExplore(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "explore":
+			runExplore(os.Args[2:])
+			return
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		}
 	}
 	var (
 		list     = flag.Bool("list", false, "list case studies")

@@ -6,6 +6,7 @@ import (
 
 	"asyncg/internal/events"
 	"asyncg/internal/instrument"
+	"asyncg/internal/loc"
 	"asyncg/internal/promise"
 	"asyncg/internal/vm"
 )
@@ -41,10 +42,14 @@ func captureStack() []string {
 // promise tracking reproduces the paper's "nopromise" evaluation setting
 // of Fig. 6(a).
 type Config struct {
-	Promises   bool
-	Emitters   bool
+	// Promises tracks promise creation, settlement, and reactions.
+	Promises bool
+	// Emitters tracks EventEmitter listener registration and emits.
+	Emitters bool
+	// Scheduling tracks timers, immediates, and nextTick callbacks.
 	Scheduling bool
-	IO         bool
+	// IO tracks file/network I/O requests and their completions.
+	IO bool
 	// ChainAnalysis maintains per-settlement promise-chain bookkeeping
 	// (walking the chain on every settle, as the tool's on-the-fly
 	// promise analyses do). It is the costly part of promise tracking
@@ -98,9 +103,26 @@ type Builder struct {
 	// promise in the chain (derived → source).
 	chainUp map[uint64]uint64
 
+	// labels interns rendered node labels: a hot call site (a server
+	// handler registering the same callback per request, a loop
+	// resolving promises at one line) renders its label once instead of
+	// re-running fmt.Sprintf per node.
+	labels map[labelKey]string
+
 	promiseCount int
 	emitterCount int
 	anomalies    []string
+}
+
+// labelKey identifies one distinct rendered label: the form
+// (registration / trigger / execution) plus the attributes the
+// rendering reads.
+type labelKey struct {
+	form  byte // 'r' registration, 't' trigger, 'e' execution
+	api   string
+	event string
+	fn    string
+	loc   loc.Loc
 }
 
 // NewBuilder creates a builder with the given config.
@@ -108,11 +130,46 @@ func NewBuilder(cfg Config) *Builder {
 	return &Builder{
 		cfg:      cfg,
 		g:        NewGraph(),
-		pending:  make(map[*vm.Function][]*pendingCR),
-		byRegSeq: make(map[uint64]*pendingCR),
-		ctByTrig: make(map[uint64]NodeID),
-		chainUp:  make(map[uint64]uint64),
+		sstack:   make([]frame, 0, 16),
+		pending:  make(map[*vm.Function][]*pendingCR, 32),
+		byRegSeq: make(map[uint64]*pendingCR, 32),
+		ctByTrig: make(map[uint64]NodeID, 32),
+		chainUp:  make(map[uint64]uint64, 32),
+		labels:   make(map[labelKey]string, 32),
 	}
+}
+
+// cachedTriggerLabel interns triggerLabel renderings.
+func (b *Builder) cachedTriggerLabel(ev *vm.APIEvent) string {
+	key := labelKey{form: 't', api: ev.API, event: ev.Event, loc: ev.Loc}
+	if s, ok := b.labels[key]; ok {
+		return s
+	}
+	s := triggerLabel(ev)
+	b.labels[key] = s
+	return s
+}
+
+// cachedRegistrationLabel interns registrationLabel renderings.
+func (b *Builder) cachedRegistrationLabel(ev *vm.APIEvent) string {
+	key := labelKey{form: 'r', api: ev.API, event: ev.Event, loc: ev.Loc}
+	if s, ok := b.labels[key]; ok {
+		return s
+	}
+	s := registrationLabel(ev)
+	b.labels[key] = s
+	return s
+}
+
+// cachedExecutionLabel interns CE-node labels ("L12: handler").
+func (b *Builder) cachedExecutionLabel(at loc.Loc, name string) string {
+	key := labelKey{form: 'e', fn: name, loc: at}
+	if s, ok := b.labels[key]; ok {
+		return s
+	}
+	s := fmt.Sprintf("%s: %s", at.Short(), name)
+	b.labels[key] = s
+	return s
 }
 
 // Graph returns the graph built so far. It keeps growing while the
@@ -306,7 +363,7 @@ func (b *Builder) addTrigger(ev *vm.APIEvent) {
 		Event:   ev.Event,
 		Obj:     ev.Receiver,
 		TrigSeq: ev.TriggerSeq,
-		Label:   triggerLabel(ev),
+		Label:   b.cachedTriggerLabel(ev),
 	}, "")
 	b.ctByTrig[ev.TriggerSeq] = n.ID
 	if b.cfg.ChainAnalysis && ev.Receiver.Kind == vm.ObjPromise {
@@ -346,7 +403,7 @@ func (b *Builder) addRegistration(ev *vm.APIEvent) {
 		Obj:    ev.Receiver,
 		RegSeq: ev.Regs[0].Seq,
 		Func:   ev.Regs[0].Callback.Name,
-		Label:  registrationLabel(ev),
+		Label:  b.cachedRegistrationLabel(ev),
 	}, "")
 	for _, reg := range ev.Regs {
 		cr := &pendingCR{node: n, reg: reg, api: ev.API, obj: ev.Receiver, event: ev.Event}
@@ -489,7 +546,7 @@ func (b *Builder) executeCR(cr *pendingCR, fn *vm.Function, info *vm.CallInfo) N
 		Event: cr.event,
 		Obj:   cr.obj,
 		Func:  fn.Name,
-		Label: fmt.Sprintf("%s: %s", fn.Loc.Short(), name),
+		Label: b.cachedExecutionLabel(fn.Loc, name),
 	}, info.Phase)
 	cr.node.Executions++
 	b.g.AddEdge(n.ID, cr.node.ID, EdgeBinding, "")

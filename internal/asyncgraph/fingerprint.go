@@ -4,8 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
+
+	"asyncg/internal/loc"
 )
 
 // fingerprintRounds is the number of Weisfeiler-Lehman refinement
@@ -13,6 +14,44 @@ import (
 // chains far enough to separate every graph shape the detectors care
 // about, while staying O(rounds · edges · log).
 const fingerprintRounds = 3
+
+// Inline FNV-1a over the exact byte stream hash/fnv would see. The
+// refinement loop hashes every node every round; going through a heap-
+// allocated hash.Hash64 there dominated the per-run allocation profile
+// of schedule exploration, so the hashing is open-coded on uint64
+// state instead (same constants, same result).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvByte folds one byte into an FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvUint64 folds v's 8 little-endian bytes into the state, matching
+// putUint64-into-fnv byte order.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// fnvString folds a string plus a 0 separator into the state, without
+// the []byte conversion a hash.Hash64 Write would force.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return fnvByte(h, 0)
+}
+
+// arc is one edge endpoint as the refinement sees it: the edge's tag
+// (kind + label) and the neighbour's index.
+type arc struct {
+	tag uint64
+	nbr int32
+}
 
 // Fingerprint returns a canonical hash of the graph's structure: the
 // multiset of CR/CE/CT/OB nodes (kind, API, event, callback name, source
@@ -34,57 +73,102 @@ func (g *Graph) Fingerprint() string {
 		labels[i] = nodeBaseLabel(g, node)
 	}
 
-	type arc struct {
-		tag uint64 // edge kind + edge label
-		nbr int
+	// Adjacency in CSR form: one flat arc slice per direction with a
+	// count-then-fill layout, instead of n append-grown slices.
+	tags := make([]uint64, len(g.Edges))
+	for i, e := range g.Edges {
+		tags[i] = edgeTag(e)
 	}
-	out := make([][]arc, n)
-	in := make([][]arc, n)
-	for _, e := range g.Edges {
-		if g.Node(e.From) == nil || g.Node(e.To) == nil {
-			continue
-		}
-		tag := hashStrings("edge", e.Kind.String(), e.Label)
-		out[e.From] = append(out[e.From], arc{tag: tag, nbr: int(e.To)})
-		in[e.To] = append(in[e.To], arc{tag: tag, nbr: int(e.From)})
-	}
+	outArcs, outOff := buildArcs(g, n, tags, false)
+	inArcs, inOff := buildArcs(g, n, tags, true)
 
 	next := make([]uint64, n)
 	neigh := make([]uint64, 0, 16)
 	for round := 0; round < fingerprintRounds; round++ {
 		for i := 0; i < n; i++ {
-			h := fnv.New64a()
-			putUint64(h, labels[i])
-			for dir, arcs := range [2][]arc{out[i], in[i]} {
+			h := fnvUint64(fnvOffset64, labels[i])
+			for dir, view := range [2]struct {
+				arcs []arc
+				off  []int32
+			}{{outArcs, outOff}, {inArcs, inOff}} {
 				neigh = neigh[:0]
-				for _, a := range arcs {
+				for _, a := range view.arcs[view.off[i]:view.off[i+1]] {
 					neigh = append(neigh, a.tag^mix(labels[a.nbr]))
 				}
 				sort.Slice(neigh, func(x, y int) bool { return neigh[x] < neigh[y] })
-				putUint64(h, uint64(dir)<<32|uint64(len(neigh)))
+				h = fnvUint64(h, uint64(dir)<<32|uint64(len(neigh)))
 				for _, v := range neigh {
-					putUint64(h, v)
+					h = fnvUint64(h, v)
 				}
 			}
-			next[i] = h.Sum64()
+			next[i] = h
 		}
 		labels, next = next, labels
 	}
 
-	sorted := append([]uint64(nil), labels...)
-	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+	sort.Slice(labels, func(x, y int) bool { return labels[x] < labels[y] })
 	final := sha256.New()
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(n))
 	final.Write(buf[:])
 	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.Edges)))
 	final.Write(buf[:])
-	for _, v := range sorted {
+	for _, v := range labels {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		final.Write(buf[:])
 	}
 	sum := final.Sum(nil)
 	return fmt.Sprintf("ag1-%x", sum[:8])
+}
+
+// buildArcs lays the graph's edges out as a CSR adjacency view for one
+// direction: arcs for node i live at arcs[off[i]:off[i+1]]. Edges with
+// a dangling endpoint are skipped, matching the defensive check the
+// refinement historically performed.
+func buildArcs(g *Graph, n int, tags []uint64, inbound bool) ([]arc, []int32) {
+	off := make([]int32, n+1)
+	valid := func(e Edge) bool {
+		return e.From >= 0 && int(e.From) < n && e.To >= 0 && int(e.To) < n
+	}
+	anchor := func(e Edge) int {
+		if inbound {
+			return int(e.To)
+		}
+		return int(e.From)
+	}
+	other := func(e Edge) int32 {
+		if inbound {
+			return int32(e.From)
+		}
+		return int32(e.To)
+	}
+	for _, e := range g.Edges {
+		if valid(e) {
+			off[anchor(e)+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	arcs := make([]arc, off[n])
+	fill := make([]int32, n)
+	for i, e := range g.Edges {
+		if !valid(e) {
+			continue
+		}
+		a := anchor(e)
+		arcs[off[a]+fill[a]] = arc{tag: tags[i], nbr: other(e)}
+		fill[a]++
+	}
+	return arcs, off
+}
+
+// edgeTag hashes an edge's schedule-stable attributes, matching the
+// historical hashStrings("edge", kind, label) byte stream.
+func edgeTag(e Edge) uint64 {
+	h := fnvString(fnvOffset64, "edge")
+	h = fnvString(h, e.Kind.String())
+	return fnvString(h, e.Label)
 }
 
 // nodeBaseLabel hashes the schedule-stable attributes of one node. The
@@ -100,22 +184,42 @@ func nodeBaseLabel(g *Graph, n *Node) uint64 {
 	if n.Removed {
 		removed = "removed"
 	}
-	return hashStrings("node", n.Kind.String(), n.API, n.Event, n.Func, n.Loc.String(), phase, removed)
+	h := fnvString(fnvOffset64, "node")
+	h = fnvString(h, n.Kind.String())
+	h = fnvString(h, n.API)
+	h = fnvString(h, n.Event)
+	h = fnvString(h, n.Func)
+	h = fnvLoc(h, n.Loc)
+	h = fnvString(h, phase)
+	return fnvString(h, removed)
 }
 
-func hashStrings(parts ...string) uint64 {
-	h := fnv.New64a()
-	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0})
+// fnvLoc folds a location's rendered form ("file:line" or "*") into the
+// state without materializing the string Loc.String would allocate.
+func fnvLoc(h uint64, l loc.Loc) uint64 {
+	if l.IsInternal() {
+		return fnvString(h, "*")
 	}
-	return h.Sum64()
-}
-
-func putUint64(h interface{ Write([]byte) (int, error) }, v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	h.Write(buf[:])
+	for i := 0; i < len(l.File); i++ {
+		h = fnvByte(h, l.File[i])
+	}
+	h = fnvByte(h, ':')
+	var digits [20]byte
+	i := len(digits)
+	v := l.Line
+	if v <= 0 {
+		i--
+		digits[i] = '0'
+	}
+	for v > 0 {
+		i--
+		digits[i] = byte('0' + v%10)
+		v /= 10
+	}
+	for ; i < len(digits); i++ {
+		h = fnvByte(h, digits[i])
+	}
+	return fnvByte(h, 0)
 }
 
 // mix finalizes a label before it joins a neighbour multiset, so that a

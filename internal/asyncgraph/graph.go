@@ -28,6 +28,7 @@ const (
 	OB                 // △ object binding (promise / emitter creation)
 )
 
+// String renders the paper's two-letter node-kind tag ("CR", "CE", ...).
 func (k NodeKind) String() string {
 	switch k {
 	case CR:
@@ -51,7 +52,9 @@ const NoNode NodeID = -1
 
 // Node is one Async Graph node.
 type Node struct {
-	ID   NodeID
+	// ID is the node's index in Graph.Nodes.
+	ID NodeID
+	// Kind is the node class: CR, CE, CT, or OB.
 	Kind NodeKind
 	// Tick is the 1-based index of the containing tick, or 0 until the
 	// tick is committed.
@@ -108,6 +111,8 @@ const (
 	EdgeRelation
 )
 
+// String renders the edge kind as the dot-style name used in output
+// ("direct", "binding", "relation").
 func (k EdgeKind) String() string {
 	switch k {
 	case EdgeDirect:
@@ -123,9 +128,14 @@ func (k EdgeKind) String() string {
 
 // Edge connects two Async Graph nodes.
 type Edge struct {
+	// From and To are the endpoint node IDs, in arrow direction.
 	From, To NodeID
-	Kind     EdgeKind
-	Label    string
+	// Kind selects the edge style (solid causal, dashed binding, or
+	// labelled relation).
+	Kind EdgeKind
+	// Label annotates relation edges ("then", "link", ...); empty
+	// otherwise.
+	Label string
 }
 
 // Tick is one committed event-loop tick: a single top-level callback
@@ -133,6 +143,8 @@ type Edge struct {
 type Tick struct {
 	Index int    // 1-based
 	Phase string // "main", "nextTick", "promise", "timer", "io", ...
+	// Nodes lists the nodes committed during this tick, in creation
+	// order.
 	Nodes []NodeID
 }
 
@@ -146,21 +158,30 @@ type Category string
 
 // Warning is a bug-detector finding attached to a node.
 type Warning struct {
+	// Category is the bug class (one of the detect package constants).
 	Category Category
-	Message  string
-	Node     NodeID
-	Loc      loc.Loc
+	// Message is the human-readable finding.
+	Message string
+	// Node is the graph node the warning is anchored to, or NoNode.
+	Node NodeID
+	// Loc is the source location the warning points at.
+	Loc loc.Loc
 }
 
+// String renders the warning as "[category] message (file:line)".
 func (w Warning) String() string {
 	return fmt.Sprintf("[%s] %s (%s)", w.Category, w.Message, w.Loc)
 }
 
 // Graph is a complete Async Graph.
 type Graph struct {
-	Ticks    []*Tick
-	Nodes    []*Node
-	Edges    []Edge
+	// Ticks is the committed tick sequence, in execution order.
+	Ticks []*Tick
+	// Nodes holds every node, indexed by NodeID.
+	Nodes []*Node
+	// Edges holds every edge, in creation order.
+	Edges []Edge
+	// Warnings accumulates detector findings over the whole run.
 	Warnings []Warning
 
 	objNodes map[uint64]NodeID // OB node per runtime object
@@ -168,7 +189,12 @@ type Graph struct {
 
 // NewGraph creates an empty graph.
 func NewGraph() *Graph {
-	return &Graph{objNodes: make(map[uint64]NodeID)}
+	return &Graph{
+		Nodes:    make([]*Node, 0, 64),
+		Edges:    make([]Edge, 0, 128),
+		Ticks:    make([]*Tick, 0, 32),
+		objNodes: make(map[uint64]NodeID, 16),
+	}
 }
 
 // Node returns the node with the given id, or nil.

@@ -49,15 +49,15 @@ func (g *Graph) WriteTimeline(w io.Writer) error {
 
 // Stats summarizes a graph for reporting.
 type Stats struct {
-	Ticks         int
-	Nodes         int
-	Edges         int
-	ByKind        map[string]int
-	ByPhase       map[string]int
-	Registrations int // CR nodes
-	Executions    int // total CE nodes
-	DeadCRs       int // never-executed, never-removed registrations
-	Warnings      int
+	Ticks         int            // committed event-loop ticks
+	Nodes         int            // total graph nodes
+	Edges         int            // total graph edges
+	ByKind        map[string]int // node count per kind (CR/CE/CT/OB)
+	ByPhase       map[string]int // tick count per loop phase
+	Registrations int            // CR nodes
+	Executions    int            // total CE nodes
+	DeadCRs       int            // never-executed, never-removed registrations
+	Warnings      int            // detector findings
 }
 
 // ComputeStats derives summary statistics.

@@ -1,0 +1,191 @@
+// Package benchio is the recorded benchmark harness: it runs named
+// benchmark functions in-process through testing.Benchmark and
+// serializes the measurements — ns/op, allocs/op, bytes/op, and any
+// b.ReportMetric extras such as schedules/sec — as a machine-readable
+// JSON report (the BENCH_explore.json trajectory the roadmap calls
+// for). Reports embed the recording environment (Go version, GOOS,
+// GOARCH, CPU count, GOMAXPROCS) so two recordings are comparable, and
+// Compare renders the deltas between two of them.
+//
+// The harness exists so perf numbers are a first-class, reproducible
+// artifact: `asyncg bench -out BENCH_explore.json` (or `make
+// bench-record`) regenerates the file, and CI uploads it from every
+// run.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Schema identifies the report format; bump on incompatible change.
+const Schema = "asyncg-bench/v1"
+
+// Benchmark is one named benchmark function the harness can run.
+type Benchmark struct {
+	// Name labels the record ("ExploreSeq", "ExplorePar", ...).
+	Name string
+	// Bench is a standard testing benchmark body.
+	Bench func(b *testing.B)
+}
+
+// Record is one benchmark measurement.
+type Record struct {
+	// Name is the benchmark's name.
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytesPerOp"`
+	// Extra carries b.ReportMetric values, e.g. "schedules/sec".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is a complete recording: environment plus measurements.
+type Report struct {
+	// Schema is the format identifier (the Schema constant).
+	Schema string `json:"schema"`
+	// RecordedAt is the RFC 3339 recording time.
+	RecordedAt string `json:"recordedAt"`
+	// GoVersion is runtime.Version() of the recording binary.
+	GoVersion string `json:"go"`
+	// GOOS and GOARCH identify the recording platform.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// CPUs is runtime.NumCPU() — the hardware parallelism available.
+	CPUs int `json:"cpus"`
+	// GOMAXPROCS is the scheduler parallelism the recording ran with.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Benchmarks holds one record per benchmark, in suite order.
+	Benchmarks []Record `json:"benchmarks"`
+	// SpeedupParVsSeq is ExploreSeq ns/op divided by ExplorePar ns/op
+	// (0 when the suite did not include the pair). On a single-core
+	// recording host this is expected to hover near 1.
+	SpeedupParVsSeq float64 `json:"speedupParVsSeq,omitempty"`
+}
+
+// RunSuite measures every benchmark in order. Benchmark duration is
+// governed by the standard -test.benchtime flag (see SetBenchtime for
+// non-test binaries).
+func RunSuite(suite []Benchmark) []Record {
+	records := make([]Record, 0, len(suite))
+	for _, bm := range suite {
+		r := testing.Benchmark(bm.Bench)
+		rec := Record{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Extra[k] = v
+			}
+		}
+		records = append(records, rec)
+	}
+	return records
+}
+
+// NewReport wraps measurements with the recording environment and the
+// derived Seq-vs-Par speedup.
+func NewReport(records []Record) *Report {
+	rep := &Report{
+		Schema:     Schema,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: records,
+	}
+	var seq, par float64
+	for _, r := range records {
+		switch r.Name {
+		case BenchExploreSeq:
+			seq = r.NsPerOp
+		case BenchExplorePar:
+			par = r.NsPerOp
+		}
+	}
+	if seq > 0 && par > 0 {
+		rep.SpeedupParVsSeq = seq / par
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented for diff-friendly storage.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON and validates its
+// schema tag.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchio: parse report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("benchio: report schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Compare renders a per-benchmark delta table between two recordings:
+// old→new ns/op with the percentage change, and allocs/op when it
+// moved. Benchmarks present in only one report are listed as added or
+// removed.
+func Compare(old, new *Report) string {
+	oldBy := make(map[string]Record, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "old: %s (%s, %d cpu)\n", old.RecordedAt, old.GoVersion, old.CPUs)
+	fmt.Fprintf(&sb, "new: %s (%s, %d cpu)\n", new.RecordedAt, new.GoVersion, new.CPUs)
+	seen := make(map[string]bool)
+	for _, nr := range new.Benchmarks {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-24s added: %.0f ns/op\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		pct := 0.0
+		if or.NsPerOp > 0 {
+			pct = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		fmt.Fprintf(&sb, "%-24s %12.0f -> %12.0f ns/op  (%+.1f%%)", nr.Name, or.NsPerOp, nr.NsPerOp, pct)
+		if or.AllocsPerOp != nr.AllocsPerOp {
+			fmt.Fprintf(&sb, "  allocs %d -> %d", or.AllocsPerOp, nr.AllocsPerOp)
+		}
+		sb.WriteByte('\n')
+	}
+	removed := make([]string, 0)
+	for name := range oldBy {
+		if !seen[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(&sb, "%-24s removed\n", name)
+	}
+	return sb.String()
+}

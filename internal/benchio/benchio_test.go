@@ -1,0 +1,102 @@
+package benchio
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// fastBenchtime pins testing.Benchmark to a single iteration so the
+// smoke tests stay fast; the previous value is restored on cleanup.
+func fastBenchtime(t *testing.T) {
+	t.Helper()
+	f := flag.Lookup("test.benchtime")
+	if f == nil {
+		t.Fatal("test.benchtime flag not registered")
+	}
+	prev := f.Value.String()
+	if err := SetBenchtime("1x"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = flag.Set("test.benchtime", prev) })
+}
+
+// TestExploreSuiteEmitsValidJSON is the harness smoke test: running the
+// recorded exploration pair through testing.Benchmark must produce a
+// report that round-trips through its own JSON serialization with the
+// measurements intact.
+func TestExploreSuiteEmitsValidJSON(t *testing.T) {
+	fastBenchtime(t)
+	suite, err := ExploreSuite(ExploreOptions{Runs: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(RunSuite(suite))
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("report does not round-trip: %v\n%s", err, buf.String())
+	}
+	if len(back.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmark records, want 2", len(back.Benchmarks))
+	}
+	for _, rec := range back.Benchmarks {
+		if rec.Name != BenchExploreSeq && rec.Name != BenchExplorePar {
+			t.Errorf("unexpected record name %q", rec.Name)
+		}
+		if rec.Iterations < 1 || rec.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", rec.Name, rec)
+		}
+		if rec.Extra["schedules/sec"] <= 0 {
+			t.Errorf("%s: missing schedules/sec extra metric", rec.Name)
+		}
+	}
+	if back.SpeedupParVsSeq <= 0 {
+		t.Errorf("speedup not derived: %+v", back)
+	}
+	if back.GoVersion == "" || back.CPUs < 1 || back.GOMAXPROCS < 1 {
+		t.Errorf("environment not recorded: %+v", back)
+	}
+}
+
+// TestExploreSuiteUnknownCase: the suite surfaces a bad case id instead
+// of recording an empty report.
+func TestExploreSuiteUnknownCase(t *testing.T) {
+	if _, err := ExploreSuite(ExploreOptions{CaseID: "no-such-case"}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+// TestReadReportRejectsWrongSchema guards the schema tag.
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+}
+
+// TestCompareRendersDeltas: Compare lists per-benchmark changes plus
+// added and removed entries.
+func TestCompareRendersDeltas(t *testing.T) {
+	old := NewReport([]Record{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "Gone", NsPerOp: 5},
+	})
+	new := NewReport([]Record{
+		{Name: "A", NsPerOp: 500, AllocsPerOp: 8},
+		{Name: "Fresh", NsPerOp: 42},
+	})
+	out := Compare(old, new)
+	for _, want := range []string{"-50.0%", "allocs 10 -> 8", "Fresh", "added", "Gone", "removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Compare output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package benchio
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"asyncg/internal/explore"
+)
+
+// Canonical benchmark names of the exploration pair; NewReport derives
+// SpeedupParVsSeq from records carrying them.
+const (
+	// BenchExploreSeq is the sequential (Workers=1) exploration.
+	BenchExploreSeq = "ExploreSeq"
+	// BenchExplorePar is the parallel (Workers=GOMAXPROCS) exploration.
+	BenchExplorePar = "ExplorePar"
+)
+
+// ExploreOptions sizes the recorded exploration benchmarks.
+type ExploreOptions struct {
+	// CaseID selects the explored case study; empty means SO-17894000
+	// (the paper's schedule-dependent listener case).
+	CaseID string
+	// Runs is the number of schedules per benchmark operation; 0 means
+	// 64.
+	Runs int
+	// Workers is the parallel worker count for ExplorePar; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	if o.CaseID == "" {
+		o.CaseID = "SO-17894000"
+	}
+	if o.Runs == 0 {
+		o.Runs = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ExploreSuite builds the BenchmarkExplore{Seq,Par} pair: the same
+// random exploration of one case study, executed with one worker and
+// with opts.Workers workers. One benchmark op explores opts.Runs
+// schedules, and each record reports schedules/sec as an extra metric.
+func ExploreSuite(opts ExploreOptions) ([]Benchmark, error) {
+	opts = opts.withDefaults()
+	tg, err := explore.CaseTargetByID(opts.CaseID, false)
+	if err != nil {
+		return nil, err
+	}
+	return []Benchmark{
+		{Name: BenchExploreSeq, Bench: benchExplore(tg, opts.Runs, 1)},
+		{Name: BenchExplorePar, Bench: benchExplore(tg, opts.Runs, opts.Workers)},
+	}, nil
+}
+
+// benchExplore measures one exploration configuration; the schedule
+// count per op is fixed so ns/op is directly comparable between the
+// sequential and parallel records.
+func benchExplore(tg explore.Target, runs, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := explore.Run(tg, explore.Config{Runs: runs, Seed: 1, Workers: workers})
+			if len(res.Runs) != runs {
+				b.Fatalf("explored %d/%d schedules", len(res.Runs), runs)
+			}
+		}
+		b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "schedules/sec")
+	}
+}
+
+// SetBenchtime sets the standard -test.benchtime flag (e.g. "2s" or
+// "5x") from a non-test binary. testing.Init must have been called
+// first; the asyncg bench subcommand does both.
+func SetBenchtime(v string) error {
+	if err := flag.Set("test.benchtime", v); err != nil {
+		return fmt.Errorf("benchio: benchtime %q: %w", v, err)
+	}
+	return nil
+}

@@ -56,11 +56,16 @@ const DefaultIterationCost = 100 * time.Microsecond
 // UncaughtError records a simulated exception that escaped a top-level
 // callback.
 type UncaughtError struct {
+	// Thrown is the escaped exception value.
 	Thrown *vm.Thrown
-	Phase  Phase
-	Tick   int
+	// Phase is the loop phase whose callback threw.
+	Phase Phase
+	// Tick is the 1-based tick index of the throwing callback.
+	Tick int
 }
 
+// Error reports the thrown value's message, making UncaughtError an
+// error.
 func (u UncaughtError) Error() string { return u.Thrown.Error() }
 
 // Loop is the event-loop simulator. Create one with New, schedule the

@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"asyncg"
@@ -107,6 +108,17 @@ type Config struct {
 	// DelayBound caps non-default picks per run for StrategyDelay;
 	// 0 means 2.
 	DelayBound int
+	// Workers is the number of schedules executed concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 preserves strictly sequential execution.
+	//
+	// Determinism guarantee: every run is an isolated single-threaded
+	// simulation (Target.Run builds a fresh event loop, VM, graph
+	// builder, and scheduler per call) whose outcome depends only on its
+	// schedule seed, and results are reassembled in run-index order — so
+	// the Result (runs, warning classification, fingerprint census,
+	// witness and counter-witness tokens) is byte-identical for any
+	// worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,7 +134,22 @@ func (c Config) withDefaults() Config {
 	if c.DelayBound == 0 {
 		c.DelayBound = 2
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// nextFunc builds run i's strategy function for the random and delay
+// strategies. Run i derives its generator from Seed+i, so the function
+// (and therefore the run) is independent of every other run — the
+// property the parallel execution mode rests on.
+func (c Config) nextFunc(i int) func(pos int, kind eventloop.ChoiceKind, n int) int {
+	rng := rand.New(rand.NewSource(c.Seed + int64(i)))
+	if c.Strategy == StrategyDelay {
+		return delayNext(rng, c.DelayBound)
+	}
+	return randomNext(rng)
 }
 
 // Outcome classifies a warning across the explored schedules.
@@ -144,6 +171,8 @@ const (
 
 // RunResult summarizes one executed schedule.
 type RunResult struct {
+	// Index is the run's position in the exploration (0-based); for the
+	// exhaustive strategy it is the breadth-first enumeration order.
 	Index int `json:"index"`
 	// Token replays this run (see Replay and asyncg explore -replay).
 	Token string `json:"token"`
@@ -160,45 +189,72 @@ type RunResult struct {
 
 // WarningStat classifies one warning key across all runs.
 type WarningStat struct {
-	Key            string          `json:"key"`
-	Category       detect.Category `json:"category"`
-	Outcome        Outcome         `json:"outcome"`
-	Runs           int             `json:"runs"`
-	Witness        string          `json:"witness,omitempty"`
-	CounterWitness string          `json:"counterWitness,omitempty"`
+	// Key is the "category @ location" warning identity.
+	Key string `json:"key"`
+	// Category is the detector category parsed back out of Key.
+	Category detect.Category `json:"category"`
+	// Outcome is the always/sometimes/never classification.
+	Outcome Outcome `json:"outcome"`
+	// Runs counts the runs that produced the warning.
+	Runs int `json:"runs"`
+	// Witness replays a run that produced the warning.
+	Witness string `json:"witness,omitempty"`
+	// CounterWitness replays a run that did not (sometimes only).
+	CounterWitness string `json:"counterWitness,omitempty"`
 }
 
 // CategoryStat classifies one detector category across all runs
 // (coarser than WarningStat: any warning of the category counts).
 type CategoryStat struct {
-	Category       detect.Category `json:"category"`
-	Outcome        Outcome         `json:"outcome"`
-	Runs           int             `json:"runs"`
-	Expected       bool            `json:"expected"`
-	Witness        string          `json:"witness,omitempty"`
-	CounterWitness string          `json:"counterWitness,omitempty"`
+	// Category is the detector category being classified.
+	Category detect.Category `json:"category"`
+	// Outcome is the always/sometimes/never classification.
+	Outcome Outcome `json:"outcome"`
+	// Runs counts the runs that produced any warning of the category.
+	Runs int `json:"runs"`
+	// Expected marks categories in the target's Expect set.
+	Expected bool `json:"expected"`
+	// Witness replays a run that produced the category.
+	Witness string `json:"witness,omitempty"`
+	// CounterWitness replays a run that did not (sometimes only).
+	CounterWitness string `json:"counterWitness,omitempty"`
 }
 
 // FingerprintStat counts the runs that produced one graph shape.
 type FingerprintStat struct {
+	// Fingerprint is the canonical Async-Graph hash (Graph.Fingerprint).
 	Fingerprint string `json:"fingerprint"`
-	Runs        int    `json:"runs"`
+	// Runs counts the runs that produced this shape.
+	Runs int `json:"runs"`
 	// Token reproduces the first run that hit this shape.
 	Token string `json:"token"`
 }
 
 // Result is a completed exploration.
 type Result struct {
-	Target   string   `json:"target"`
+	// Target names the explored program (Target.Name).
+	Target string `json:"target"`
+	// Strategy is the walk that produced the runs.
 	Strategy Strategy `json:"strategy"`
-	Seed     int64    `json:"seed"`
+	// Seed is the base seed the random/delay strategies derived their
+	// per-run generators from.
+	Seed int64 `json:"seed"`
+	// Requested is the run budget the exploration was configured with
+	// (Config.Runs). For StrategyExhaustive len(Runs) may be smaller —
+	// the space was exhausted first — or the budget may have truncated
+	// the enumeration (see Exhausted).
+	Requested int `json:"requested"`
 	// Exhausted reports that StrategyExhaustive enumerated the entire
 	// choice tree within the run budget.
-	Exhausted    bool              `json:"exhausted,omitempty"`
-	Runs         []RunResult       `json:"runs"`
+	Exhausted bool `json:"exhausted,omitempty"`
+	// Runs records every executed schedule, in run-index order.
+	Runs []RunResult `json:"runs"`
+	// Fingerprints is the census of distinct Async-Graph shapes.
 	Fingerprints []FingerprintStat `json:"fingerprints"`
-	Warnings     []WarningStat     `json:"warnings"`
-	Categories   []CategoryStat    `json:"categories"`
+	// Warnings classifies each warning key across all runs.
+	Warnings []WarningStat `json:"warnings"`
+	// Categories classifies each detector category across all runs.
+	Categories []CategoryStat `json:"categories"`
 }
 
 // Sometimes returns the schedule-dependent warning stats.
@@ -212,23 +268,22 @@ func (r *Result) Sometimes() []WarningStat {
 	return out
 }
 
-// Run explores the target's schedule space under cfg.
+// Run explores the target's schedule space under cfg. With
+// cfg.Workers > 1 the schedules execute concurrently (each on a fully
+// isolated runtime); the Result is identical for any worker count.
 func Run(t Target, cfg Config) *Result {
 	cfg = cfg.withDefaults()
-	res := &Result{Target: t.Name, Strategy: cfg.Strategy, Seed: cfg.Seed}
-	switch cfg.Strategy {
-	case StrategyExhaustive:
+	res := &Result{Target: t.Name, Strategy: cfg.Strategy, Seed: cfg.Seed, Requested: cfg.Runs}
+	switch {
+	case cfg.Strategy == StrategyExhaustive && cfg.Workers > 1:
+		runExhaustiveParallel(t, cfg, res)
+	case cfg.Strategy == StrategyExhaustive:
 		runExhaustive(t, cfg, res)
+	case cfg.Workers > 1:
+		runParallel(t, cfg, res)
 	default:
 		for i := 0; i < cfg.Runs; i++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-			var next func(pos int, kind eventloop.ChoiceKind, n int) int
-			if cfg.Strategy == StrategyDelay {
-				next = delayNext(rng, cfg.DelayBound)
-			} else {
-				next = randomNext(rng)
-			}
-			res.Runs = append(res.Runs, runOnce(t, i, newChooser(cfg.Kinds, next)))
+			res.Runs = append(res.Runs, runOnce(t, i, newChooser(cfg.Kinds, cfg.nextFunc(i))))
 		}
 	}
 	aggregate(t, res)

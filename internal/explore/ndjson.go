@@ -37,6 +37,7 @@ type summaryLine struct {
 	Strategy     Strategy          `json:"strategy"`
 	Seed         int64             `json:"seed"`
 	Runs         int               `json:"runs"`
+	Requested    int               `json:"requested"`
 	Exhausted    bool              `json:"exhausted,omitempty"`
 	Fingerprints []FingerprintStat `json:"fingerprints"`
 	Categories   []CategoryStat    `json:"categories"`
@@ -61,7 +62,7 @@ func (r *Result) WriteNDJSON(w io.Writer) error {
 	}
 	if err := enc.Encode(summaryLine{
 		Kind: KindSummary, Target: r.Target, Strategy: r.Strategy, Seed: r.Seed,
-		Runs: len(r.Runs), Exhausted: r.Exhausted,
+		Runs: len(r.Runs), Requested: r.Requested, Exhausted: r.Exhausted,
 		Fingerprints: r.Fingerprints, Categories: r.Categories,
 	}); err != nil {
 		return err

@@ -1,0 +1,123 @@
+package explore
+
+import "sync"
+
+// This file implements the parallel execution mode of the engine.
+//
+// Every run is an isolated single-threaded simulation: Target.Run builds
+// a fresh session (event loop, VM object-identity counters, graph
+// builder, detectors, scheduler) per call, and nothing about a run's
+// RunResult depends on cross-run state. That makes the schedule space
+// embarrassingly parallel — the only work is handing each worker its
+// schedule seed and reassembling the results in run-index order so the
+// aggregate Result is byte-identical to a sequential exploration.
+//
+// Two shapes of parallelism are used:
+//
+//   - random/delay: run i is fully determined by (Config.Seed, i), so
+//     run indices are farmed to a fixed worker pool over a channel and
+//     results land in a preallocated slice slot per index (runParallel).
+//   - exhaustive: the choice tree is discovered during execution (a
+//     run's branching domains are only known after it finishes), so the
+//     coordinator enumerates choice-pick prefixes in breadth-first
+//     order, farms prefix completions to workers, and expands children
+//     strictly in run-index order — a sliding window that reproduces
+//     the sequential BFS frontier exactly, whatever the completion
+//     interleaving (runExhaustiveParallel).
+
+// runParallel executes the random/delay strategies on cfg.Workers
+// goroutines. Each worker owns the full runtime of whichever run it
+// executes; determinism comes from run i deriving its generator from
+// Config.Seed+i exactly as the sequential path does.
+func runParallel(t Target, cfg Config, res *Result) {
+	results := make([]RunResult, cfg.Runs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOnce(t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	res.Runs = results
+}
+
+// exhaustiveDone carries one finished prefix run back to the coordinator
+// together with the branching information discovered along the way.
+type exhaustiveDone struct {
+	idx       int
+	rr        RunResult
+	picks     []int
+	domains   []int
+	prefixLen int
+}
+
+// runExhaustiveParallel is the worker-pool version of runExhaustive. The
+// coordinator owns the breadth-first queue of pick-vector prefixes;
+// workers execute prefixes; children are enqueued only when every
+// earlier run has been expanded, so the queue grows in exactly the
+// order the sequential enumeration would produce and the run budget
+// cuts it at exactly the same point.
+func runExhaustiveParallel(t Target, cfg Config, res *Result) {
+	queue := [][]int{nil} // discovered prefixes, in BFS order
+	done := make(chan exhaustiveDone)
+	pending := make(map[int]exhaustiveDone)
+	inFlight := 0
+	nextDispatch, nextExpand := 0, 0
+	var runs []RunResult
+
+	expand := func(d exhaustiveDone) {
+		runs = append(runs, d.rr)
+		for pos := d.prefixLen; pos < len(d.domains); pos++ {
+			for v := 1; v < d.domains[pos]; v++ {
+				child := make([]int, pos+1)
+				copy(child, d.picks[:pos])
+				child[pos] = v
+				queue = append(queue, child)
+			}
+		}
+	}
+
+	for {
+		for inFlight < cfg.Workers && nextDispatch < len(queue) && nextDispatch < cfg.Runs {
+			idx, prefix := nextDispatch, queue[nextDispatch]
+			nextDispatch++
+			inFlight++
+			go func() {
+				ch := newChooser(cfg.Kinds, playbackNext(prefix))
+				rr := runOnce(t, idx, ch)
+				done <- exhaustiveDone{
+					idx: idx, rr: rr,
+					picks: ch.picks, domains: ch.domains, prefixLen: len(prefix),
+				}
+			}()
+		}
+		if inFlight == 0 {
+			break
+		}
+		d := <-done
+		inFlight--
+		pending[d.idx] = d
+		for {
+			next, ok := pending[nextExpand]
+			if !ok {
+				break
+			}
+			delete(pending, nextExpand)
+			expand(next)
+			nextExpand++
+		}
+	}
+	res.Runs = runs
+	// Mirrors the sequential invariant: the space was exhausted exactly
+	// when every discovered prefix was executed within the budget.
+	res.Exhausted = len(queue) == len(runs)
+}

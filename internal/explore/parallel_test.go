@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"asyncg/internal/eventloop"
+)
+
+// resultJSON marshals a Result for byte-level comparison.
+func resultJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelDeterminism is the acceptance property of the parallel
+// execution mode: for the same seed, exploring with 1, 2, and 8 workers
+// produces byte-identical Result JSON — runs, warning classification,
+// fingerprint census, and witness/counter-witness tokens included.
+// Run it under -race: it is also the proof that concurrent runs share
+// no mutable state.
+func TestParallelDeterminism(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"random", Config{Runs: 16, Seed: 3}},
+		{"delay", Config{Runs: 16, Seed: 7, Strategy: StrategyDelay}},
+		{"exhaustive", Config{
+			Runs: 60, Strategy: StrategyExhaustive,
+			Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency},
+		}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			tg := caseTarget(t, "SO-17894000")
+			var want string
+			for _, workers := range []int{1, 2, 8} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				got := resultJSON(t, Run(tg, cfg))
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("workers=%d: Result JSON differs from sequential\nseq: %s\npar: %s",
+						workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelExhaustiveTruncation: when the budget cuts the
+// enumeration, the parallel coordinator must stop at exactly the same
+// breadth-first point as the sequential loop (same runs, same
+// Exhausted=false flag).
+func TestParallelExhaustiveTruncation(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	base := Config{Runs: 7, Strategy: StrategyExhaustive,
+		Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}}
+	seqCfg := base
+	seqCfg.Workers = 1
+	seq := Run(tg, seqCfg)
+	if seq.Exhausted {
+		t.Fatalf("budget of %d unexpectedly exhausted the space", base.Runs)
+	}
+	parCfg := base
+	parCfg.Workers = 4
+	par := Run(tg, parCfg)
+	if got, want := resultJSON(t, par), resultJSON(t, seq); got != want {
+		t.Errorf("truncated parallel exhaustive differs\nseq: %s\npar: %s", want, got)
+	}
+}
+
+// TestBudgetNote: the exhaustive strategy reports when the enumerated
+// space is smaller or larger than the requested run budget, and stays
+// silent when the budget matched or the strategy has no definite space.
+func TestBudgetNote(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
+
+	small := Run(tg, Config{Runs: 400, Strategy: StrategyExhaustive, Kinds: kinds})
+	if !small.Exhausted {
+		t.Fatal("400-run budget should exhaust the reduced-kind space")
+	}
+	if note := small.BudgetNote(); !strings.Contains(note, "exhausted after") {
+		t.Errorf("undershoot note = %q, want mention of early exhaustion", note)
+	}
+
+	big := Run(tg, Config{Runs: 5, Strategy: StrategyExhaustive, Kinds: kinds})
+	if big.Exhausted {
+		t.Fatal("5-run budget should truncate the space")
+	}
+	if note := big.BudgetNote(); !strings.Contains(note, "larger than") {
+		t.Errorf("overshoot note = %q, want mention of truncation", note)
+	}
+
+	rnd := Run(tg, Config{Runs: 4, Seed: 1})
+	if note := rnd.BudgetNote(); note != "" {
+		t.Errorf("random strategy produced a budget note: %q", note)
+	}
+
+	var text strings.Builder
+	if err := big.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "note: ") {
+		t.Errorf("text report missing the budget note:\n%s", text.String())
+	}
+}

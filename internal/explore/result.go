@@ -5,6 +5,27 @@ import (
 	"io"
 )
 
+// BudgetNote describes a mismatch between the requested run budget and
+// the enumerated schedule space — only meaningful for the exhaustive
+// strategy, where the space has a definite size: the empty string when
+// the budget matched, otherwise a one-line warning that the space was
+// exhausted early (fewer runs than requested) or truncated (the space
+// is larger than the budget).
+func (r *Result) BudgetNote() string {
+	if r.Strategy != StrategyExhaustive || r.Requested == 0 {
+		return ""
+	}
+	switch {
+	case r.Exhausted && len(r.Runs) < r.Requested:
+		return fmt.Sprintf("schedule space exhausted after %d run(s), fewer than the %d requested",
+			len(r.Runs), r.Requested)
+	case !r.Exhausted:
+		return fmt.Sprintf("schedule space larger than the %d-run budget; enumeration truncated (increase -runs to finish)",
+			r.Requested)
+	}
+	return ""
+}
+
 // WriteText renders the exploration summary as a human-readable report.
 func (r *Result) WriteText(w io.Writer) error {
 	distinct := len(r.Fingerprints)
@@ -18,6 +39,9 @@ func (r *Result) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "explored %s: %d runs, strategy=%s, seed=%d%s\n",
 		r.Target, len(r.Runs), r.Strategy, r.Seed, exhausted); err != nil {
 		return err
+	}
+	if note := r.BudgetNote(); note != "" {
+		fmt.Fprintf(w, "note: %s\n", note)
 	}
 	fmt.Fprintf(w, "\ndistinct async-graph fingerprints: %d\n", distinct)
 	for _, fp := range r.Fingerprints {

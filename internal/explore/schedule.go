@@ -30,6 +30,7 @@ const tokenPrefix = "s1."
 // under the same picks executes byte-for-byte identically, because every
 // source of nondeterminism is routed through Choose.
 type Schedule struct {
+	// Picks holds one choice per Scheduler.Choose call, in call order.
 	Picks []int
 }
 
