@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke race-explore bench-record
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke race-explore bench-record serve-smoke race-server
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -29,6 +29,19 @@ explore-smoke:
 # 8-worker explores must produce byte-identical Result JSON.
 race-explore:
 	$(GO) test -race ./internal/explore/...
+
+# End-to-end smoke of the asyncg serve analysis service: boot, health,
+# a synchronous explore job, NDJSON stream replay, /metrics, and a
+# clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Analysis-service behavior under the race detector: the 200-submission
+# overflow load test (queue capacity 8 → 429 + Retry-After), per-job
+# deadlines, client-disconnect and DELETE cancellation, graceful drain,
+# hard-stop, and goroutine-leak checks.
+race-server:
+	$(GO) test -race -count=1 ./internal/server/...
 
 # Record the sequential-vs-parallel exploration benchmarks into
 # BENCH_explore.json (ns/op, allocs/op, schedules/sec, speedup).

@@ -26,6 +26,7 @@
 package asyncg
 
 import (
+	"context"
 	"io"
 
 	"asyncg/internal/asyncgraph"
@@ -81,6 +82,7 @@ type config struct {
 	traceOn   bool
 	metricsOn bool
 	sched     eventloop.Scheduler
+	interrupt func() error
 }
 
 // Option configures a Session. Options are applied in order; later
@@ -99,6 +101,21 @@ func WithLoop(opts eventloop.Options) Option {
 // the loop options when the session is built.
 func WithScheduler(s eventloop.Scheduler) Option {
 	return func(c *config) { c.sched = s }
+}
+
+// WithContext bounds the run by ctx: the event loop polls ctx.Err at
+// every tick boundary and Session.Run returns it (context.Canceled or
+// context.DeadlineExceeded) as the run error once it fires, with the
+// report covering the truncated prefix. A nil or never-cancelled context
+// changes nothing — the check does not perturb scheduling, so runs stay
+// byte-identical. Like WithScheduler it composes with WithLoop in any
+// order.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.interrupt = ctx.Err
+		}
+	}
 }
 
 // WithGraph configures what the Async Graph builder tracks. Without this
@@ -272,6 +289,9 @@ func New(opts ...Option) *Session {
 	}
 	if cfg.sched != nil {
 		cfg.loop.Scheduler = cfg.sched
+	}
+	if cfg.interrupt != nil {
+		cfg.loop.Interrupt = cfg.interrupt
 	}
 	s := &Session{cfg: cfg, loop: eventloop.New(cfg.loop)}
 	if !cfg.disabled {

@@ -14,6 +14,7 @@ package asyncg_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -203,7 +204,11 @@ func benchExplore(b *testing.B, workers int) {
 	}
 	const runs = 64
 	for i := 0; i < b.N; i++ {
-		res := explore.Run(tg, explore.Config{Runs: runs, Seed: 1, Workers: workers})
+		res, err := explore.Run(context.Background(), tg,
+			explore.WithRuns(runs), explore.WithSeed(1), explore.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Runs) != runs {
 			b.Fatalf("explored %d/%d schedules", len(res.Runs), runs)
 		}

@@ -30,7 +30,7 @@ func runBench(args []string) {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	if *compare != "" {
@@ -44,7 +44,7 @@ func runBench(args []string) {
 	flag.Parse()
 	if err := benchio.SetBenchtime(*benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	suite, err := benchio.ExploreSuite(benchio.ExploreOptions{
@@ -54,7 +54,7 @@ func runBench(args []string) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	fmt.Fprintf(os.Stderr, "recording %d benchmark(s) on %s (runs/op=%d, benchtime=%s)...\n",
 		len(suite), *caseID, *runs, *benchtime)
@@ -65,14 +65,14 @@ func runBench(args []string) {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitUsage)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 	if *out != "-" {
 		fmt.Printf("wrote %s (speedup par vs seq: %.2fx on %d cpu)\n", *out, rep.SpeedupParVsSeq, rep.CPUs)
@@ -91,19 +91,19 @@ func compareReports(spec string) {
 	}
 	if oldPath == "" || newPath == "" {
 		fmt.Fprintln(os.Stderr, "bench: -compare wants old.json,new.json")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	read := func(path string) *benchio.Report {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitUsage)
 		}
 		defer f.Close()
 		rep, err := benchio.ReadReport(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			os.Exit(1)
+			os.Exit(exitUsage)
 		}
 		return rep
 	}

@@ -1,0 +1,16 @@
+package main
+
+// Exit codes of the asyncg CLI, kept distinct so scripts and CI can
+// tell analysis findings from misuse:
+//
+//	exitOK       clean run, expectations met
+//	exitFindings the analysis reported findings (Table I expectation
+//	             failures, an -expect-sometimes miss) or was cancelled
+//	             before completing
+//	exitUsage    usage, configuration, or environment errors: bad flags,
+//	             unknown targets or tokens, unwritable output files
+const (
+	exitOK       = 0
+	exitFindings = 1
+	exitUsage    = 2
+)

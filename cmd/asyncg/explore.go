@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"asyncg"
 	"asyncg/internal/explore"
@@ -11,12 +14,15 @@ import (
 )
 
 // runExplore implements the "asyncg explore" subcommand: schedule-space
-// exploration of a case study (or the AcmeAir workload), classification
-// of every warning as always/sometimes/never, and replay of recorded
-// schedule tokens.
-func runExplore(args []string) {
+// exploration of a registry target (a case study or the AcmeAir
+// workload), classification of every warning as always/sometimes/never,
+// and replay of recorded schedule tokens. It returns the process exit
+// code; Ctrl-C / SIGTERM cancel the exploration gracefully, flushing
+// whatever NDJSON was produced.
+func runExplore(args []string) int {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
+		targetSpec = fs.String("target", "", "registry target spec: case:<id>[:fixed] or acmeair[:requests=N,clients=N,seed=N] (alternative to -case/-acmeair)")
 		caseID     = fs.String("case", "", "case id to explore (see asyncg -list)")
 		fixed      = fs.Bool("fixed", false, "explore the fixed version")
 		acme       = fs.Bool("acmeair", false, "explore the AcmeAir workload instead of a case")
@@ -29,102 +35,145 @@ func runExplore(args []string) {
 		kinds      = fs.String("kinds", "", "comma-separated choice kinds to perturb (default io-order,timer-tie,latency; also listener-order, data-order)")
 		delayBound = fs.Int("delay-bound", 2, "delay strategy: max non-default picks per run")
 		replay     = fs.String("replay", "", "replay one schedule token instead of exploring")
-		ndjsonOut  = fs.String("ndjson", "", "write NDJSON exploration records to this file ('-' for stdout)")
+		ndjsonOut  = fs.String("ndjson", "", "stream NDJSON exploration records to this file ('-' for stdout); run lines are flushed as they complete")
 		traceOut   = fs.String("trace", "", "with -replay: write an event trace of the replayed run")
 		traceFmt   = fs.String("trace-format", "ndjson", "trace serialization: ndjson or chrome")
 		expectSome = fs.Bool("expect-sometimes", false, "exit 1 unless a sometimes-classified warning with witness and counter-witness was found (CI smoke)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: asyncg explore -case <id> [flags]\n")
+		fmt.Fprintf(fs.Output(), "       asyncg explore -target case:<id>[:fixed] [flags]\n")
 		fmt.Fprintf(fs.Output(), "       asyncg explore -case <id> -replay <token> [-trace t.json]\n")
 		fmt.Fprintf(fs.Output(), "       asyncg explore -acmeair [-requests N -clients N] [flags]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return exitUsage
 	}
 
-	var target explore.Target
+	// All front ends resolve targets through the shared registry; the
+	// legacy flags just assemble a spec string.
+	spec := *targetSpec
 	switch {
+	case spec != "":
 	case *acme:
-		target = explore.AcmeAirTarget(*requests, *clients, *seed)
+		spec = fmt.Sprintf("acmeair:requests=%d,clients=%d,seed=%d", *requests, *clients, *seed)
 	case *caseID != "":
-		tg, err := explore.CaseTargetByID(*caseID, *fixed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		spec = "case:" + *caseID
+		if *fixed {
+			spec += ":fixed"
 		}
-		target = tg
 	default:
 		fs.Usage()
-		os.Exit(2)
+		return exitUsage
+	}
+	target, err := explore.TargetByName(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
 	}
 
 	if *replay != "" {
-		replaySchedule(target, *replay, *traceOut, *traceFmt)
-		return
+		return replaySchedule(target, *replay, *traceOut, *traceFmt)
 	}
 
 	strat, err := explore.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return exitUsage
 	}
 	kindList, err := explore.ParseKinds(*kinds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return exitUsage
 	}
-	res := explore.Run(target, explore.Config{
-		Runs:       *runs,
-		Seed:       *seed,
-		Strategy:   strat,
-		Kinds:      kindList,
-		DelayBound: *delayBound,
-		Workers:    *workers,
-	})
-	if note := res.BudgetNote(); note != "" {
-		fmt.Fprintf(os.Stderr, "explore: %s\n", note)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := []explore.Option{
+		explore.WithRuns(*runs),
+		explore.WithSeed(*seed),
+		explore.WithStrategy(strat),
+		explore.WithKinds(kindList...),
+		explore.WithDelayBound(*delayBound),
+		explore.WithWorkers(*workers),
 	}
+
+	// NDJSON run lines stream live and flush per line, so an aborted or
+	// cancelled exploration still leaves a readable (partial) stream.
+	var (
+		stream     *explore.NDJSONStream
+		streamFile *os.File
+		streamErr  error
+	)
 	if *ndjsonOut != "" {
 		out := os.Stdout
 		if *ndjsonOut != "-" {
 			f, err := os.Create(*ndjsonOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return exitUsage
 			}
-			defer f.Close()
+			streamFile = f
 			out = f
 		}
-		if err := res.WriteNDJSON(out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		stream = explore.NewNDJSONStream(out, target.Name)
+		opts = append(opts, explore.WithProgress(func(rr explore.RunResult) {
+			if err := stream.Run(rr); err != nil && streamErr == nil {
+				streamErr = err
+			}
+		}))
+	}
+
+	res, runErr := explore.Run(ctx, target, opts...)
+	if note := res.BudgetNote(); note != "" {
+		fmt.Fprintf(os.Stderr, "explore: %s\n", note)
+	}
+	if stream != nil {
+		// Finish even on the cancelled path: the classification of the
+		// completed prefix is flushed, never silently truncated.
+		if err := stream.Finish(res); err != nil && streamErr == nil {
+			streamErr = err
+		}
+		if streamFile != nil {
+			if err := streamFile.Close(); err != nil && streamErr == nil {
+				streamErr = err
+			}
+		}
+		if streamErr != nil {
+			fmt.Fprintln(os.Stderr, streamErr)
+			return exitUsage
 		}
 		if *ndjsonOut != "-" {
 			fmt.Printf("wrote %s\n", *ndjsonOut)
 		}
 	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "explore: cancelled after %d run(s): %v\n", len(res.Runs), runErr)
+		return exitFindings
+	}
 	if *ndjsonOut != "-" {
 		if err := res.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitUsage
 		}
 	}
 	if *expectSome && len(res.Sometimes()) == 0 {
 		fmt.Fprintf(os.Stderr, "explore: no schedule-dependent (sometimes) warning found in %d runs\n", len(res.Runs))
-		os.Exit(1)
+		return exitFindings
 	}
+	return exitOK
 }
 
 // replaySchedule re-executes one recorded schedule, optionally with the
 // trace exporter attached — a witness token from an exploration becomes
 // a fully-observable run.
-func replaySchedule(target explore.Target, token, traceOut, traceFmt string) {
+func replaySchedule(target explore.Target, token, traceOut, traceFmt string) int {
 	format, err := trace.ParseFormat(traceFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return exitUsage
 	}
 	var extra []asyncg.Option
 	var traceFile *os.File
@@ -132,7 +181,7 @@ func replaySchedule(target explore.Target, token, traceOut, traceFmt string) {
 		f, err := os.Create(traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return exitUsage
 		}
 		traceFile = f
 		extra = append(extra, asyncg.WithTrace(f, format))
@@ -140,12 +189,12 @@ func replaySchedule(target explore.Target, token, traceOut, traceFmt string) {
 	rr, report, err := explore.Replay(target, token, extra...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return exitUsage
 	}
 	if traceFile != nil {
 		if cerr := traceFile.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, cerr)
-			os.Exit(1)
+			return exitUsage
 		}
 		fmt.Printf("wrote %s\n", traceOut)
 	}
@@ -160,4 +209,5 @@ func replaySchedule(target explore.Target, token, traceOut, traceFmt string) {
 	for _, w := range report.Warnings {
 		fmt.Printf("⚡ %s\n", w)
 	}
+	return exitOK
 }

@@ -21,6 +21,11 @@
 //	                                   record the exploration benchmarks
 //	asyncg bench -compare old.json,new.json
 //	                                   diff two benchmark recordings
+//	asyncg serve -addr 127.0.0.1:8321  run the HTTP analysis service
+//	                                   (POST /v1/jobs, NDJSON streams)
+//
+// Exit codes: 0 clean, 1 analysis findings (or a cancelled run),
+// 2 usage/configuration errors — see exit.go.
 package main
 
 import (
@@ -39,11 +44,12 @@ func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "explore":
-			runExplore(os.Args[2:])
-			return
+			os.Exit(runExplore(os.Args[2:]))
 		case "bench":
 			runBench(os.Args[2:])
 			return
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
 		}
 	}
 	var (
@@ -67,7 +73,7 @@ func main() {
 	format, err := trace.ParseFormat(*traceFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	switch {
@@ -85,7 +91,7 @@ func main() {
 		runCase(*caseID, *fixed, *dotOut, *jsonOut, *svgOut, *timeline, *maxTicks, *traceOut, format, *metrics)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }
 
@@ -95,7 +101,7 @@ func main() {
 func dumpAllCases(dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 	for _, c := range casestudy.All() {
 		res := casestudy.RunBuggy(c)
@@ -131,7 +137,7 @@ func runTable1() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d case(s) did not meet expectations\n", failures)
-		os.Exit(1)
+		os.Exit(exitFindings)
 	}
 }
 
@@ -139,7 +145,7 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 	c, ok := casestudy.ByID(id)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown case %q (try -list)\n", id)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	// Observability options ride along into the case's session.
 	var extra []asyncg.Option
@@ -148,7 +154,7 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 		f, err := os.Create(traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitUsage)
 		}
 		traceFile = f
 		extra = append(extra, asyncg.WithTrace(f, traceFormat))
@@ -160,7 +166,7 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 	if fixed {
 		if c.Fixed == nil {
 			fmt.Fprintf(os.Stderr, "case %s has no fixed version\n", id)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		res = casestudy.RunFixed(c, extra...)
 	} else {
@@ -169,7 +175,7 @@ func runCase(id string, fixed bool, dotOut, jsonOut, svgOut string, timeline boo
 	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitUsage)
 		}
 		fmt.Printf("wrote %s\n", traceOut)
 	}
@@ -227,12 +233,12 @@ func writeFile(path string, write func(*os.File) error) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 	defer f.Close()
 	if err := write(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 	fmt.Printf("wrote %s\n", path)
 }

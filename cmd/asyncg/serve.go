@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asyncg/internal/server"
+)
+
+// runServe implements the "asyncg serve" subcommand: the long-running
+// analysis service. SIGTERM/SIGINT trigger a graceful drain — in-flight
+// and queued jobs finish, new submissions get 503 — bounded by
+// -drain-timeout, after which outstanding jobs are hard-cancelled at
+// their next simulated tick boundary.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8321", "listen address")
+		queueSize    = fs.Int("queue", 8, "pending-job queue capacity; overflow is refused with 429 + Retry-After")
+		jobWorkers   = fs.Int("job-workers", 0, "jobs executed concurrently (0 = GOMAXPROCS)")
+		jobTimeout   = fs.Duration("job-timeout", 2*time.Minute, "default per-job deadline (also the cap for per-request timeoutMs)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM before jobs are hard-cancelled")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: asyncg serve [-addr host:port] [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "API:  POST /v1/jobs            submit an explore job (?wait=1 to block)\n")
+		fmt.Fprintf(fs.Output(), "      GET  /v1/jobs[/{id}]     job status\n")
+		fmt.Fprintf(fs.Output(), "      GET  /v1/jobs/{id}/stream  live NDJSON progress\n")
+		fmt.Fprintf(fs.Output(), "      GET  /v1/jobs/{id}/result  final Result JSON\n")
+		fmt.Fprintf(fs.Output(), "      DELETE /v1/jobs/{id}     cancel a job\n")
+		fmt.Fprintf(fs.Output(), "      GET  /v1/targets         the explorable target registry\n")
+		fmt.Fprintf(fs.Output(), "      GET  /healthz, /metrics\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "serve: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc := server.New(server.Config{
+		QueueSize:  *queueSize,
+		Workers:    *jobWorkers,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "asyncg serve: listening on %s (queue %d, drain %s)\n", *addr, *queueSize, *drainTimeout)
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal (bad address, port in use).
+		fmt.Fprintln(os.Stderr, err)
+		svc.Shutdown(context.Background())
+		return exitUsage
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "asyncg serve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(drainCtx)
+	err := svc.Shutdown(drainCtx)
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "asyncg serve: drain timed out; outstanding jobs were cancelled (%v)\n", err)
+		return exitFindings
+	}
+	fmt.Fprintln(os.Stderr, "asyncg serve: drained cleanly")
+	return exitOK
+}

@@ -1,6 +1,7 @@
 package benchio
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"runtime"
@@ -67,7 +68,11 @@ func benchExplore(tg explore.Target, runs, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res := explore.Run(tg, explore.Config{Runs: runs, Seed: 1, Workers: workers})
+			res, err := explore.Run(context.Background(), tg,
+				explore.WithRuns(runs), explore.WithSeed(1), explore.WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(res.Runs) != runs {
 				b.Fatalf("explored %d/%d schedules", len(res.Runs), runs)
 			}

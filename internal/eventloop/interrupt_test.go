@@ -1,0 +1,82 @@
+package eventloop
+
+import (
+	"errors"
+	"testing"
+
+	"asyncg/internal/loc"
+	"asyncg/internal/vm"
+)
+
+// TestInterruptStopsAtTickBoundary: a non-nil Interrupt result stops the
+// loop before the next top-level callback dispatches, and Run returns
+// the interrupt error verbatim.
+func TestInterruptStopsAtTickBoundary(t *testing.T) {
+	errStop := errors.New("deadline reached")
+	ticks := 0
+	l := New(Options{Interrupt: func() error {
+		if ticks >= 3 {
+			return errStop
+		}
+		return nil
+	}})
+	var spin *vm.Function
+	spin = vm.NewFunc("spin", func([]vm.Value) vm.Value {
+		ticks++
+		l.SetImmediate(loc.Here(), spin)
+		return vm.Undefined
+	})
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		ticks++
+		l.SetImmediate(loc.Here(), spin)
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != errStop {
+		t.Fatalf("Run = %v, want %v", err, errStop)
+	}
+	if ticks != 3 {
+		t.Fatalf("executed %d ticks before the interrupt, want 3", ticks)
+	}
+	if got := l.Tick(); got != 3 {
+		t.Fatalf("Tick() = %d, want 3", got)
+	}
+}
+
+// TestInterruptPreCancelled: an interrupt that fires immediately stops
+// the run before the main tick executes.
+func TestInterruptPreCancelled(t *testing.T) {
+	errStop := errors.New("already cancelled")
+	l := New(Options{Interrupt: func() error { return errStop }})
+	ran := false
+	main := vm.NewFunc("main", func([]vm.Value) vm.Value {
+		ran = true
+		return vm.Undefined
+	})
+	if err := l.Run(main); err != errStop {
+		t.Fatalf("Run = %v, want %v", err, errStop)
+	}
+	if ran {
+		t.Fatal("main tick executed despite a pre-cancelled interrupt")
+	}
+}
+
+// TestInterruptNeverFiringIsInert: a nil-returning Interrupt must not
+// change the run in any observable way.
+func TestInterruptNeverFiringIsInert(t *testing.T) {
+	run := func(opts Options) ([]string, error) {
+		return runTrace(t, opts, func(l *Loop, log func(string)) {
+			l.SetTimeout(loc.Here(), step(l, log, "timeout"), 5)
+			l.SetImmediate(loc.Here(), step(l, log, "immediate"))
+			l.NextTick(loc.Here(), step(l, log, "tick"))
+		})
+	}
+	base, err := run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polled, err := run(Options{Interrupt: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrace(t, polled, base)
+}

@@ -44,6 +44,15 @@ type Options struct {
 	// historical deterministic order. See Scheduler and the explore
 	// package.
 	Scheduler Scheduler
+	// Interrupt, when set, is polled at every tick boundary (before the
+	// next top-level callback dispatches) and at the top of every loop
+	// iteration. A non-nil return stops the loop: Run returns that error
+	// and the work done so far remains observable, exactly like a limit
+	// stop. asyncg.WithContext wires a context.Context's Err here, which
+	// is how job deadlines and client-disconnect cancellation reach the
+	// simulation. The check never perturbs scheduling, so runs that are
+	// not interrupted are byte-identical with and without it.
+	Interrupt func() error
 }
 
 // DefaultTickLimit is the tick bound applied when Options.TickLimit is 0.
@@ -216,6 +225,9 @@ func (l *Loop) invokeTop(t task, phase Phase) {
 	if l.stopErr != nil {
 		return
 	}
+	if l.checkInterrupt() {
+		return
+	}
 	if l.ticksRun >= l.opts.TickLimit {
 		l.stopErr = ErrTickLimit
 		return
@@ -241,6 +253,21 @@ func (l *Loop) invokeTop(t task, phase Phase) {
 	if l.opts.TimeLimit > 0 && l.now > l.opts.TimeLimit && l.stopErr == nil {
 		l.stopErr = ErrTimeLimit
 	}
+}
+
+// checkInterrupt polls Options.Interrupt and converts a non-nil error
+// into a loop stop. It reports whether the loop is (now) stopping.
+func (l *Loop) checkInterrupt() bool {
+	if l.opts.Interrupt == nil {
+		return false
+	}
+	if err := l.opts.Interrupt(); err != nil {
+		if l.stopErr == nil {
+			l.stopErr = err
+		}
+		return true
+	}
+	return false
 }
 
 // drainMicro runs microtasks to exhaustion: all nextTick jobs first, then
@@ -320,6 +347,9 @@ func (l *Loop) Run(main *vm.Function, args ...vm.Value) error {
 	l.invokeTop(task{fn: main, args: args, dispatch: &vm.Dispatch{API: "main"}}, PhaseMain)
 	l.drainMicro()
 	for l.stopErr == nil && l.hasWork() {
+		if l.checkInterrupt() {
+			break
+		}
 		l.iteration++
 		l.now += l.opts.IterationCost
 		l.advanceClock()

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"asyncg/internal/loc"
 	"asyncg/internal/mongosim"
 	"asyncg/internal/netio"
+	"asyncg/internal/trace"
 	"asyncg/internal/workload"
 )
 
@@ -93,7 +95,9 @@ func AcmeAirTarget(requests, clients int, seed int64) Target {
 	}
 }
 
-// Config parameterizes an exploration.
+// Config parameterizes an exploration. New code should build it through
+// the functional options (WithRuns, WithStrategy, ...) and Run; the
+// struct stays exported for the deprecated RunConfig shim.
 type Config struct {
 	// Runs bounds the number of executions. 0 means 32.
 	Runs int
@@ -119,6 +123,12 @@ type Config struct {
 	// witness and counter-witness tokens) is byte-identical for any
 	// worker count.
 	Workers int
+	// Progress, when set, receives every completed RunResult in
+	// run-index order (see WithProgress).
+	Progress func(RunResult) `json:"-"`
+	// RunMetrics attaches the trace metrics registry to every run and
+	// aggregates the snapshots into Result.Metrics (see WithRunMetrics).
+	RunMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +265,9 @@ type Result struct {
 	Warnings []WarningStat `json:"warnings"`
 	// Categories classifies each detector category across all runs.
 	Categories []CategoryStat `json:"categories"`
+	// Metrics is the aggregate observability snapshot over all runs
+	// (nil unless WithRunMetrics / Config.RunMetrics was set).
+	Metrics *trace.Snapshot `json:"metrics,omitempty"`
 }
 
 // Sometimes returns the schedule-dependent warning stats.
@@ -268,26 +281,89 @@ func (r *Result) Sometimes() []WarningStat {
 	return out
 }
 
-// Run explores the target's schedule space under cfg. With
-// cfg.Workers > 1 the schedules execute concurrently (each on a fully
-// isolated runtime); the Result is identical for any worker count.
-func Run(t Target, cfg Config) *Result {
+// Run explores the target's schedule space under the given options.
+// With WithWorkers(n > 1) the schedules execute concurrently (each on a
+// fully isolated runtime); the Result is identical for any worker count.
+//
+// Cancellation: ctx is polled between runs and, through
+// asyncg.WithContext, at every tick boundary inside each run, so a
+// cancelled or expired context stops the exploration promptly — workers
+// are drained, never abandoned. Run then returns ctx's error together
+// with a partial Result covering the completed run prefix (truncated
+// runs are discarded: their fingerprints and warning sets describe an
+// incomplete execution and would poison the always/sometimes
+// classification).
+func Run(ctx context.Context, t Target, opts ...Option) (*Result, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return runExploration(ctx, t, cfg)
+}
+
+// RunConfig explores the target under a legacy Config struct, without
+// cancellation.
+//
+// Deprecated: use Run with a context and functional options
+// (explore.Run(ctx, target, explore.WithRuns(n), ...)). RunConfig is
+// the pre-context shim kept so struct-based callers keep compiling.
+func RunConfig(t Target, cfg Config) *Result {
+	res, _ := runExploration(context.Background(), t, cfg)
+	return res
+}
+
+// runExploration dispatches to the strategy/worker-count coordinator.
+func runExploration(ctx context.Context, t Target, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Target: t.Name, Strategy: cfg.Strategy, Seed: cfg.Seed, Requested: cfg.Runs}
+	var err error
 	switch {
 	case cfg.Strategy == StrategyExhaustive && cfg.Workers > 1:
-		runExhaustiveParallel(t, cfg, res)
+		err = runExhaustiveParallel(ctx, t, cfg, res)
 	case cfg.Strategy == StrategyExhaustive:
-		runExhaustive(t, cfg, res)
+		err = runExhaustive(ctx, t, cfg, res)
 	case cfg.Workers > 1:
-		runParallel(t, cfg, res)
+		err = runParallel(ctx, t, cfg, res)
 	default:
-		for i := 0; i < cfg.Runs; i++ {
-			res.Runs = append(res.Runs, runOnce(t, i, newChooser(cfg.Kinds, cfg.nextFunc(i))))
-		}
+		err = runSequential(ctx, t, cfg, res)
 	}
 	aggregate(t, res)
-	return res
+	return res, err
+}
+
+// emitRun appends one completed run to the result in run-index order:
+// the per-run record, the metrics aggregate, and the progress callback
+// all advance together, so a streaming consumer sees exactly the prefix
+// the final Result will contain.
+func emitRun(res *Result, cfg *Config, rr RunResult, snap *trace.Snapshot) {
+	res.Runs = append(res.Runs, rr)
+	if snap != nil {
+		if res.Metrics == nil {
+			res.Metrics = &trace.Snapshot{}
+		}
+		res.Metrics.Merge(snap)
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(rr)
+	}
+}
+
+// runSequential executes the random/delay strategies one run at a time.
+func runSequential(ctx context.Context, t Target, cfg Config, res *Result) error {
+	for i := 0; i < cfg.Runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rr, snap := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
+		if err := ctx.Err(); err != nil {
+			return err // rr describes a truncated run; discard it
+		}
+		emitRun(res, &cfg, rr, snap)
+	}
+	return nil
 }
 
 // runExhaustive enumerates the choice tree breadth-first. Each frontier
@@ -297,13 +373,20 @@ func Run(t Target, cfg Config) *Result {
 // picks at positions after the prefix) are enqueued. Every reachable
 // pick vector is generated exactly once: a vector's canonical prefix is
 // itself up to its last non-zero pick.
-func runExhaustive(t Target, cfg Config, res *Result) {
+func runExhaustive(ctx context.Context, t Target, cfg Config, res *Result) error {
 	frontier := [][]int{nil}
 	for len(frontier) > 0 && len(res.Runs) < cfg.Runs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		prefix := frontier[0]
 		frontier = frontier[1:]
 		ch := newChooser(cfg.Kinds, playbackNext(prefix))
-		res.Runs = append(res.Runs, runOnce(t, len(res.Runs), ch))
+		rr, snap := runOnce(ctx, t, len(res.Runs), ch, cfg.RunMetrics)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		emitRun(res, &cfg, rr, snap)
 		for pos := len(prefix); pos < len(ch.domains); pos++ {
 			for v := 1; v < ch.domains[pos]; v++ {
 				child := make([]int, pos+1)
@@ -314,17 +397,28 @@ func runExhaustive(t Target, cfg Config, res *Result) {
 		}
 	}
 	res.Exhausted = len(frontier) == 0
+	return nil
 }
 
 // runOnce executes the target under one scheduler and summarizes it.
-func runOnce(t Target, idx int, ch *chooser) RunResult {
-	report, err := t.Run(asyncg.WithScheduler(ch))
+// The run's own ticks honor ctx through asyncg.WithContext; a cancelled
+// run comes back with rr.Err set to the context error, and callers drop
+// it from the Result.
+func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bool) (RunResult, *trace.Snapshot) {
+	extra := []asyncg.Option{asyncg.WithScheduler(ch)}
+	if ctx != nil {
+		extra = append(extra, asyncg.WithContext(ctx))
+	}
+	if withMetrics {
+		extra = append(extra, asyncg.WithMetrics())
+	}
+	report, err := t.Run(extra...)
 	rr := RunResult{Index: idx, Token: ch.Schedule().Token()}
 	if err != nil {
 		rr.Err = err.Error()
 	}
 	if report == nil {
-		return rr
+		return rr, nil
 	}
 	rr.Ticks = report.Ticks
 	if report.Graph != nil {
@@ -339,7 +433,7 @@ func runOnce(t Target, idx int, ch *chooser) RunResult {
 		}
 	}
 	sort.Strings(rr.Warnings)
-	return rr
+	return rr, report.Metrics
 }
 
 // Replay runs the target once under a recorded schedule token; extra

@@ -3,6 +3,7 @@ package explore
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"reflect"
@@ -20,6 +21,17 @@ func caseTarget(t *testing.T, id string) Target {
 		t.Fatal(err)
 	}
 	return tg
+}
+
+// mustRun explores under a background context, failing the test on a
+// (never expected) cancellation error.
+func mustRun(t *testing.T, tg Target, opts ...Option) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), tg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestTokenRoundTrip(t *testing.T) {
@@ -62,7 +74,7 @@ func TestReplayDeterminism(t *testing.T) {
 		tg := caseTarget(t, id)
 		for seed := int64(0); seed < 50; seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			orig := runOnce(tg, 0, newChooser(AllKinds(), randomNext(rng)))
+			orig, _ := runOnce(context.Background(), tg, 0, newChooser(AllKinds(), randomNext(rng)), false)
 			rep, _, err := Replay(tg, orig.Token)
 			if err != nil {
 				t.Fatalf("%s seed %d: replay: %v", id, seed, err)
@@ -87,7 +99,7 @@ func TestReplayDeterminism(t *testing.T) {
 // and counter-witness tokens.
 func TestSometimesClassification(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
-	res := Run(tg, Config{Runs: 24, Seed: 3})
+	res := mustRun(t, tg, WithRuns(24), WithSeed(3))
 	var found *WarningStat
 	for i := range res.Warnings {
 		if res.Warnings[i].Category == detect.CatListenerInListener {
@@ -137,7 +149,7 @@ func TestSometimesClassification(t *testing.T) {
 func TestExhaustiveCoversRandom(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
-	ex := Run(tg, Config{Runs: 400, Strategy: StrategyExhaustive, Kinds: kinds})
+	ex := mustRun(t, tg, WithRuns(400), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
 	if !ex.Exhausted {
 		t.Fatalf("exhaustive strategy did not finish in %d runs", len(ex.Runs))
 	}
@@ -145,7 +157,7 @@ func TestExhaustiveCoversRandom(t *testing.T) {
 	for _, fp := range ex.Fingerprints {
 		covered[fp.Fingerprint] = true
 	}
-	rnd := Run(tg, Config{Runs: 60, Seed: 11, Kinds: kinds})
+	rnd := mustRun(t, tg, WithRuns(60), WithSeed(11), WithKinds(kinds...))
 	for _, fp := range rnd.Fingerprints {
 		if !covered[fp.Fingerprint] {
 			t.Errorf("random found fingerprint %s (token %s) missed by exhaustive enumeration", fp.Fingerprint, fp.Token)
@@ -164,7 +176,7 @@ func TestDelayBound(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		ch := newChooser(DefaultKinds(), delayNext(rng, bound))
-		runOnce(tg, 0, ch)
+		runOnce(context.Background(), tg, 0, ch, false)
 		nonzero := 0
 		for _, p := range ch.picks {
 			if p != 0 {
@@ -202,7 +214,7 @@ func TestDefaultScheduleMatchesNoScheduler(t *testing.T) {
 // choice can matter), so exploration must classify it always.
 func TestAlwaysClassification(t *testing.T) {
 	tg := caseTarget(t, "GH-npm-12754")
-	res := Run(tg, Config{Runs: 8, Seed: 5})
+	res := mustRun(t, tg, WithRuns(8), WithSeed(5))
 	found := false
 	for _, cs := range res.Categories {
 		if cs.Category == detect.CatRecursiveMicrotask {
@@ -222,7 +234,7 @@ func TestAcmeAirExploreAndReplay(t *testing.T) {
 		t.Skip("acmeair exploration in -short mode")
 	}
 	tg := AcmeAirTarget(30, 3, 1)
-	res := Run(tg, Config{Runs: 2, Seed: 9})
+	res := mustRun(t, tg, WithRuns(2), WithSeed(9))
 	if len(res.Runs) != 2 {
 		t.Fatalf("got %d runs", len(res.Runs))
 	}
@@ -242,7 +254,7 @@ func TestAcmeAirExploreAndReplay(t *testing.T) {
 
 func TestWriteNDJSON(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
-	res := Run(tg, Config{Runs: 6, Seed: 1})
+	res := mustRun(t, tg, WithRuns(6), WithSeed(1))
 	var buf bytes.Buffer
 	if err := res.WriteNDJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+
+	"asyncg/internal/trace"
 )
 
 // NDJSON record kinds. The stream shares the shape of the trace
@@ -41,31 +43,67 @@ type summaryLine struct {
 	Exhausted    bool              `json:"exhausted,omitempty"`
 	Fingerprints []FingerprintStat `json:"fingerprints"`
 	Categories   []CategoryStat    `json:"categories"`
+	Metrics      *trace.Snapshot   `json:"metrics,omitempty"`
 }
 
-// WriteNDJSON streams the exploration as newline-delimited JSON: one
-// explore-run line per schedule, one explore-warning line per classified
-// warning, and a final explore-summary line with the fingerprint census
-// and category classification.
-func (r *Result) WriteNDJSON(w io.Writer) error {
+// NDJSONStream encodes an exploration incrementally: one explore-run
+// line per completed schedule (feed it from WithProgress to stream a
+// live exploration), then Finish for the warning classification and the
+// closing summary. Every line is flushed as soon as it is encoded —
+// including on error paths — so a consumer reading mid-stream (or a
+// file left behind by an aborted run) always ends on a complete line,
+// never a silently truncated one.
+type NDJSONStream struct {
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	target string
+}
+
+// NewNDJSONStream starts a stream for the named target.
+func NewNDJSONStream(w io.Writer, target string) *NDJSONStream {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, rr := range r.Runs {
-		if err := enc.Encode(runLine{Kind: KindRun, Target: r.Target, RunResult: rr}); err != nil {
-			return err
-		}
-	}
-	for _, ws := range r.Warnings {
-		if err := enc.Encode(warningLine{Kind: KindWarning, Target: r.Target, WarningStat: ws}); err != nil {
-			return err
-		}
-	}
-	if err := enc.Encode(summaryLine{
-		Kind: KindSummary, Target: r.Target, Strategy: r.Strategy, Seed: r.Seed,
-		Runs: len(r.Runs), Requested: r.Requested, Exhausted: r.Exhausted,
-		Fingerprints: r.Fingerprints, Categories: r.Categories,
-	}); err != nil {
+	return &NDJSONStream{bw: bw, enc: json.NewEncoder(bw), target: target}
+}
+
+// Run writes and flushes one explore-run line.
+func (s *NDJSONStream) Run(rr RunResult) error {
+	if err := s.enc.Encode(runLine{Kind: KindRun, Target: s.target, RunResult: rr}); err != nil {
+		s.bw.Flush()
 		return err
 	}
-	return bw.Flush()
+	return s.bw.Flush()
+}
+
+// Finish writes the classification lines and the closing summary. It
+// flushes whatever was encoded even when a line fails mid-way.
+func (s *NDJSONStream) Finish(r *Result) error {
+	for _, ws := range r.Warnings {
+		if err := s.enc.Encode(warningLine{Kind: KindWarning, Target: s.target, WarningStat: ws}); err != nil {
+			s.bw.Flush()
+			return err
+		}
+	}
+	if err := s.enc.Encode(summaryLine{
+		Kind: KindSummary, Target: s.target, Strategy: r.Strategy, Seed: r.Seed,
+		Runs: len(r.Runs), Requested: r.Requested, Exhausted: r.Exhausted,
+		Fingerprints: r.Fingerprints, Categories: r.Categories, Metrics: r.Metrics,
+	}); err != nil {
+		s.bw.Flush()
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// WriteNDJSON streams the completed exploration as newline-delimited
+// JSON: one explore-run line per schedule, one explore-warning line per
+// classified warning, and a final explore-summary line with the
+// fingerprint census and category classification.
+func (r *Result) WriteNDJSON(w io.Writer) error {
+	s := NewNDJSONStream(w, r.Target)
+	for _, rr := range r.Runs {
+		if err := s.Run(rr); err != nil {
+			return err
+		}
+	}
+	return s.Finish(r)
 }

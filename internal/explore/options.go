@@ -1,0 +1,67 @@
+package explore
+
+import (
+	"asyncg/internal/eventloop"
+)
+
+// Option configures an exploration, mirroring the asyncg.New functional
+// options. Options are applied in order; later options win. The zero
+// configuration (no options) explores 32 random schedules sequentially
+// with seed 0 — see Config for the per-field defaults.
+type Option func(*Config)
+
+// WithRuns bounds the number of executed schedules (the exhaustive
+// strategy treats it as a budget and may stop earlier).
+func WithRuns(n int) Option {
+	return func(c *Config) { c.Runs = n }
+}
+
+// WithSeed sets the base seed of the random and delay strategies; run i
+// derives its generator from seed+i, so explorations are reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithStrategy selects the schedule-space walk (StrategyRandom,
+// StrategyDelay, StrategyExhaustive).
+func WithStrategy(s Strategy) Option {
+	return func(c *Config) { c.Strategy = s }
+}
+
+// WithKinds restricts which choice-point classes are perturbed; without
+// it DefaultKinds applies.
+func WithKinds(kinds ...eventloop.ChoiceKind) Option {
+	return func(c *Config) { c.Kinds = kinds }
+}
+
+// WithDelayBound caps non-default picks per run for StrategyDelay.
+func WithDelayBound(n int) Option {
+	return func(c *Config) { c.DelayBound = n }
+}
+
+// WithWorkers sets how many schedules execute concurrently (0 means
+// GOMAXPROCS, 1 strictly sequential). The Result is byte-identical for
+// any worker count.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithProgress registers a callback that receives every completed
+// RunResult in run-index order, as soon as all earlier runs have also
+// completed — the hook the analysis server and the CLI use to stream
+// NDJSON run lines while the exploration is still going. The callback
+// runs on the coordinating goroutine (never concurrently with itself)
+// and must not block for long: with multiple workers a slow callback
+// stalls result emission, though never the schedule executions.
+func WithProgress(fn func(RunResult)) Option {
+	return func(c *Config) { c.Progress = fn }
+}
+
+// WithRunMetrics attaches the trace metrics registry to every run and
+// aggregates the per-run snapshots into Result.Metrics (merge order is
+// irrelevant — see trace.Snapshot.Merge — so the aggregate is identical
+// for any worker count). The registry is an observing probe only; it
+// never perturbs scheduling.
+func WithRunMetrics() Option {
+	return func(c *Config) { c.RunMetrics = true }
+}

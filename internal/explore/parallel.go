@@ -1,6 +1,11 @@
 package explore
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"asyncg/internal/trace"
+)
 
 // This file implements the parallel execution mode of the engine.
 //
@@ -16,7 +21,8 @@ import "sync"
 //
 //   - random/delay: run i is fully determined by (Config.Seed, i), so
 //     run indices are farmed to a fixed worker pool over a channel and
-//     results land in a preallocated slice slot per index (runParallel).
+//     completed runs are emitted as the in-order prefix grows
+//     (runParallel).
 //   - exhaustive: the choice tree is discovered during execution (a
 //     run's branching domains are only known after it finishes), so the
 //     coordinator enumerates choice-pick prefixes in breadth-first
@@ -24,37 +30,78 @@ import "sync"
 //     strictly in run-index order — a sliding window that reproduces
 //     the sequential BFS frontier exactly, whatever the completion
 //     interleaving (runExhaustiveParallel).
+//
+// Cancellation discipline, shared by both: the context is polled before
+// every dispatch and at every result receipt; once it fires, no new
+// work is dispatched, in-flight runs stop at their next tick boundary
+// (the loop-level interrupt), and the coordinator drains every worker
+// before returning — cancellation never abandons a goroutine. Runs
+// delivered after the cancel observation are discarded as possibly
+// truncated, so the partial Result covers only complete runs.
+
+// doneRun carries one finished schedule back to a coordinator.
+type doneRun struct {
+	idx  int
+	rr   RunResult
+	snap *trace.Snapshot
+}
 
 // runParallel executes the random/delay strategies on cfg.Workers
 // goroutines. Each worker owns the full runtime of whichever run it
 // executes; determinism comes from run i deriving its generator from
-// Config.Seed+i exactly as the sequential path does.
-func runParallel(t Target, cfg Config, res *Result) {
-	results := make([]RunResult, cfg.Runs)
+// Config.Seed+i exactly as the sequential path does. Results are
+// emitted (appended, merged, streamed to Progress) strictly in
+// run-index order as the completed prefix grows.
+func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
 	jobs := make(chan int)
+	done := make(chan doneRun, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runOnce(t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)))
+				rr, snap := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
+				done <- doneRun{idx: i, rr: rr, snap: snap}
 			}
 		}()
 	}
-	for i := 0; i < cfg.Runs; i++ {
-		jobs <- i
+	go func() {
+		defer close(jobs)
+		for i := 0; i < cfg.Runs; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(done) }()
+
+	pending := make(map[int]doneRun)
+	next := 0
+	for d := range done {
+		if ctx.Err() != nil {
+			continue // drain the pool; late arrivals may be truncated
+		}
+		pending[d.idx] = d
+		for {
+			nd, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emitRun(res, &cfg, nd.rr, nd.snap)
+			next++
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	res.Runs = results
+	return ctx.Err()
 }
 
 // exhaustiveDone carries one finished prefix run back to the coordinator
 // together with the branching information discovered along the way.
 type exhaustiveDone struct {
-	idx       int
-	rr        RunResult
+	doneRun
 	picks     []int
 	domains   []int
 	prefixLen int
@@ -66,16 +113,15 @@ type exhaustiveDone struct {
 // earlier run has been expanded, so the queue grows in exactly the
 // order the sequential enumeration would produce and the run budget
 // cuts it at exactly the same point.
-func runExhaustiveParallel(t Target, cfg Config, res *Result) {
+func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
 	queue := [][]int{nil} // discovered prefixes, in BFS order
-	done := make(chan exhaustiveDone)
+	done := make(chan exhaustiveDone, cfg.Workers)
 	pending := make(map[int]exhaustiveDone)
 	inFlight := 0
 	nextDispatch, nextExpand := 0, 0
-	var runs []RunResult
 
 	expand := func(d exhaustiveDone) {
-		runs = append(runs, d.rr)
+		emitRun(res, &cfg, d.rr, d.snap)
 		for pos := d.prefixLen; pos < len(d.domains); pos++ {
 			for v := 1; v < d.domains[pos]; v++ {
 				child := make([]int, pos+1)
@@ -87,16 +133,16 @@ func runExhaustiveParallel(t Target, cfg Config, res *Result) {
 	}
 
 	for {
-		for inFlight < cfg.Workers && nextDispatch < len(queue) && nextDispatch < cfg.Runs {
+		for ctx.Err() == nil && inFlight < cfg.Workers && nextDispatch < len(queue) && nextDispatch < cfg.Runs {
 			idx, prefix := nextDispatch, queue[nextDispatch]
 			nextDispatch++
 			inFlight++
 			go func() {
 				ch := newChooser(cfg.Kinds, playbackNext(prefix))
-				rr := runOnce(t, idx, ch)
+				rr, snap := runOnce(ctx, t, idx, ch, cfg.RunMetrics)
 				done <- exhaustiveDone{
-					idx: idx, rr: rr,
-					picks: ch.picks, domains: ch.domains, prefixLen: len(prefix),
+					doneRun: doneRun{idx: idx, rr: rr, snap: snap},
+					picks:   ch.picks, domains: ch.domains, prefixLen: len(prefix),
 				}
 			}()
 		}
@@ -105,6 +151,9 @@ func runExhaustiveParallel(t Target, cfg Config, res *Result) {
 		}
 		d := <-done
 		inFlight--
+		if ctx.Err() != nil {
+			continue // drain in-flight runs; they stop at a tick boundary
+		}
 		pending[d.idx] = d
 		for {
 			next, ok := pending[nextExpand]
@@ -116,8 +165,11 @@ func runExhaustiveParallel(t Target, cfg Config, res *Result) {
 			nextExpand++
 		}
 	}
-	res.Runs = runs
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Mirrors the sequential invariant: the space was exhausted exactly
 	// when every discovered prefix was executed within the budget.
-	res.Exhausted = len(queue) == len(runs)
+	res.Exhausted = len(queue) == len(res.Runs)
+	return nil
 }

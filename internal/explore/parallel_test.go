@@ -8,6 +8,25 @@ import (
 	"asyncg/internal/eventloop"
 )
 
+// configOptions converts a legacy Config literal into the functional
+// options the tests drive the public API through.
+func configOptions(cfg Config) []Option {
+	opts := []Option{
+		WithRuns(cfg.Runs), WithSeed(cfg.Seed), WithDelayBound(cfg.DelayBound),
+		WithWorkers(cfg.Workers),
+	}
+	if cfg.Strategy != "" {
+		opts = append(opts, WithStrategy(cfg.Strategy))
+	}
+	if cfg.Kinds != nil {
+		opts = append(opts, WithKinds(cfg.Kinds...))
+	}
+	if cfg.RunMetrics {
+		opts = append(opts, WithRunMetrics())
+	}
+	return opts
+}
+
 // resultJSON marshals a Result for byte-level comparison.
 func resultJSON(t *testing.T, r *Result) string {
 	t.Helper()
@@ -31,6 +50,7 @@ func TestParallelDeterminism(t *testing.T) {
 	}{
 		{"random", Config{Runs: 16, Seed: 3}},
 		{"delay", Config{Runs: 16, Seed: 7, Strategy: StrategyDelay}},
+		{"random+metrics", Config{Runs: 12, Seed: 3, RunMetrics: true}},
 		{"exhaustive", Config{
 			Runs: 60, Strategy: StrategyExhaustive,
 			Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency},
@@ -43,7 +63,7 @@ func TestParallelDeterminism(t *testing.T) {
 			for _, workers := range []int{1, 2, 8} {
 				cfg := tc.cfg
 				cfg.Workers = workers
-				got := resultJSON(t, Run(tg, cfg))
+				got := resultJSON(t, mustRun(t, tg, configOptions(cfg)...))
 				if workers == 1 {
 					want = got
 					continue
@@ -67,13 +87,13 @@ func TestParallelExhaustiveTruncation(t *testing.T) {
 		Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}}
 	seqCfg := base
 	seqCfg.Workers = 1
-	seq := Run(tg, seqCfg)
+	seq := mustRun(t, tg, configOptions(seqCfg)...)
 	if seq.Exhausted {
 		t.Fatalf("budget of %d unexpectedly exhausted the space", base.Runs)
 	}
 	parCfg := base
 	parCfg.Workers = 4
-	par := Run(tg, parCfg)
+	par := mustRun(t, tg, configOptions(parCfg)...)
 	if got, want := resultJSON(t, par), resultJSON(t, seq); got != want {
 		t.Errorf("truncated parallel exhaustive differs\nseq: %s\npar: %s", want, got)
 	}
@@ -86,7 +106,7 @@ func TestBudgetNote(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
 
-	small := Run(tg, Config{Runs: 400, Strategy: StrategyExhaustive, Kinds: kinds})
+	small := mustRun(t, tg, WithRuns(400), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
 	if !small.Exhausted {
 		t.Fatal("400-run budget should exhaust the reduced-kind space")
 	}
@@ -94,7 +114,7 @@ func TestBudgetNote(t *testing.T) {
 		t.Errorf("undershoot note = %q, want mention of early exhaustion", note)
 	}
 
-	big := Run(tg, Config{Runs: 5, Strategy: StrategyExhaustive, Kinds: kinds})
+	big := mustRun(t, tg, WithRuns(5), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
 	if big.Exhausted {
 		t.Fatal("5-run budget should truncate the space")
 	}
@@ -102,7 +122,7 @@ func TestBudgetNote(t *testing.T) {
 		t.Errorf("overshoot note = %q, want mention of truncation", note)
 	}
 
-	rnd := Run(tg, Config{Runs: 4, Seed: 1})
+	rnd := RunConfig(tg, Config{Runs: 4, Seed: 1}) // exercises the deprecated struct shim
 	if note := rnd.BudgetNote(); note != "" {
 		t.Errorf("random strategy produced a budget note: %q", note)
 	}

@@ -54,6 +54,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// Merge adds other's samples into h. Sums and counts add, Max takes the
+// larger value; merging is commutative and associative, so aggregating
+// per-run histograms in any order yields the same result.
+func (h *Histogram) Merge(other Histogram) {
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
 // Mean returns the average observed latency.
 func (h *Histogram) Mean() time.Duration {
 	if h.Count == 0 {

@@ -1,0 +1,72 @@
+package trace_test
+
+import (
+	"testing"
+	"time"
+
+	"asyncg/internal/trace"
+	"asyncg/internal/vm"
+)
+
+// TestSnapshotMerge: merging sums counters, takes maxima for high-water
+// marks, and is commutative.
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(ticks int64, api string, n int64, lat time.Duration, hwIO int) *trace.Snapshot {
+		var h trace.Histogram
+		for i := int64(0); i < n; i++ {
+			h.Observe(lat)
+		}
+		return &trace.Snapshot{
+			Ticks:      ticks,
+			Executions: n,
+			Iterations: 2,
+			PerPhase:   map[string]trace.PhaseStats{"io": {Ticks: ticks, Busy: lat}},
+			PerAPI:     map[string]trace.APIStats{api: {Count: n, Latency: h}},
+			QueueHighWater: vm.QueueDepths{
+				IO: hwIO,
+			},
+			TimerLag: trace.LagStats{Count: 1, Total: lat, Max: lat},
+		}
+	}
+	a := mk(3, "setTimeout", 2, 5*time.Millisecond, 4)
+	b := mk(5, "socket.on", 3, 9*time.Millisecond, 2)
+
+	merged := &trace.Snapshot{}
+	merged.Merge(a)
+	merged.Merge(b)
+
+	if merged.Ticks != 8 || merged.Executions != 5 || merged.Iterations != 4 {
+		t.Fatalf("merged counters = %d/%d/%d, want 8/5/4", merged.Ticks, merged.Executions, merged.Iterations)
+	}
+	if got := merged.PerPhase["io"]; got.Ticks != 8 || got.Busy != 14*time.Millisecond {
+		t.Fatalf("merged io phase = %+v", got)
+	}
+	if got := merged.PerAPI["setTimeout"].Count; got != 2 {
+		t.Fatalf("setTimeout count = %d, want 2", got)
+	}
+	if got := merged.PerAPI["socket.on"].Latency.Max; got != 9*time.Millisecond {
+		t.Fatalf("socket.on latency max = %v", got)
+	}
+	if merged.QueueHighWater.IO != 4 {
+		t.Fatalf("high-water IO = %d, want max(4,2)", merged.QueueHighWater.IO)
+	}
+	if merged.TimerLag.Count != 2 || merged.TimerLag.Max != 9*time.Millisecond {
+		t.Fatalf("timer lag = %+v", merged.TimerLag)
+	}
+
+	// Commutativity: the opposite merge order yields the same aggregate.
+	other := &trace.Snapshot{}
+	other.Merge(b)
+	other.Merge(a)
+	if other.Ticks != merged.Ticks || other.PerAPI["setTimeout"].Count != merged.PerAPI["setTimeout"].Count ||
+		other.QueueHighWater.IO != merged.QueueHighWater.IO {
+		t.Fatal("merge is not commutative")
+	}
+
+	// Merging nil is a no-op.
+	before := merged.Ticks
+	merged.Merge(nil)
+	if merged.Ticks != before {
+		t.Fatal("Merge(nil) changed the snapshot")
+	}
+}

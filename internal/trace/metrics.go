@@ -69,6 +69,64 @@ type Snapshot struct {
 	TimerLag LagStats
 }
 
+// Merge adds other's aggregates into s: counters and busy times add,
+// queue high-water marks and maxima take the larger value, and loop
+// iterations add (the merged snapshot describes the union of the runs).
+// Merging is commutative, so an aggregate over many runs is independent
+// of merge order — the property the analysis server relies on when it
+// folds per-job snapshots into its /metrics report.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	s.Ticks += other.Ticks
+	s.Executions += other.Executions
+	s.Iterations += other.Iterations
+	if s.PerPhase == nil {
+		s.PerPhase = make(map[string]PhaseStats, len(other.PerPhase))
+	}
+	for phase, ps := range other.PerPhase {
+		cur := s.PerPhase[phase]
+		cur.Ticks += ps.Ticks
+		cur.Busy += ps.Busy
+		s.PerPhase[phase] = cur
+	}
+	if s.PerAPI == nil {
+		s.PerAPI = make(map[string]APIStats, len(other.PerAPI))
+	}
+	for api, as := range other.PerAPI {
+		cur := s.PerAPI[api]
+		cur.Count += as.Count
+		cur.Latency.Merge(as.Latency)
+		s.PerAPI[api] = cur
+	}
+	hw := &s.QueueHighWater
+	o := other.QueueHighWater
+	if o.NextTick > hw.NextTick {
+		hw.NextTick = o.NextTick
+	}
+	if o.Promise > hw.Promise {
+		hw.Promise = o.Promise
+	}
+	if o.Timer > hw.Timer {
+		hw.Timer = o.Timer
+	}
+	if o.IO > hw.IO {
+		hw.IO = o.IO
+	}
+	if o.Immediate > hw.Immediate {
+		hw.Immediate = o.Immediate
+	}
+	if o.Close > hw.Close {
+		hw.Close = o.Close
+	}
+	s.TimerLag.Count += other.TimerLag.Count
+	s.TimerLag.Total += other.TimerLag.Total
+	if other.TimerLag.Max > s.TimerLag.Max {
+		s.TimerLag.Max = other.TimerLag.Max
+	}
+}
+
 // APIExecutions returns the per-API execution counts alone — the Fig. 6b
 // comparison surface.
 func (s *Snapshot) APIExecutions() map[string]int64 {

@@ -1,0 +1,65 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the asyncg analysis service:
+# boot, health, target listing, a synchronous explore job, the NDJSON
+# stream replay, /metrics aggregation, and a clean SIGTERM drain
+# (exit 0). Run from the repository root (make serve-smoke).
+set -eu
+
+PORT="${PORT:-8321}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/asyncg" ./cmd/asyncg
+
+"$TMP/asyncg" serve -addr "127.0.0.1:$PORT" -queue 4 -job-workers 2 &
+SERVE_PID=$!
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve-smoke: server never became healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "serve-smoke: healthy"
+
+curl -fsS "$BASE/v1/targets" >"$TMP/targets.json"
+grep -q '"acmeair"' "$TMP/targets.json"
+echo "serve-smoke: target registry lists acmeair"
+
+# Synchronous job: ?wait=1 blocks until the exploration finishes and
+# returns the job view with the embedded Result.
+OUT="$TMP/job.json"
+curl -fsS -X POST "$BASE/v1/jobs?wait=1" \
+  -H 'Content-Type: application/json' \
+  -d '{"target":"case:SO-17894000","runs":8,"seed":1}' >"$OUT"
+grep -q '"status": "done"' "$OUT"
+JOB_ID=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$OUT" | head -n 1)
+[ -n "$JOB_ID" ]
+echo "serve-smoke: $JOB_ID done"
+
+# The stream replays the full NDJSON: 8 run lines, then the summary.
+STREAM="$TMP/stream.ndjson"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/stream" >"$STREAM"
+RUNS=$(grep -c '"kind":"explore-run"' "$STREAM")
+[ "$RUNS" -eq 8 ]
+tail -n 1 "$STREAM" | grep -q '"kind":"explore-summary"'
+echo "serve-smoke: stream replayed $RUNS runs + summary"
+
+curl -fsS "$BASE/v1/jobs/$JOB_ID/result" >"$TMP/result.json"
+grep -q '"fingerprints"' "$TMP/result.json"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.json"
+grep -q '"runsExplored": 8' "$TMP/metrics.json"
+echo "serve-smoke: result and metrics agree"
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+  echo "serve-smoke: drained cleanly"
+else
+  echo "serve-smoke: drain exited non-zero" >&2
+  exit 1
+fi
