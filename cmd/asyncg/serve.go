@@ -26,6 +26,7 @@ func runServe(args []string) int {
 		queueSize    = fs.Int("queue", 8, "pending-job queue capacity; overflow is refused with 429 + Retry-After")
 		jobWorkers   = fs.Int("job-workers", 0, "jobs executed concurrently (0 = GOMAXPROCS)")
 		jobTimeout   = fs.Duration("job-timeout", 2*time.Minute, "default per-job deadline (also the cap for per-request timeoutMs)")
+		retain       = fs.Int("retain", 64, "finished jobs kept queryable; the oldest beyond this are evicted (-1 = unlimited)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM before jobs are hard-cancelled")
 	)
 	fs.Usage = func() {
@@ -52,9 +53,10 @@ func runServe(args []string) int {
 	defer stop()
 
 	svc := server.New(server.Config{
-		QueueSize:  *queueSize,
-		Workers:    *jobWorkers,
-		JobTimeout: *jobTimeout,
+		QueueSize:       *queueSize,
+		Workers:         *jobWorkers,
+		JobTimeout:      *jobTimeout,
+		MaxFinishedJobs: *retain,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -293,6 +293,12 @@ func (r *Result) Sometimes() []WarningStat {
 // runs are discarded: their fingerprints and warning sets describe an
 // incomplete execution and would poison the always/sometimes
 // classification).
+//
+// Panics: a panicking target never crashes the process — not even with
+// WithWorkers(n > 1), where runs execute on pool goroutines. The panic
+// is recovered at the run boundary, the exploration shuts down along
+// the cancellation path, and Run returns the panic as an error with a
+// partial Result.
 func Run(ctx context.Context, t Target, opts ...Option) (*Result, error) {
 	var cfg Config
 	for _, opt := range opts {
@@ -357,7 +363,10 @@ func runSequential(ctx context.Context, t Target, cfg Config, res *Result) error
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		rr, snap := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
+		rr, snap, rerr := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
+		if rerr != nil {
+			return rerr
+		}
 		if err := ctx.Err(); err != nil {
 			return err // rr describes a truncated run; discard it
 		}
@@ -382,7 +391,10 @@ func runExhaustive(ctx context.Context, t Target, cfg Config, res *Result) error
 		prefix := frontier[0]
 		frontier = frontier[1:]
 		ch := newChooser(cfg.Kinds, playbackNext(prefix))
-		rr, snap := runOnce(ctx, t, len(res.Runs), ch, cfg.RunMetrics)
+		rr, snap, rerr := runOnce(ctx, t, len(res.Runs), ch, cfg.RunMetrics)
+		if rerr != nil {
+			return rerr
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -403,8 +415,18 @@ func runExhaustive(ctx context.Context, t Target, cfg Config, res *Result) error
 // runOnce executes the target under one scheduler and summarizes it.
 // The run's own ticks honor ctx through asyncg.WithContext; a cancelled
 // run comes back with rr.Err set to the context error, and callers drop
-// it from the Result.
-func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bool) (RunResult, *trace.Snapshot) {
+// it from the Result. A panicking target is recovered here — the one
+// place every execution path shares, including the pool workers of the
+// parallel coordinators — and surfaced as err; coordinators treat it as
+// fatal to the exploration, so a panic fails the caller's job without
+// ever killing a worker goroutine (or the process).
+func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bool) (rr RunResult, snap *trace.Snapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rr, snap = RunResult{}, nil
+			err = fmt.Errorf("explore: target panicked on run %d: %v", idx, p)
+		}
+	}()
 	extra := []asyncg.Option{asyncg.WithScheduler(ch)}
 	if ctx != nil {
 		extra = append(extra, asyncg.WithContext(ctx))
@@ -412,13 +434,13 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bo
 	if withMetrics {
 		extra = append(extra, asyncg.WithMetrics())
 	}
-	report, err := t.Run(extra...)
-	rr := RunResult{Index: idx, Token: ch.Schedule().Token()}
-	if err != nil {
-		rr.Err = err.Error()
+	report, rerr := t.Run(extra...)
+	rr = RunResult{Index: idx, Token: ch.Schedule().Token()}
+	if rerr != nil {
+		rr.Err = rerr.Error()
 	}
 	if report == nil {
-		return rr, nil
+		return rr, nil, nil
 	}
 	rr.Ticks = report.Ticks
 	if report.Graph != nil {
@@ -433,7 +455,7 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bo
 		}
 	}
 	sort.Strings(rr.Warnings)
-	return rr, report.Metrics
+	return rr, report.Metrics, nil
 }
 
 // Replay runs the target once under a recorded schedule token; extra

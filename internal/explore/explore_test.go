@@ -74,7 +74,7 @@ func TestReplayDeterminism(t *testing.T) {
 		tg := caseTarget(t, id)
 		for seed := int64(0); seed < 50; seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			orig, _ := runOnce(context.Background(), tg, 0, newChooser(AllKinds(), randomNext(rng)), false)
+			orig, _, _ := runOnce(context.Background(), tg, 0, newChooser(AllKinds(), randomNext(rng)), false)
 			rep, _, err := Replay(tg, orig.Token)
 			if err != nil {
 				t.Fatalf("%s seed %d: replay: %v", id, seed, err)

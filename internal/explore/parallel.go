@@ -38,12 +38,21 @@ import (
 // before returning — cancellation never abandons a goroutine. Runs
 // delivered after the cancel observation are discarded as possibly
 // truncated, so the partial Result covers only complete runs.
+//
+// Panic discipline: a panicking target is recovered inside runOnce (so
+// it can never kill a pool worker goroutine) and arrives at the
+// coordinator as doneRun.err. The first such error cancels the
+// coordinator's internal context — stopping dispatch and interrupting
+// in-flight runs exactly like an external cancel — and is returned
+// after the pool drains, so a panic fails the exploration, not the
+// process.
 
 // doneRun carries one finished schedule back to a coordinator.
 type doneRun struct {
 	idx  int
 	rr   RunResult
 	snap *trace.Snapshot
+	err  error // a recovered target panic; fatal to the exploration
 }
 
 // runParallel executes the random/delay strategies on cfg.Workers
@@ -53,6 +62,11 @@ type doneRun struct {
 // emitted (appended, merged, streamed to Progress) strictly in
 // run-index order as the completed prefix grows.
 func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
+	// The internal cancel lets a panicking run stop the exploration the
+	// same way an external cancel does (halt dispatch, interrupt
+	// in-flight runs at their next tick boundary, drain the pool).
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
 	jobs := make(chan int)
 	done := make(chan doneRun, cfg.Workers)
 	var wg sync.WaitGroup
@@ -61,8 +75,8 @@ func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rr, snap := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
-				done <- doneRun{idx: i, rr: rr, snap: snap}
+				rr, snap, err := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
+				done <- doneRun{idx: i, rr: rr, snap: snap, err: err}
 			}
 		}()
 	}
@@ -80,8 +94,13 @@ func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
 
 	pending := make(map[int]doneRun)
 	next := 0
+	var panicErr error
 	for d := range done {
-		if ctx.Err() != nil {
+		if d.err != nil && panicErr == nil {
+			panicErr = d.err
+			stop()
+		}
+		if panicErr != nil || ctx.Err() != nil {
 			continue // drain the pool; late arrivals may be truncated
 		}
 		pending[d.idx] = d
@@ -94,6 +113,9 @@ func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
 			emitRun(res, &cfg, nd.rr, nd.snap)
 			next++
 		}
+	}
+	if panicErr != nil {
+		return panicErr
 	}
 	return ctx.Err()
 }
@@ -114,11 +136,16 @@ type exhaustiveDone struct {
 // order the sequential enumeration would produce and the run budget
 // cuts it at exactly the same point.
 func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
+	// See runParallel: the internal cancel turns a target panic into the
+	// external-cancel shutdown path.
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
 	queue := [][]int{nil} // discovered prefixes, in BFS order
 	done := make(chan exhaustiveDone, cfg.Workers)
 	pending := make(map[int]exhaustiveDone)
 	inFlight := 0
 	nextDispatch, nextExpand := 0, 0
+	var panicErr error
 
 	expand := func(d exhaustiveDone) {
 		emitRun(res, &cfg, d.rr, d.snap)
@@ -139,9 +166,9 @@ func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Resul
 			inFlight++
 			go func() {
 				ch := newChooser(cfg.Kinds, playbackNext(prefix))
-				rr, snap := runOnce(ctx, t, idx, ch, cfg.RunMetrics)
+				rr, snap, err := runOnce(ctx, t, idx, ch, cfg.RunMetrics)
 				done <- exhaustiveDone{
-					doneRun: doneRun{idx: idx, rr: rr, snap: snap},
+					doneRun: doneRun{idx: idx, rr: rr, snap: snap, err: err},
 					picks:   ch.picks, domains: ch.domains, prefixLen: len(prefix),
 				}
 			}()
@@ -151,7 +178,11 @@ func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Resul
 		}
 		d := <-done
 		inFlight--
-		if ctx.Err() != nil {
+		if d.err != nil && panicErr == nil {
+			panicErr = d.err
+			stop()
+		}
+		if panicErr != nil || ctx.Err() != nil {
 			continue // drain in-flight runs; they stop at a tick boundary
 		}
 		pending[d.idx] = d
@@ -164,6 +195,9 @@ func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Resul
 			expand(next)
 			nextExpand++
 		}
+	}
+	if panicErr != nil {
+		return panicErr
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -1,10 +1,13 @@
 package explore
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"asyncg"
 	"asyncg/internal/eventloop"
 )
 
@@ -74,6 +77,62 @@ func TestParallelDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPanicBecomesError: a panicking target fails the exploration with
+// an error instead of killing the process — on the sequential path and,
+// critically, on the pool goroutines of the parallel coordinators,
+// where an unrecovered panic cannot be caught by any caller of Run.
+func TestPanicBecomesError(t *testing.T) {
+	boom := Target{
+		Name: "boom",
+		Run: func(extra ...asyncg.Option) (*asyncg.Report, error) {
+			panic("deliberate test panic")
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"sequential", []Option{WithRuns(4), WithWorkers(1)}},
+		{"parallel", []Option{WithRuns(8), WithWorkers(4)}},
+		{"delay-parallel", []Option{WithRuns(8), WithStrategy(StrategyDelay), WithWorkers(4)}},
+		{"exhaustive", []Option{WithRuns(8), WithStrategy(StrategyExhaustive), WithWorkers(1)}},
+		{"exhaustive-parallel", []Option{WithRuns(8), WithStrategy(StrategyExhaustive), WithWorkers(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(context.Background(), boom, tc.opts...)
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("Run error = %v, want a target-panicked error", err)
+			}
+			if res == nil || len(res.Runs) != 0 {
+				t.Errorf("result = %+v, want an empty partial result", res)
+			}
+		})
+	}
+}
+
+// TestPanicMidExploration: when only a later run panics, the completed
+// prefix survives as the partial result and the pool drains cleanly.
+func TestPanicMidExploration(t *testing.T) {
+	good := caseTarget(t, "SO-17894000")
+	var calls atomic.Int64
+	flaky := Target{
+		Name: good.Name,
+		Run: func(extra ...asyncg.Option) (*asyncg.Report, error) {
+			if calls.Add(1) > 2 {
+				panic("deliberate test panic")
+			}
+			return good.Run(extra...)
+		},
+	}
+	res, err := Run(context.Background(), flaky, WithRuns(8), WithWorkers(1))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Run error = %v, want a target-panicked error", err)
+	}
+	if len(res.Runs) != 2 {
+		t.Errorf("partial result has %d runs, want the 2 completed before the panic", len(res.Runs))
 	}
 }
 

@@ -14,9 +14,11 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -39,6 +41,14 @@ type Config struct {
 	// JobTimeout is the default per-job deadline, and the cap for
 	// per-request timeoutMs overrides. 0 means 2 minutes.
 	JobTimeout time.Duration
+	// MaxFinishedJobs bounds how many terminal jobs (done, cancelled,
+	// failed) stay queryable, so a long-running service does not retain
+	// every result and stream buffer forever. When a job finishes past
+	// the bound, the oldest terminal jobs are evicted — their Result and
+	// buffered NDJSON are dropped and later GETs answer 404. Queued and
+	// running jobs are never evicted. 0 means 64; negative means
+	// unlimited retention.
+	MaxFinishedJobs int
 	// LookupTarget resolves a job's target spec; nil means
 	// explore.TargetByName. Tests inject synthetic (e.g. never-ending)
 	// targets here.
@@ -54,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 2 * time.Minute
+	}
+	if c.MaxFinishedJobs == 0 {
+		c.MaxFinishedJobs = 64
 	}
 	if c.LookupTarget == nil {
 		c.LookupTarget = explore.TargetByName
@@ -180,6 +193,7 @@ func (s *Server) runJob(j *job) {
 		// Cancelled while queued (DELETE or hard-stop): nothing ran.
 		j.finish(nil, err, time.Now())
 		s.metrics.record(j)
+		s.evictFinished()
 		return
 	}
 	ctx := j.ctx
@@ -207,6 +221,11 @@ func (s *Server) runJob(j *job) {
 		stream.Run(rr) // broadcaster writes cannot fail while the job runs
 	}))
 
+	// The engine recovers target panics itself (on every worker of its
+	// schedule pool) and returns them as errors; this recover is pure
+	// defense in depth for panics outside the run boundary (aggregation,
+	// the progress callback), keeping the service worker alive no matter
+	// what.
 	res, err := func() (res *explore.Result, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -222,6 +241,41 @@ func (s *Server) runJob(j *job) {
 	}
 	j.finish(res, err, time.Now())
 	s.metrics.record(j)
+	s.evictFinished()
+}
+
+// evictFinished trims the job table to the retention bound: when more
+// than MaxFinishedJobs terminal jobs are held, the oldest are deleted
+// (their broadcaster buffers and Results go with them). Called after
+// every terminal transition, so the table's footprint is bounded by
+// queue capacity + workers + MaxFinishedJobs.
+func (s *Server) evictFinished() {
+	limit := s.cfg.MaxFinishedJobs
+	if limit < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].terminal() {
+			terminal++
+		}
+	}
+	evict := terminal - limit
+	if evict <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			evict--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // record folds a finished job into the service-wide aggregates.
@@ -431,10 +485,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	status, res, errMsg := j.status, j.result, j.errMsg
 	j.mu.Unlock()
 	switch {
+	// Failed wins over a partial result: the engine returns the
+	// completed-run prefix even on a panic, but a failed job's result
+	// endpoint reports the failure, not a fragment that looks complete.
+	case status == statusFailed:
+		httpError(w, http.StatusInternalServerError, "job failed: "+errMsg)
 	case res != nil:
 		writeJSON(w, http.StatusOK, res)
-	case status == statusFailed || status == statusCancelled:
-		httpError(w, http.StatusInternalServerError, "job "+string(status)+": "+errMsg)
+	case status == statusCancelled:
+		httpError(w, http.StatusInternalServerError, "job cancelled: "+errMsg)
 	default:
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusConflict, "job is "+string(status)+"; result not ready")
@@ -494,12 +553,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, payload)
 }
 
+// writeJSON encodes v into a buffer before touching the response, so a
+// marshal failure can still produce a proper 500 instead of a silently
+// truncated body under an already-written success status.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("server: encoding %d response: %v", code, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"internal: response encoding failed"}`)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := buf.WriteTo(w); err != nil {
+		// The status line is already on the wire; a short write means the
+		// client went away, which is only worth a log line.
+		log.Printf("server: writing %d response: %v", code, err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

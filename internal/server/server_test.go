@@ -437,8 +437,65 @@ func TestPanicIsolation(t *testing.T) {
 		t.Errorf("result of failed job: status %d, want 500", code)
 	}
 
+	// With workers > 1 the panic fires on a schedule-pool goroutine, not
+	// the job's coordinator — it must still fail only the job, never the
+	// process (regression: an unrecovered pool panic killed the binary).
+	_, bad4 := postJob(t, ts, `{"target":"panic","runs":4,"workers":4}`)
+	got4 := waitStatus(t, ts, bad4.ID, statusFailed)
+	if !strings.Contains(got4.Error, "panicked") {
+		t.Errorf("failed multi-worker job error = %q, want a panic message", got4.Error)
+	}
+
 	_, ok := postJob(t, ts, `{"target":"case:SO-17894000","runs":4}`)
 	waitStatus(t, ts, ok.ID, statusDone)
+}
+
+// TestFinishedJobEviction: terminal jobs beyond MaxFinishedJobs are
+// evicted oldest-first — their results and stream buffers released, the
+// IDs answering 404 — while newer jobs stay queryable, so a long-lived
+// service holds a bounded job table.
+func TestFinishedJobEviction(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{QueueSize: 4, Workers: 1, MaxFinishedJobs: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		_, v := postJob(t, ts, `{"target":"case:SO-17894000","runs":2}`)
+		waitStatus(t, ts, v.ID, statusDone)
+		ids = append(ids, v.ID)
+	}
+
+	// Eviction runs just after the terminal status becomes visible, so
+	// poll the listing down to the retention bound.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var list struct{ Jobs []view }
+		getJSON(t, ts.URL+"/v1/jobs", &list)
+		if len(list.Jobs) == 2 {
+			if list.Jobs[0].ID != ids[2] || list.Jobs[1].ID != ids[3] {
+				t.Fatalf("retained jobs = %s, %s; want the newest two %s, %s",
+					list.Jobs[0].ID, list.Jobs[1].ID, ids[2], ids[3])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job table never shrank to 2 (have %d)", len(list.Jobs))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range ids[:2] {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusNotFound {
+			t.Errorf("evicted job %s: status %d, want 404", id, code)
+		}
+	}
+	for _, id := range ids[2:] {
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusOK {
+			t.Errorf("retained job %s: status %d, want 200", id, code)
+		}
+	}
 }
 
 // TestBadSubmissions: validation failures are 400s with a message, not
