@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke race-explore bench-record serve-smoke race-server
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -24,6 +24,13 @@ test:
 explore-smoke:
 	$(GO) run ./cmd/asyncg explore -case SO-17894000 -runs 16 -seed 1 -expect-sometimes
 	$(GO) run ./cmd/asyncg explore -case GH-npm-12754 -runs 8 -seed 1
+
+# Coverage-guided exploration smoke (CI): the fingerprint-corpus
+# strategy on the AcmeAir workload at a fixed seed must keep
+# discovering new graph shapes — the run is fully deterministic, so the
+# floor of 8 distinct fingerprints is a hard assertion, not a hope.
+explore-coverage:
+	$(GO) run ./cmd/asyncg explore -acmeair -requests 20 -clients 3 -seed 1 -strategy coverage -runs 24 -min-new-graphs 8
 
 # Parallel-exploration determinism under the race detector: 1-, 2-, and
 # 8-worker explores must produce byte-identical Result JSON.

@@ -31,9 +31,11 @@ func runExplore(args []string) int {
 		runs       = fs.Int("runs", 32, "number of schedules to execute; with -strategy exhaustive this is a budget — the run stops early when the space is exhausted and warns either way when the enumerated space and the budget disagree")
 		workers    = fs.Int("workers", 0, "schedules executed concurrently (0 = GOMAXPROCS, 1 = sequential); results are identical for any worker count")
 		seed       = fs.Int64("seed", 1, "base seed for the random/delay strategies")
-		strategy   = fs.String("strategy", "random", "exploration strategy: random, delay, exhaustive")
+		strategy   = fs.String("strategy", "random", "exploration strategy: random, delay, exhaustive, coverage")
 		kinds      = fs.String("kinds", "", "comma-separated choice kinds to perturb (default io-order,timer-tie,latency; also listener-order, data-order)")
 		delayBound = fs.Int("delay-bound", 2, "delay strategy: max non-default picks per run")
+		por        = fs.Bool("por", false, "exhaustive strategy: prune schedule branches proven equivalent by partial-order reduction")
+		minNew     = fs.Int("min-new-graphs", 0, "exit 1 unless at least this many distinct async-graph fingerprints were discovered (CI smoke)")
 		replay     = fs.String("replay", "", "replay one schedule token instead of exploring")
 		ndjsonOut  = fs.String("ndjson", "", "stream NDJSON exploration records to this file ('-' for stdout); run lines are flushed as they complete")
 		traceOut   = fs.String("trace", "", "with -replay: write an event trace of the replayed run")
@@ -77,7 +79,11 @@ func runExplore(args []string) int {
 		return replaySchedule(target, *replay, *traceOut, *traceFmt)
 	}
 
-	strat, err := explore.ParseStrategy(*strategy)
+	strat, err := explore.StrategyFor(*strategy, explore.StrategyParams{
+		Seed:       *seed,
+		DelayBound: *delayBound,
+		POR:        *por,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return exitUsage
@@ -96,7 +102,6 @@ func runExplore(args []string) int {
 		explore.WithSeed(*seed),
 		explore.WithStrategy(strat),
 		explore.WithKinds(kindList...),
-		explore.WithDelayBound(*delayBound),
 		explore.WithWorkers(*workers),
 	}
 
@@ -161,6 +166,11 @@ func runExplore(args []string) int {
 	}
 	if *expectSome && len(res.Sometimes()) == 0 {
 		fmt.Fprintf(os.Stderr, "explore: no schedule-dependent (sometimes) warning found in %d runs\n", len(res.Runs))
+		return exitFindings
+	}
+	if *minNew > 0 && res.NewGraphs < *minNew {
+		fmt.Fprintf(os.Stderr, "explore: discovered %d distinct async-graph fingerprint(s) in %d runs, want at least %d\n",
+			res.NewGraphs, len(res.Runs), *minNew)
 		return exitFindings
 	}
 	return exitOK

@@ -42,11 +42,11 @@ func TestExploreSuiteEmitsValidJSON(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report does not round-trip: %v\n%s", err, buf.String())
 	}
-	if len(back.Benchmarks) != 2 {
-		t.Fatalf("got %d benchmark records, want 2", len(back.Benchmarks))
+	if len(back.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmark records, want 3", len(back.Benchmarks))
 	}
 	for _, rec := range back.Benchmarks {
-		if rec.Name != BenchExploreSeq && rec.Name != BenchExplorePar {
+		if rec.Name != BenchExploreSeq && rec.Name != BenchExplorePar && rec.Name != BenchExploreCoverage {
 			t.Errorf("unexpected record name %q", rec.Name)
 		}
 		if rec.Iterations < 1 || rec.NsPerOp <= 0 {
@@ -54,6 +54,9 @@ func TestExploreSuiteEmitsValidJSON(t *testing.T) {
 		}
 		if rec.Extra["schedules/sec"] <= 0 {
 			t.Errorf("%s: missing schedules/sec extra metric", rec.Name)
+		}
+		if rec.Extra["uniqueGraphs/sec"] <= 0 {
+			t.Errorf("%s: missing uniqueGraphs/sec extra metric", rec.Name)
 		}
 	}
 	if back.SpeedupParVsSeq <= 0 {

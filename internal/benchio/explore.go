@@ -17,6 +17,9 @@ const (
 	BenchExploreSeq = "ExploreSeq"
 	// BenchExplorePar is the parallel (Workers=GOMAXPROCS) exploration.
 	BenchExplorePar = "ExplorePar"
+	// BenchExploreCoverage is the coverage-guided (fingerprint corpus)
+	// exploration at the parallel worker count.
+	BenchExploreCoverage = "ExploreCoverage"
 )
 
 // ExploreOptions sizes the recorded exploration benchmarks.
@@ -45,39 +48,54 @@ func (o ExploreOptions) withDefaults() ExploreOptions {
 	return o
 }
 
-// ExploreSuite builds the BenchmarkExplore{Seq,Par} pair: the same
-// random exploration of one case study, executed with one worker and
-// with opts.Workers workers. One benchmark op explores opts.Runs
-// schedules, and each record reports schedules/sec as an extra metric.
+// ExploreSuite builds the BenchmarkExplore{Seq,Par,Coverage} triple:
+// the same exploration of one case study, executed with one worker,
+// with opts.Workers workers, and with the coverage strategy at the
+// parallel worker count. One benchmark op explores opts.Runs schedules,
+// and each record reports schedules/sec and uniqueGraphs/sec (the
+// fingerprint discovery rate — the throughput that actually matters for
+// a feedback-guided walk) as extra metrics.
 func ExploreSuite(opts ExploreOptions) ([]Benchmark, error) {
 	opts = opts.withDefaults()
 	tg, err := explore.CaseTargetByID(opts.CaseID, false)
 	if err != nil {
 		return nil, err
 	}
+	coverage := func() explore.Option { return explore.WithStrategy(explore.NewCoverage(1)) }
 	return []Benchmark{
-		{Name: BenchExploreSeq, Bench: benchExplore(tg, opts.Runs, 1)},
-		{Name: BenchExplorePar, Bench: benchExplore(tg, opts.Runs, opts.Workers)},
+		{Name: BenchExploreSeq, Bench: benchExplore(tg, opts.Runs, 1, nil)},
+		{Name: BenchExplorePar, Bench: benchExplore(tg, opts.Runs, opts.Workers, nil)},
+		{Name: BenchExploreCoverage, Bench: benchExplore(tg, opts.Runs, opts.Workers, coverage)},
 	}, nil
 }
 
 // benchExplore measures one exploration configuration; the schedule
 // count per op is fixed so ns/op is directly comparable between the
-// sequential and parallel records.
-func benchExplore(tg explore.Target, runs, workers int) func(b *testing.B) {
+// sequential and parallel records. strategy builds a fresh Strategy
+// option per op (instances are single-use); nil means the default
+// random walk.
+func benchExplore(tg explore.Target, runs, workers int, strategy func() explore.Option) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
+		unique := 0
 		for i := 0; i < b.N; i++ {
-			res, err := explore.Run(context.Background(), tg,
-				explore.WithRuns(runs), explore.WithSeed(1), explore.WithWorkers(workers))
+			opts := []explore.Option{
+				explore.WithRuns(runs), explore.WithSeed(1), explore.WithWorkers(workers),
+			}
+			if strategy != nil {
+				opts = append(opts, strategy())
+			}
+			res, err := explore.Run(context.Background(), tg, opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if len(res.Runs) != runs {
 				b.Fatalf("explored %d/%d schedules", len(res.Runs), runs)
 			}
+			unique += res.NewGraphs
 		}
 		b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "schedules/sec")
+		b.ReportMetric(float64(unique)/b.Elapsed().Seconds(), "uniqueGraphs/sec")
 	}
 }
 

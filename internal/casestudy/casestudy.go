@@ -80,6 +80,7 @@ func All() []Case {
 		caseSO17894000(),
 		caseFig4(),
 		caseMotivation(),
+		caseFanoutJoin(),
 	}
 }
 

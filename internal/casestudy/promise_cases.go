@@ -235,6 +235,53 @@ func caseSO31978347() Case {
 	}
 }
 
+// caseFanoutJoin: two database reads on distinct collections fan out in
+// the same tick and are joined with Promise.all, but the join has no
+// rejection handler — a failing read would vanish. The reads touch
+// disjoint state, so their completion order is a prime partial-order-
+// reduction target: every interleaving yields the same graph, and the
+// exhaustive strategy with POR enabled proves it by pruning the
+// io-order siblings instead of executing them.
+func caseFanoutJoin() Case {
+	return Case{
+		ID:        "fanout-join",
+		Title:     "parallel DB reads joined without rejection handler",
+		Category:  "Missing Exceptional Reaction",
+		Expect:    []detect.Category{detect.CatMissingRejectHandler},
+		TickLimit: 2000,
+		Buggy: func(ctx *asyncg.Context) {
+			users := ctx.DB().C("users")
+			users.InsertSync(mongosim.Document{"name": "fred"})
+			orders := ctx.DB().C("orders")
+			orders.InsertSync(mongosim.Document{"owner": "fred", "total": 42})
+			joined := ctx.All(
+				users.FindOneP(loc.Here(), `name == "fred"`),
+				orders.FindOneP(loc.Here(), `owner == "fred"`),
+			)
+			ctx.Then(joined, asyncg.F("render", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}), nil)
+			// BUG: no .catch — a failing read rejects the join silently.
+		},
+		Fixed: func(ctx *asyncg.Context) {
+			users := ctx.DB().C("users")
+			users.InsertSync(mongosim.Document{"name": "fred"})
+			orders := ctx.DB().C("orders")
+			orders.InsertSync(mongosim.Document{"owner": "fred", "total": 42})
+			joined := ctx.All(
+				users.FindOneP(loc.Here(), `name == "fred"`),
+				orders.FindOneP(loc.Here(), `owner == "fred"`),
+			)
+			rendered := ctx.Then(joined, asyncg.F("render", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}), nil)
+			ctx.Catch(rendered, asyncg.F("onErr", func(args []asyncg.Value) asyncg.Value {
+				return asyncg.Undefined
+			}))
+		},
+	}
+}
+
 // caseFig4 is the paper's Example 2 (Fig. 4 / Fig. 5): a promise
 // reaction registers the listener one tick after the event was emitted
 // (dead emit + dead listener), and the then-chain lacks an exception

@@ -192,8 +192,18 @@ func (l *Loop) SchedulePromiseJob(fn *vm.Function, args []vm.Value, dispatch *vm
 // ScheduleIOAt delivers an external event through the I/O poll phase at
 // the given absolute virtual time (clamped to now). The simulated
 // network layer uses it; user-level registrations are announced by that
-// layer.
+// layer. The event carries independence key 0 — see ScheduleIOKeyedAt.
 func (l *Loop) ScheduleIOAt(readyAt time.Duration, fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
+	l.ScheduleIOKeyedAt(readyAt, 0, fn, args, dispatch)
+}
+
+// ScheduleIOKeyedAt is ScheduleIOAt with an independence key attached
+// (see NextIOKey). Substrate layers key each event by the state it
+// touches — a connection, a file path, a DB collection — so the
+// exhaustive explorer can recognize commuting poll batches and explore
+// only one of their orders (partial-order reduction). Key 0 means "may
+// touch anything" and disables the reduction for its batch.
+func (l *Loop) ScheduleIOKeyedAt(readyAt time.Duration, key uint64, fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
 	if readyAt < l.now {
 		readyAt = l.now
 	}
@@ -202,6 +212,7 @@ func (l *Loop) ScheduleIOAt(readyAt time.Duration, fn *vm.Function, args []vm.Va
 		task:    task{fn: fn, args: args, dispatch: dispatch},
 		readyAt: readyAt,
 		seq:     l.orderSeq,
+		key:     key,
 	})
 }
 

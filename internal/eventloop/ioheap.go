@@ -12,6 +12,10 @@ type ioEvent struct {
 	task
 	readyAt time.Duration
 	seq     uint64
+	// key is the independence key for partial-order reduction: events
+	// with distinct non-zero keys touch disjoint simulation state, so a
+	// poll batch of such events commutes. 0 (the default) opts out.
+	key uint64
 }
 
 // ioHeap orders events by (readyAt, seq).

@@ -108,6 +108,7 @@ type Loop struct {
 	regSeq    uint64 // callback-registration sequence (probe protocol)
 	trigSeq   uint64 // trigger sequence (probe protocol)
 	objSeq    uint64 // object identity (emitters, promises, sockets)
+	ioKeySeq  uint64 // I/O independence keys (partial-order reduction)
 	iteration uint64 // loop-iteration count (probe protocol)
 
 	ticksRun int
@@ -185,6 +186,12 @@ func (l *Loop) NextRegSeq() uint64 { l.regSeq++; return l.regSeq }
 
 // NextTrigSeq allocates a fresh trigger sequence number.
 func (l *Loop) NextTrigSeq() uint64 { l.trigSeq++; return l.trigSeq }
+
+// NextIOKey allocates a fresh I/O independence key (for
+// ScheduleIOKeyedAt). Keys live in their own sequence — deliberately not
+// NextObjID, whose values feed graph object identity — so attaching
+// independence metadata never perturbs fingerprints.
+func (l *Loop) NextIOKey() uint64 { l.ioKeySeq++; return l.ioKeySeq }
 
 // EmitAPIEvent announces an async-API call to attached hooks.
 func (l *Loop) EmitAPIEvent(ev *vm.APIEvent) {
@@ -466,8 +473,17 @@ func (l *Loop) runIOPhase() {
 		ready = append(ready, l.io.removeMin())
 	}
 	// The whole poll batch is permutable: the OS reports completions
-	// that became ready by now in arbitrary order.
-	l.Permute(ChoiceIOOrder, len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
+	// that became ready by now in arbitrary order. The events'
+	// independence keys ride along so a POR-aware scheduler can tell
+	// when the batch commutes.
+	var keys []uint64
+	if l.opts.Scheduler != nil && len(ready) >= 2 {
+		keys = make([]uint64, len(ready))
+		for i, e := range ready {
+			keys[i] = e.key
+		}
+	}
+	l.PermuteKeyed(ChoiceIOOrder, keys, len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
 	span := l.phaseEnter(PhaseIO, len(ready))
 	for _, e := range ready {
 		if l.stopErr != nil {

@@ -62,13 +62,37 @@ func (l *Loop) Choose(kind ChoiceKind, n int) int {
 	return k
 }
 
+// IndependenceScheduler is an optional Scheduler extension for partial-
+// order reduction. When the loop is about to permute a batch whose
+// elements carry independence keys, it announces the keys through
+// BeginPermute immediately before the batch's Choose calls (exactly
+// len(keys)-1 of them, uninterrupted). Two elements with distinct
+// non-zero keys touch disjoint simulation state, so exchanging them
+// yields an equivalent execution; key 0 means "may touch anything" and
+// is never independent of anything.
+type IndependenceScheduler interface {
+	Scheduler
+	BeginPermute(kind ChoiceKind, keys []uint64)
+}
+
 // Permute applies a scheduler-driven permutation to n elements through
 // swap (a selection shuffle: position i receives the element the
 // scheduler picks from the remaining suffix). With a nil scheduler it is
 // the identity and performs no calls at all.
 func (l *Loop) Permute(kind ChoiceKind, n int, swap func(i, j int)) {
+	l.PermuteKeyed(kind, nil, n, swap)
+}
+
+// PermuteKeyed is Permute with per-element independence keys attached
+// (len(keys) == n, or nil for no metadata). The keys are announced to an
+// IndependenceScheduler before the picks; they never influence the
+// permutation itself, so keyed and unkeyed runs choose identically.
+func (l *Loop) PermuteKeyed(kind ChoiceKind, keys []uint64, n int, swap func(i, j int)) {
 	if l.opts.Scheduler == nil || n < 2 {
 		return
+	}
+	if is, ok := l.opts.Scheduler.(IndependenceScheduler); ok {
+		is.BeginPermute(kind, keys)
 	}
 	for i := 0; i < n-1; i++ {
 		if j := i + l.Choose(kind, n-i); j != i {

@@ -41,14 +41,21 @@ func TestRunPreCancelled(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, strat := range []Strategy{StrategyRandom, StrategyDelay, StrategyExhaustive} {
+	strategies := []func() Strategy{
+		func() Strategy { return NewRandom(0) },
+		func() Strategy { return NewDelay(0, 2) },
+		func() Strategy { return NewExhaustive(false) },
+		func() Strategy { return NewCoverage(0) },
+	}
+	for _, mk := range strategies {
 		for _, workers := range []int{1, 4} {
+			strat := mk()
 			res, err := Run(ctx, tg, WithRuns(50), WithStrategy(strat), WithWorkers(workers))
 			if err != context.Canceled {
-				t.Errorf("%s/workers=%d: err = %v, want context.Canceled", strat, workers, err)
+				t.Errorf("%s/workers=%d: err = %v, want context.Canceled", strat.Name(), workers, err)
 			}
 			if len(res.Runs) != 0 {
-				t.Errorf("%s/workers=%d: %d runs completed under a pre-cancelled context", strat, workers, len(res.Runs))
+				t.Errorf("%s/workers=%d: %d runs completed under a pre-cancelled context", strat.Name(), workers, len(res.Runs))
 			}
 		}
 	}
@@ -118,7 +125,12 @@ func TestRunCancelNoGoroutineLeak(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	before := runtime.NumGoroutine()
 
-	for _, strat := range []Strategy{StrategyRandom, StrategyExhaustive} {
+	for _, mk := range []func() Strategy{
+		func() Strategy { return NewRandom(0) },
+		func() Strategy { return NewExhaustive(false) },
+		func() Strategy { return NewCoverage(0) },
+	} {
+		strat := mk()
 		ctx, cancel := context.WithCancel(context.Background())
 		seen := 0
 		_, err := Run(ctx, tg, WithRuns(500), WithStrategy(strat), WithWorkers(4),
@@ -130,7 +142,7 @@ func TestRunCancelNoGoroutineLeak(t *testing.T) {
 			}))
 		cancel()
 		if err != context.Canceled {
-			t.Fatalf("%s: err = %v, want context.Canceled", strat, err)
+			t.Fatalf("%s: err = %v, want context.Canceled", strat.Name(), err)
 		}
 	}
 	// Cancelled spin runs exercise the interrupt-drain path too.

@@ -3,7 +3,6 @@ package explore
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 
@@ -95,71 +94,54 @@ func AcmeAirTarget(requests, clients int, seed int64) Target {
 	}
 }
 
-// Config parameterizes an exploration. New code should build it through
-// the functional options (WithRuns, WithStrategy, ...) and Run; the
-// struct stays exported for the deprecated RunConfig shim.
-type Config struct {
+// config parameterizes an exploration; it is built through the
+// functional options (WithRuns, WithStrategy, ...) passed to Run.
+type config struct {
 	// Runs bounds the number of executions. 0 means 32.
 	Runs int
-	// Seed feeds the random and delay strategies; run i derives its
-	// generator from Seed+i, so explorations are reproducible.
+	// Seed is recorded in Result.Seed and seeds the default strategy
+	// (strategies built explicitly — NewRandom(seed), NewCoverage(seed)
+	// — own their seed; WithSeed does not reach into them).
 	Seed int64
-	// Strategy selects the walk; empty means StrategyRandom.
+	// Strategy is the schedule-space walk; nil means NewRandom(Seed).
 	Strategy Strategy
 	// Kinds restricts which choice-point classes are perturbed; nil
 	// means DefaultKinds.
 	Kinds []eventloop.ChoiceKind
-	// DelayBound caps non-default picks per run for StrategyDelay;
-	// 0 means 2.
-	DelayBound int
 	// Workers is the number of schedules executed concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 preserves strictly sequential execution.
 	//
 	// Determinism guarantee: every run is an isolated single-threaded
 	// simulation (Target.Run builds a fresh event loop, VM, graph
 	// builder, and scheduler per call) whose outcome depends only on its
-	// schedule seed, and results are reassembled in run-index order — so
-	// the Result (runs, warning classification, fingerprint census,
-	// witness and counter-witness tokens) is byte-identical for any
-	// worker count.
+	// PickFunc, results and strategy feedback are processed strictly in
+	// run-index order, and well-behaved strategies plan from feedback
+	// counts, not completion order (see Strategy) — so the Result (runs,
+	// warning classification, fingerprint census, corpus, witness and
+	// counter-witness tokens) is byte-identical for any worker count.
 	Workers int
 	// Progress, when set, receives every completed RunResult in
 	// run-index order (see WithProgress).
-	Progress func(RunResult) `json:"-"`
+	Progress func(RunResult)
 	// RunMetrics attaches the trace metrics registry to every run and
 	// aggregates the snapshots into Result.Metrics (see WithRunMetrics).
 	RunMetrics bool
 }
 
-func (c Config) withDefaults() Config {
+func (c config) withDefaults() config {
 	if c.Runs == 0 {
 		c.Runs = 32
 	}
-	if c.Strategy == "" {
-		c.Strategy = StrategyRandom
+	if c.Strategy == nil {
+		c.Strategy = NewRandom(c.Seed)
 	}
 	if c.Kinds == nil {
 		c.Kinds = DefaultKinds()
-	}
-	if c.DelayBound == 0 {
-		c.DelayBound = 2
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
-}
-
-// nextFunc builds run i's strategy function for the random and delay
-// strategies. Run i derives its generator from Seed+i, so the function
-// (and therefore the run) is independent of every other run — the
-// property the parallel execution mode rests on.
-func (c Config) nextFunc(i int) func(pos int, kind eventloop.ChoiceKind, n int) int {
-	rng := rand.New(rand.NewSource(c.Seed + int64(i)))
-	if c.Strategy == StrategyDelay {
-		return delayNext(rng, c.DelayBound)
-	}
-	return randomNext(rng)
 }
 
 // Outcome classifies a warning across the explored schedules.
@@ -195,6 +177,18 @@ type RunResult struct {
 	Err string `json:"err,omitempty"`
 	// Ticks is the number of top-level callbacks executed.
 	Ticks int `json:"ticks"`
+	// NewGraph marks the first run (in index order) that produced its
+	// fingerprint — the coverage signal fed back to the strategy.
+	NewGraph bool `json:"newGraph,omitempty"`
+	// NewGraphs is the running count of distinct fingerprints up to and
+	// including this run.
+	NewGraphs int `json:"newGraphs,omitempty"`
+	// CorpusSize is the coverage strategy's corpus size after this run's
+	// feedback was absorbed (0 for strategies without a corpus).
+	CorpusSize int `json:"corpusSize,omitempty"`
+	// PrunedPicks is the running total of sibling picks partial-order
+	// reduction skipped (0 without POR).
+	PrunedPicks int `json:"prunedPicks,omitempty"`
 }
 
 // WarningStat classifies one warning key across all runs.
@@ -244,8 +238,8 @@ type FingerprintStat struct {
 type Result struct {
 	// Target names the explored program (Target.Name).
 	Target string `json:"target"`
-	// Strategy is the walk that produced the runs.
-	Strategy Strategy `json:"strategy"`
+	// Strategy names the walk that produced the runs (Strategy.Name).
+	Strategy string `json:"strategy"`
 	// Seed is the base seed the random/delay strategies derived their
 	// per-run generators from.
 	Seed int64 `json:"seed"`
@@ -265,8 +259,17 @@ type Result struct {
 	Warnings []WarningStat `json:"warnings"`
 	// Categories classifies each detector category across all runs.
 	Categories []CategoryStat `json:"categories"`
+	// NewGraphs counts the distinct Async-Graph fingerprints discovered
+	// (== len(Fingerprints); duplicated for stream consumers).
+	NewGraphs int `json:"newGraphs,omitempty"`
+	// CorpusSize is the coverage strategy's final corpus size.
+	CorpusSize int `json:"corpusSize,omitempty"`
+	// PrunedPicks is the total sibling picks partial-order reduction
+	// skipped — schedules the unpruned exhaustive enumeration would
+	// have queued.
+	PrunedPicks int `json:"prunedPicks,omitempty"`
 	// Metrics is the aggregate observability snapshot over all runs
-	// (nil unless WithRunMetrics / Config.RunMetrics was set).
+	// (nil unless WithRunMetrics was set).
 	Metrics *trace.Snapshot `json:"metrics,omitempty"`
 }
 
@@ -300,43 +303,34 @@ func (r *Result) Sometimes() []WarningStat {
 // the cancellation path, and Run returns the panic as an error with a
 // partial Result.
 func Run(ctx context.Context, t Target, opts ...Option) (*Result, error) {
-	var cfg Config
+	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	return runExploration(ctx, t, cfg)
 }
 
-// RunConfig explores the target under a legacy Config struct, without
-// cancellation.
-//
-// Deprecated: use Run with a context and functional options
-// (explore.Run(ctx, target, explore.WithRuns(n), ...)). RunConfig is
-// the pre-context shim kept so struct-based callers keep compiling.
-func RunConfig(t Target, cfg Config) *Result {
-	res, _ := runExploration(context.Background(), t, cfg)
-	return res
-}
-
-// runExploration dispatches to the strategy/worker-count coordinator.
-func runExploration(ctx context.Context, t Target, cfg Config) (*Result, error) {
+// runExploration runs the coordinator and folds the strategy's own
+// reporting (space exhaustion, coverage stats) into the Result.
+func runExploration(ctx context.Context, t Target, cfg config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := &Result{Target: t.Name, Strategy: cfg.Strategy, Seed: cfg.Seed, Requested: cfg.Runs}
-	var err error
-	switch {
-	case cfg.Strategy == StrategyExhaustive && cfg.Workers > 1:
-		err = runExhaustiveParallel(ctx, t, cfg, res)
-	case cfg.Strategy == StrategyExhaustive:
-		err = runExhaustive(ctx, t, cfg, res)
-	case cfg.Workers > 1:
-		err = runParallel(ctx, t, cfg, res)
-	default:
-		err = runSequential(ctx, t, cfg, res)
+	res := &Result{Target: t.Name, Strategy: cfg.Strategy.Name(), Seed: cfg.Seed, Requested: cfg.Runs}
+	err := runCoordinator(ctx, t, cfg, res)
+	if err == nil {
+		if sr, ok := cfg.Strategy.(SpaceReporter); ok {
+			res.Exhausted = sr.Exhausted()
+		}
+	}
+	if cr, ok := cfg.Strategy.(CoverageReporter); ok {
+		stats := cr.CoverageStats()
+		res.CorpusSize = stats.CorpusSize
+		res.PrunedPicks = stats.PrunedPicks
 	}
 	aggregate(t, res)
+	res.NewGraphs = len(res.Fingerprints)
 	return res, err
 }
 
@@ -344,7 +338,7 @@ func runExploration(ctx context.Context, t Target, cfg Config) (*Result, error) 
 // the per-run record, the metrics aggregate, and the progress callback
 // all advance together, so a streaming consumer sees exactly the prefix
 // the final Result will contain.
-func emitRun(res *Result, cfg *Config, rr RunResult, snap *trace.Snapshot) {
+func emitRun(res *Result, cfg *config, rr RunResult, snap *trace.Snapshot) {
 	res.Runs = append(res.Runs, rr)
 	if snap != nil {
 		if res.Metrics == nil {
@@ -355,61 +349,6 @@ func emitRun(res *Result, cfg *Config, rr RunResult, snap *trace.Snapshot) {
 	if cfg.Progress != nil {
 		cfg.Progress(rr)
 	}
-}
-
-// runSequential executes the random/delay strategies one run at a time.
-func runSequential(ctx context.Context, t Target, cfg Config, res *Result) error {
-	for i := 0; i < cfg.Runs; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		rr, snap, rerr := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
-		if rerr != nil {
-			return rerr
-		}
-		if err := ctx.Err(); err != nil {
-			return err // rr describes a truncated run; discard it
-		}
-		emitRun(res, &cfg, rr, snap)
-	}
-	return nil
-}
-
-// runExhaustive enumerates the choice tree breadth-first. Each frontier
-// entry is a forced pick prefix; running it with zero-defaults past the
-// prefix visits one concrete schedule and exposes the branching domains
-// observed along the way, from which the unvisited siblings (non-zero
-// picks at positions after the prefix) are enqueued. Every reachable
-// pick vector is generated exactly once: a vector's canonical prefix is
-// itself up to its last non-zero pick.
-func runExhaustive(ctx context.Context, t Target, cfg Config, res *Result) error {
-	frontier := [][]int{nil}
-	for len(frontier) > 0 && len(res.Runs) < cfg.Runs {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		prefix := frontier[0]
-		frontier = frontier[1:]
-		ch := newChooser(cfg.Kinds, playbackNext(prefix))
-		rr, snap, rerr := runOnce(ctx, t, len(res.Runs), ch, cfg.RunMetrics)
-		if rerr != nil {
-			return rerr
-		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		emitRun(res, &cfg, rr, snap)
-		for pos := len(prefix); pos < len(ch.domains); pos++ {
-			for v := 1; v < ch.domains[pos]; v++ {
-				child := make([]int, pos+1)
-				copy(child, ch.picks[:pos])
-				child[pos] = v
-				frontier = append(frontier, child)
-			}
-		}
-	}
-	res.Exhausted = len(frontier) == 0
-	return nil
 }
 
 // runOnce executes the target under one scheduler and summarizes it.

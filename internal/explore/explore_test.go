@@ -149,7 +149,7 @@ func TestSometimesClassification(t *testing.T) {
 func TestExhaustiveCoversRandom(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
-	ex := mustRun(t, tg, WithRuns(400), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
+	ex := mustRun(t, tg, WithRuns(400), WithStrategy(NewExhaustive(false)), WithKinds(kinds...))
 	if !ex.Exhausted {
 		t.Fatalf("exhaustive strategy did not finish in %d runs", len(ex.Runs))
 	}

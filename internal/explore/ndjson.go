@@ -36,11 +36,14 @@ type warningLine struct {
 type summaryLine struct {
 	Kind         string            `json:"kind"`
 	Target       string            `json:"target"`
-	Strategy     Strategy          `json:"strategy"`
+	Strategy     string            `json:"strategy"`
 	Seed         int64             `json:"seed"`
 	Runs         int               `json:"runs"`
 	Requested    int               `json:"requested"`
 	Exhausted    bool              `json:"exhausted,omitempty"`
+	NewGraphs    int               `json:"newGraphs,omitempty"`
+	CorpusSize   int               `json:"corpusSize,omitempty"`
+	PrunedPicks  int               `json:"prunedPicks,omitempty"`
 	Fingerprints []FingerprintStat `json:"fingerprints"`
 	Categories   []CategoryStat    `json:"categories"`
 	Metrics      *trace.Snapshot   `json:"metrics,omitempty"`
@@ -86,6 +89,7 @@ func (s *NDJSONStream) Finish(r *Result) error {
 	if err := s.enc.Encode(summaryLine{
 		Kind: KindSummary, Target: s.target, Strategy: r.Strategy, Seed: r.Seed,
 		Runs: len(r.Runs), Requested: r.Requested, Exhausted: r.Exhausted,
+		NewGraphs: r.NewGraphs, CorpusSize: r.CorpusSize, PrunedPicks: r.PrunedPicks,
 		Fingerprints: r.Fingerprints, Categories: r.Categories, Metrics: r.Metrics,
 	}); err != nil {
 		s.bw.Flush()

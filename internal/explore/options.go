@@ -6,44 +6,44 @@ import (
 
 // Option configures an exploration, mirroring the asyncg.New functional
 // options. Options are applied in order; later options win. The zero
-// configuration (no options) explores 32 random schedules sequentially
-// with seed 0 — see Config for the per-field defaults.
-type Option func(*Config)
+// configuration (no options) explores 32 random schedules with seed 0 —
+// see config for the per-field defaults.
+type Option func(*config)
 
 // WithRuns bounds the number of executed schedules (the exhaustive
 // strategy treats it as a budget and may stop earlier).
 func WithRuns(n int) Option {
-	return func(c *Config) { c.Runs = n }
+	return func(c *config) { c.Runs = n }
 }
 
-// WithSeed sets the base seed of the random and delay strategies; run i
-// derives its generator from seed+i, so explorations are reproducible.
+// WithSeed sets the base seed recorded in Result.Seed and consumed by
+// the default strategy (random); run i derives its generator from
+// seed+i, so explorations are reproducible. A strategy installed with
+// WithStrategy owns its seed — pass it to the constructor instead.
 func WithSeed(seed int64) Option {
-	return func(c *Config) { c.Seed = seed }
+	return func(c *config) { c.Seed = seed }
 }
 
-// WithStrategy selects the schedule-space walk (StrategyRandom,
-// StrategyDelay, StrategyExhaustive).
+// WithStrategy installs the schedule-space walk — a built-in strategy
+// (NewRandom, NewDelay, NewExhaustive, NewCoverage, or StrategyFor for
+// name-based construction) or any custom Strategy implementation.
+// Strategy instances are stateful and single-use: build a fresh one per
+// exploration. Without this option the engine uses NewRandom(seed).
 func WithStrategy(s Strategy) Option {
-	return func(c *Config) { c.Strategy = s }
+	return func(c *config) { c.Strategy = s }
 }
 
 // WithKinds restricts which choice-point classes are perturbed; without
 // it DefaultKinds applies.
 func WithKinds(kinds ...eventloop.ChoiceKind) Option {
-	return func(c *Config) { c.Kinds = kinds }
-}
-
-// WithDelayBound caps non-default picks per run for StrategyDelay.
-func WithDelayBound(n int) Option {
-	return func(c *Config) { c.DelayBound = n }
+	return func(c *config) { c.Kinds = kinds }
 }
 
 // WithWorkers sets how many schedules execute concurrently (0 means
 // GOMAXPROCS, 1 strictly sequential). The Result is byte-identical for
 // any worker count.
 func WithWorkers(n int) Option {
-	return func(c *Config) { c.Workers = n }
+	return func(c *config) { c.Workers = n }
 }
 
 // WithProgress registers a callback that receives every completed
@@ -54,7 +54,7 @@ func WithWorkers(n int) Option {
 // and must not block for long: with multiple workers a slow callback
 // stalls result emission, though never the schedule executions.
 func WithProgress(fn func(RunResult)) Option {
-	return func(c *Config) { c.Progress = fn }
+	return func(c *config) { c.Progress = fn }
 }
 
 // WithRunMetrics attaches the trace metrics registry to every run and
@@ -63,5 +63,5 @@ func WithProgress(fn func(RunResult)) Option {
 // for any worker count). The registry is an observing probe only; it
 // never perturbs scheduling.
 func WithRunMetrics() Option {
-	return func(c *Config) { c.RunMetrics = true }
+	return func(c *config) { c.RunMetrics = true }
 }

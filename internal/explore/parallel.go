@@ -2,175 +2,100 @@ package explore
 
 import (
 	"context"
-	"sync"
 
 	"asyncg/internal/trace"
 )
 
-// This file implements the parallel execution mode of the engine.
+// This file implements the engine's single coordinator: one loop drives
+// every strategy at every worker count.
 //
 // Every run is an isolated single-threaded simulation: Target.Run builds
 // a fresh session (event loop, VM object-identity counters, graph
 // builder, detectors, scheduler) per call, and nothing about a run's
 // RunResult depends on cross-run state. That makes the schedule space
-// embarrassingly parallel — the only work is handing each worker its
-// schedule seed and reassembling the results in run-index order so the
-// aggregate Result is byte-identical to a sequential exploration.
+// embarrassingly parallel — the coordinator's work is asking the
+// strategy what to run next, handing each worker its PickFunc, and
+// reassembling results in run-index order so the aggregate Result is
+// byte-identical to a sequential exploration.
 //
-// Two shapes of parallelism are used:
+// The feedback loop is the part that must not race: strategies plan
+// from what they have observed (the exhaustive frontier grows out of
+// completed runs; the coverage corpus accumulates new-fingerprint
+// schedules). Observe is therefore called strictly in run-index order,
+// from the same in-order drain that emits results — a run completing
+// early never reaches the strategy before its predecessors. When a
+// strategy needs feedback that is still in flight it answers PlanWait,
+// and the coordinator holds planning until the next completion lands —
+// the sliding window that reproduces the sequential schedule exactly,
+// whatever the completion interleaving.
 //
-//   - random/delay: run i is fully determined by (Config.Seed, i), so
-//     run indices are farmed to a fixed worker pool over a channel and
-//     completed runs are emitted as the in-order prefix grows
-//     (runParallel).
-//   - exhaustive: the choice tree is discovered during execution (a
-//     run's branching domains are only known after it finishes), so the
-//     coordinator enumerates choice-pick prefixes in breadth-first
-//     order, farms prefix completions to workers, and expands children
-//     strictly in run-index order — a sliding window that reproduces
-//     the sequential BFS frontier exactly, whatever the completion
-//     interleaving (runExhaustiveParallel).
-//
-// Cancellation discipline, shared by both: the context is polled before
-// every dispatch and at every result receipt; once it fires, no new
-// work is dispatched, in-flight runs stop at their next tick boundary
-// (the loop-level interrupt), and the coordinator drains every worker
-// before returning — cancellation never abandons a goroutine. Runs
-// delivered after the cancel observation are discarded as possibly
-// truncated, so the partial Result covers only complete runs.
+// Cancellation discipline: the context is polled before every dispatch
+// and at every result receipt; once it fires, no new work is
+// dispatched, in-flight runs stop at their next tick boundary (the
+// loop-level interrupt), and the coordinator drains every worker before
+// returning — cancellation never abandons a goroutine. Runs delivered
+// after the cancel observation are discarded as possibly truncated, so
+// the partial Result covers only complete runs.
 //
 // Panic discipline: a panicking target is recovered inside runOnce (so
-// it can never kill a pool worker goroutine) and arrives at the
-// coordinator as doneRun.err. The first such error cancels the
-// coordinator's internal context — stopping dispatch and interrupting
-// in-flight runs exactly like an external cancel — and is returned
-// after the pool drains, so a panic fails the exploration, not the
-// process.
+// it can never kill a worker goroutine) and arrives at the coordinator
+// as doneRun.err. The first such error cancels the coordinator's
+// internal context — stopping dispatch and interrupting in-flight runs
+// exactly like an external cancel — and is returned after the pool
+// drains, so a panic fails the exploration, not the process.
 
-// doneRun carries one finished schedule back to a coordinator.
+// doneRun carries one finished schedule back to the coordinator; ch
+// holds the recording (picks, domains, independence flags) that becomes
+// the strategy's feedback.
 type doneRun struct {
 	idx  int
 	rr   RunResult
 	snap *trace.Snapshot
+	ch   *chooser
 	err  error // a recovered target panic; fatal to the exploration
 }
 
-// runParallel executes the random/delay strategies on cfg.Workers
-// goroutines. Each worker owns the full runtime of whichever run it
-// executes; determinism comes from run i deriving its generator from
-// Config.Seed+i exactly as the sequential path does. Results are
-// emitted (appended, merged, streamed to Progress) strictly in
-// run-index order as the completed prefix grows.
-func runParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
+// runCoordinator executes the exploration: plan → dispatch → observe →
+// emit, with up to cfg.Workers runs in flight.
+func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) error {
 	// The internal cancel lets a panicking run stop the exploration the
 	// same way an external cancel does (halt dispatch, interrupt
 	// in-flight runs at their next tick boundary, drain the pool).
 	ctx, stop := context.WithCancel(ctx)
 	defer stop()
-	jobs := make(chan int)
-	done := make(chan doneRun, cfg.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rr, snap, err := runOnce(ctx, t, i, newChooser(cfg.Kinds, cfg.nextFunc(i)), cfg.RunMetrics)
-				done <- doneRun{idx: i, rr: rr, snap: snap, err: err}
-			}
-		}()
-	}
-	go func() {
-		defer close(jobs)
-		for i := 0; i < cfg.Runs; i++ {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	go func() { wg.Wait(); close(done) }()
 
+	done := make(chan doneRun)
 	pending := make(map[int]doneRun)
-	next := 0
-	var panicErr error
-	for d := range done {
-		if d.err != nil && panicErr == nil {
-			panicErr = d.err
-			stop()
-		}
-		if panicErr != nil || ctx.Err() != nil {
-			continue // drain the pool; late arrivals may be truncated
-		}
-		pending[d.idx] = d
-		for {
-			nd, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			emitRun(res, &cfg, nd.rr, nd.snap)
-			next++
-		}
-	}
-	if panicErr != nil {
-		return panicErr
-	}
-	return ctx.Err()
-}
-
-// exhaustiveDone carries one finished prefix run back to the coordinator
-// together with the branching information discovered along the way.
-type exhaustiveDone struct {
-	doneRun
-	picks     []int
-	domains   []int
-	prefixLen int
-}
-
-// runExhaustiveParallel is the worker-pool version of runExhaustive. The
-// coordinator owns the breadth-first queue of pick-vector prefixes;
-// workers execute prefixes; children are enqueued only when every
-// earlier run has been expanded, so the queue grows in exactly the
-// order the sequential enumeration would produce and the run budget
-// cuts it at exactly the same point.
-func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Result) error {
-	// See runParallel: the internal cancel turns a target panic into the
-	// external-cancel shutdown path.
-	ctx, stop := context.WithCancel(ctx)
-	defer stop()
-	queue := [][]int{nil} // discovered prefixes, in BFS order
-	done := make(chan exhaustiveDone, cfg.Workers)
-	pending := make(map[int]exhaustiveDone)
+	seen := make(map[string]bool) // fingerprints, in run-index order
 	inFlight := 0
-	nextDispatch, nextExpand := 0, 0
+	nextPlan, nextEmit := 0, 0
+	planDone := false
 	var panicErr error
-
-	expand := func(d exhaustiveDone) {
-		emitRun(res, &cfg, d.rr, d.snap)
-		for pos := d.prefixLen; pos < len(d.domains); pos++ {
-			for v := 1; v < d.domains[pos]; v++ {
-				child := make([]int, pos+1)
-				copy(child, d.picks[:pos])
-				child[pos] = v
-				queue = append(queue, child)
-			}
-		}
-	}
 
 	for {
-		for ctx.Err() == nil && inFlight < cfg.Workers && nextDispatch < len(queue) && nextDispatch < cfg.Runs {
-			idx, prefix := nextDispatch, queue[nextDispatch]
-			nextDispatch++
+		for !planDone && panicErr == nil && ctx.Err() == nil &&
+			inFlight < cfg.Workers && nextPlan < cfg.Runs {
+			next, state := cfg.Strategy.Plan(nextPlan)
+			if state == PlanWait {
+				// With nothing in flight a waiting strategy can never
+				// unblock; treat it as done rather than livelock. A
+				// correct strategy only waits on in-flight feedback.
+				if inFlight == 0 {
+					planDone = true
+				}
+				break
+			}
+			if state == PlanDone {
+				planDone = true
+				break
+			}
+			idx := nextPlan
+			nextPlan++
 			inFlight++
 			go func() {
-				ch := newChooser(cfg.Kinds, playbackNext(prefix))
+				ch := newChooser(cfg.Kinds, next)
 				rr, snap, err := runOnce(ctx, t, idx, ch, cfg.RunMetrics)
-				done <- exhaustiveDone{
-					doneRun: doneRun{idx: idx, rr: rr, snap: snap, err: err},
-					picks:   ch.picks, domains: ch.domains, prefixLen: len(prefix),
-				}
+				done <- doneRun{idx: idx, rr: rr, snap: snap, ch: ch, err: err}
 			}()
 		}
 		if inFlight == 0 {
@@ -187,23 +112,40 @@ func runExhaustiveParallel(ctx context.Context, t Target, cfg Config, res *Resul
 		}
 		pending[d.idx] = d
 		for {
-			next, ok := pending[nextExpand]
+			nd, ok := pending[nextEmit]
 			if !ok {
 				break
 			}
-			delete(pending, nextExpand)
-			expand(next)
-			nextExpand++
+			delete(pending, nextEmit)
+			nextEmit++
+			rr := nd.rr
+			if !seen[rr.Fingerprint] {
+				seen[rr.Fingerprint] = true
+				rr.NewGraph = true
+			}
+			rr.NewGraphs = len(seen)
+			cfg.Strategy.Observe(Feedback{
+				Index:       rr.Index,
+				Token:       rr.Token,
+				Picks:       nd.ch.picks,
+				Domains:     nd.ch.domains,
+				Independent: nd.ch.indep,
+				Fingerprint: rr.Fingerprint,
+				NewGraph:    rr.NewGraph,
+				Warnings:    rr.Warnings,
+				Err:         rr.Err,
+				Ticks:       rr.Ticks,
+			})
+			if cr, ok := cfg.Strategy.(CoverageReporter); ok {
+				stats := cr.CoverageStats()
+				rr.CorpusSize = stats.CorpusSize
+				rr.PrunedPicks = stats.PrunedPicks
+			}
+			emitRun(res, &cfg, rr, nd.snap)
 		}
 	}
 	if panicErr != nil {
 		return panicErr
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	// Mirrors the sequential invariant: the space was exhausted exactly
-	// when every discovered prefix was executed within the budget.
-	res.Exhausted = len(queue) == len(res.Runs)
-	return nil
+	return ctx.Err()
 }

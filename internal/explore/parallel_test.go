@@ -11,25 +11,6 @@ import (
 	"asyncg/internal/eventloop"
 )
 
-// configOptions converts a legacy Config literal into the functional
-// options the tests drive the public API through.
-func configOptions(cfg Config) []Option {
-	opts := []Option{
-		WithRuns(cfg.Runs), WithSeed(cfg.Seed), WithDelayBound(cfg.DelayBound),
-		WithWorkers(cfg.Workers),
-	}
-	if cfg.Strategy != "" {
-		opts = append(opts, WithStrategy(cfg.Strategy))
-	}
-	if cfg.Kinds != nil {
-		opts = append(opts, WithKinds(cfg.Kinds...))
-	}
-	if cfg.RunMetrics {
-		opts = append(opts, WithRunMetrics())
-	}
-	return opts
-}
-
 // resultJSON marshals a Result for byte-level comparison.
 func resultJSON(t *testing.T, r *Result) string {
 	t.Helper()
@@ -43,30 +24,39 @@ func resultJSON(t *testing.T, r *Result) string {
 // TestParallelDeterminism is the acceptance property of the parallel
 // execution mode: for the same seed, exploring with 1, 2, and 8 workers
 // produces byte-identical Result JSON — runs, warning classification,
-// fingerprint census, and witness/counter-witness tokens included.
-// Run it under -race: it is also the proof that concurrent runs share
-// no mutable state.
+// fingerprint census, coverage corpus, and witness/counter-witness
+// tokens included. Run it under -race: it is also the proof that
+// concurrent runs share no mutable state.
+//
+// The coverage and POR cases are the ones the feedback loop makes hard:
+// the corpus (and the POR-pruned frontier) is built from run feedback,
+// so any completion-order leak into planning would show up here as a
+// worker-count-dependent Result.
 func TestParallelDeterminism(t *testing.T) {
+	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
 	configs := []struct {
 		name string
-		cfg  Config
+		runs int
+		opts func() []Option // fresh options (and strategy) per Run call
 	}{
-		{"random", Config{Runs: 16, Seed: 3}},
-		{"delay", Config{Runs: 16, Seed: 7, Strategy: StrategyDelay}},
-		{"random+metrics", Config{Runs: 12, Seed: 3, RunMetrics: true}},
-		{"exhaustive", Config{
-			Runs: 60, Strategy: StrategyExhaustive,
-			Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency},
+		{"random", 16, func() []Option { return []Option{WithSeed(3)} }},
+		{"delay", 16, func() []Option { return []Option{WithStrategy(NewDelay(7, 2))} }},
+		{"random+metrics", 12, func() []Option { return []Option{WithSeed(3), WithRunMetrics()} }},
+		{"exhaustive", 60, func() []Option {
+			return []Option{WithStrategy(NewExhaustive(false)), WithKinds(kinds...)}
 		}},
+		{"exhaustive-por", 60, func() []Option {
+			return []Option{WithStrategy(NewExhaustive(true)), WithKinds(kinds...)}
+		}},
+		{"coverage", 40, func() []Option { return []Option{WithStrategy(NewCoverage(11))} }},
 	}
 	for _, tc := range configs {
 		t.Run(tc.name, func(t *testing.T) {
 			tg := caseTarget(t, "SO-17894000")
 			var want string
 			for _, workers := range []int{1, 2, 8} {
-				cfg := tc.cfg
-				cfg.Workers = workers
-				got := resultJSON(t, mustRun(t, tg, configOptions(cfg)...))
+				opts := append(tc.opts(), WithRuns(tc.runs), WithWorkers(workers))
+				got := resultJSON(t, mustRun(t, tg, opts...))
 				if workers == 1 {
 					want = got
 					continue
@@ -81,9 +71,9 @@ func TestParallelDeterminism(t *testing.T) {
 }
 
 // TestPanicBecomesError: a panicking target fails the exploration with
-// an error instead of killing the process — on the sequential path and,
-// critically, on the pool goroutines of the parallel coordinators,
-// where an unrecovered panic cannot be caught by any caller of Run.
+// an error instead of killing the process — critically on the pool
+// goroutines of the parallel coordinator, where an unrecovered panic
+// cannot be caught by any caller of Run.
 func TestPanicBecomesError(t *testing.T) {
 	boom := Target{
 		Name: "boom",
@@ -93,16 +83,25 @@ func TestPanicBecomesError(t *testing.T) {
 	}
 	for _, tc := range []struct {
 		name string
-		opts []Option
+		opts func() []Option
 	}{
-		{"sequential", []Option{WithRuns(4), WithWorkers(1)}},
-		{"parallel", []Option{WithRuns(8), WithWorkers(4)}},
-		{"delay-parallel", []Option{WithRuns(8), WithStrategy(StrategyDelay), WithWorkers(4)}},
-		{"exhaustive", []Option{WithRuns(8), WithStrategy(StrategyExhaustive), WithWorkers(1)}},
-		{"exhaustive-parallel", []Option{WithRuns(8), WithStrategy(StrategyExhaustive), WithWorkers(4)}},
+		{"sequential", func() []Option { return []Option{WithRuns(4), WithWorkers(1)} }},
+		{"parallel", func() []Option { return []Option{WithRuns(8), WithWorkers(4)} }},
+		{"delay-parallel", func() []Option {
+			return []Option{WithRuns(8), WithStrategy(NewDelay(0, 2)), WithWorkers(4)}
+		}},
+		{"exhaustive", func() []Option {
+			return []Option{WithRuns(8), WithStrategy(NewExhaustive(false)), WithWorkers(1)}
+		}},
+		{"exhaustive-parallel", func() []Option {
+			return []Option{WithRuns(8), WithStrategy(NewExhaustive(false)), WithWorkers(4)}
+		}},
+		{"coverage-parallel", func() []Option {
+			return []Option{WithRuns(8), WithStrategy(NewCoverage(0)), WithWorkers(4)}
+		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := Run(context.Background(), boom, tc.opts...)
+			res, err := Run(context.Background(), boom, tc.opts()...)
 			if err == nil || !strings.Contains(err.Error(), "panicked") {
 				t.Fatalf("Run error = %v, want a target-panicked error", err)
 			}
@@ -142,17 +141,12 @@ func TestPanicMidExploration(t *testing.T) {
 // Exhausted=false flag).
 func TestParallelExhaustiveTruncation(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
-	base := Config{Runs: 7, Strategy: StrategyExhaustive,
-		Kinds: []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}}
-	seqCfg := base
-	seqCfg.Workers = 1
-	seq := mustRun(t, tg, configOptions(seqCfg)...)
+	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
+	seq := mustRun(t, tg, WithRuns(7), WithStrategy(NewExhaustive(false)), WithKinds(kinds...), WithWorkers(1))
 	if seq.Exhausted {
-		t.Fatalf("budget of %d unexpectedly exhausted the space", base.Runs)
+		t.Fatal("budget of 7 unexpectedly exhausted the space")
 	}
-	parCfg := base
-	parCfg.Workers = 4
-	par := mustRun(t, tg, configOptions(parCfg)...)
+	par := mustRun(t, tg, WithRuns(7), WithStrategy(NewExhaustive(false)), WithKinds(kinds...), WithWorkers(4))
 	if got, want := resultJSON(t, par), resultJSON(t, seq); got != want {
 		t.Errorf("truncated parallel exhaustive differs\nseq: %s\npar: %s", want, got)
 	}
@@ -165,7 +159,7 @@ func TestBudgetNote(t *testing.T) {
 	tg := caseTarget(t, "SO-17894000")
 	kinds := []eventloop.ChoiceKind{eventloop.ChoiceIOOrder, eventloop.ChoiceLatency}
 
-	small := mustRun(t, tg, WithRuns(400), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
+	small := mustRun(t, tg, WithRuns(400), WithStrategy(NewExhaustive(false)), WithKinds(kinds...))
 	if !small.Exhausted {
 		t.Fatal("400-run budget should exhaust the reduced-kind space")
 	}
@@ -173,7 +167,7 @@ func TestBudgetNote(t *testing.T) {
 		t.Errorf("undershoot note = %q, want mention of early exhaustion", note)
 	}
 
-	big := mustRun(t, tg, WithRuns(5), WithStrategy(StrategyExhaustive), WithKinds(kinds...))
+	big := mustRun(t, tg, WithRuns(5), WithStrategy(NewExhaustive(false)), WithKinds(kinds...))
 	if big.Exhausted {
 		t.Fatal("5-run budget should truncate the space")
 	}
@@ -181,7 +175,7 @@ func TestBudgetNote(t *testing.T) {
 		t.Errorf("overshoot note = %q, want mention of truncation", note)
 	}
 
-	rnd := RunConfig(tg, Config{Runs: 4, Seed: 1}) // exercises the deprecated struct shim
+	rnd := mustRun(t, tg, WithRuns(4), WithSeed(1))
 	if note := rnd.BudgetNote(); note != "" {
 		t.Errorf("random strategy produced a budget note: %q", note)
 	}

@@ -7,34 +7,378 @@ import (
 	"asyncg/internal/eventloop"
 )
 
-// Strategy selects how the engine walks the schedule space.
-type Strategy string
-
-// The exploration strategies.
+// Names of the built-in strategies, as accepted by StrategyFor and
+// reported by Result.Strategy.
 const (
 	// StrategyRandom draws every pick uniformly from its domain — the
-	// fuzzing baseline. Run i uses seed Config.Seed+i.
-	StrategyRandom Strategy = "random"
-	// StrategyDelay perturbs the default schedule by at most
-	// Config.DelayBound non-zero picks per run (delay-bounded search:
-	// most schedule-dependent bugs need only a few reorderings, so
-	// spending the budget near the default schedule finds them with far
-	// fewer runs than uniform sampling).
-	StrategyDelay Strategy = "delay"
+	// fuzzing baseline. Run i uses seed base+i.
+	StrategyRandom = "random"
+	// StrategyDelay perturbs the default schedule by a bounded number of
+	// non-zero picks per run (delay-bounded search: most
+	// schedule-dependent bugs need only a few reorderings, so spending
+	// the budget near the default schedule finds them with far fewer
+	// runs than uniform sampling).
+	StrategyDelay = "delay"
 	// StrategyExhaustive enumerates the choice tree breadth-first,
-	// visiting every reachable pick vector once, up to Config.Runs. For
-	// small programs this provably covers the whole schedule space (the
-	// Result.Exhausted flag reports whether it finished).
-	StrategyExhaustive Strategy = "exhaustive"
+	// visiting every reachable pick vector once, up to the run budget.
+	// For small programs this provably covers the whole schedule space
+	// (the Result.Exhausted flag reports whether it finished). With
+	// partial-order reduction it skips sibling orders of commuting I/O
+	// batches (see NewExhaustive).
+	StrategyExhaustive = "exhaustive"
+	// StrategyCoverage is the feedback-driven greybox walk: schedules
+	// that discovered a new Async-Graph fingerprint join a corpus, and
+	// later runs mutate corpus schedules (favoring recent discoveries)
+	// instead of sampling blindly.
+	StrategyCoverage = "coverage"
 )
 
-// ParseStrategy converts a CLI string to a Strategy.
-func ParseStrategy(s string) (Strategy, error) {
-	switch Strategy(s) {
-	case StrategyRandom, StrategyDelay, StrategyExhaustive:
-		return Strategy(s), nil
+// PickFunc resolves one scheduling choice point of a single run: pos is
+// the 0-based position in the run's pick sequence, kind the choice
+// class, n the domain size (>= 2). Out-of-range returns are clamped to
+// the default pick 0.
+type PickFunc func(pos int, kind eventloop.ChoiceKind, n int) int
+
+// PlanState is a Strategy's answer to "what should run i be?".
+type PlanState int
+
+const (
+	// PlanReady: the returned PickFunc drives run i.
+	PlanReady PlanState = iota
+	// PlanWait: the strategy needs feedback from in-flight runs before
+	// it can plan run i; the engine retries after the next Observe.
+	PlanWait
+	// PlanDone: the schedule space is finished; no run i will happen.
+	PlanDone
+)
+
+// Feedback is what one completed run reports back to its strategy: the
+// replay token, the raw pick/domain recording behind it, the
+// independence flags for partial-order reduction, the run's WL
+// fingerprint with its new-coverage flag, and the observable outcome.
+type Feedback struct {
+	// Index is the run's position in the exploration.
+	Index int
+	// Token replays the run (see Replay).
+	Token string
+	// Picks is the full recorded pick sequence (untrimmed, unlike the
+	// token) and Domains the effective domain at each position (1 for
+	// positions whose kind was not enabled).
+	Picks   []int
+	Domains []int
+	// Independent flags positions that belong to a commuting permutation
+	// batch: every element carried a distinct non-zero independence key,
+	// so sibling picks at these positions yield equivalent executions.
+	Independent []bool
+	// Fingerprint is the run's canonical Async-Graph hash, and NewGraph
+	// reports that no earlier run (in index order) produced it.
+	Fingerprint string
+	NewGraph    bool
+	// Warnings, Err and Ticks mirror the RunResult fields.
+	Warnings []string
+	Err      string
+	Ticks    int
+}
+
+// Strategy chooses which schedules to execute, using per-run feedback.
+// It replaces the old closed string enum: a strategy is an object the
+// engine converses with, not a label it switches on.
+//
+// The engine's contract, which holds for every worker count:
+//
+//   - Plan(i) is called with consecutive i starting at 0; each run is
+//     dispatched at most once. Plan may be re-called with the same i
+//     after answering PlanWait (it must keep answering consistently
+//     until feedback arrives).
+//   - Observe is called exactly once per completed run, strictly in
+//     run-index order — with Workers=N a run's feedback may arrive
+//     while later runs are already executing, but never before the
+//     feedback of every earlier run.
+//   - Plan and Observe are never called concurrently; strategies need
+//     no locking.
+//
+// For the Result to stay byte-identical across worker counts, Plan(i)
+// must depend only on i and on feedback the strategy could also have
+// seen sequentially — in practice: gate Plan on Observe counts (return
+// PlanWait), never on wall-clock completion order.
+//
+// A Strategy instance is stateful and single-use: build a fresh one per
+// exploration.
+type Strategy interface {
+	// Name labels the strategy in Result.Strategy and reports.
+	Name() string
+	// Plan returns run i's PickFunc, or directs the engine to wait for
+	// feedback or stop planning (see PlanState).
+	Plan(i int) (PickFunc, PlanState)
+	// Observe delivers run i's feedback, in run-index order.
+	Observe(fb Feedback)
+}
+
+// SpaceReporter is an optional Strategy extension for strategies that
+// can prove they covered the whole schedule space (exhaustive); the
+// engine copies the flag into Result.Exhausted.
+type SpaceReporter interface {
+	Exhausted() bool
+}
+
+// CoverageStats is the feedback-economy census a strategy can expose:
+// how many schedules sit in its mutation corpus and how many sibling
+// picks partial-order reduction skipped. Zero values mean "not
+// applicable".
+type CoverageStats struct {
+	// CorpusSize counts the corpus schedules (coverage strategy).
+	CorpusSize int
+	// PrunedPicks counts the sibling picks POR skipped — each one an
+	// entire schedule subtree the unpruned enumeration would have
+	// visited (exhaustive strategy with POR).
+	PrunedPicks int
+}
+
+// CoverageReporter is an optional Strategy extension; the engine snaps
+// the stats after each Observe (into RunResult) and once at the end
+// (into Result).
+type CoverageReporter interface {
+	CoverageStats() CoverageStats
+}
+
+// StrategyParams carries the CLI/server-level strategy knobs; fields
+// irrelevant to the named strategy are ignored.
+type StrategyParams struct {
+	// Seed feeds the random, delay and coverage strategies.
+	Seed int64
+	// DelayBound caps non-default picks per run for delay (0 means 2).
+	DelayBound int
+	// POR enables partial-order reduction for exhaustive.
+	POR bool
+}
+
+// StrategyFor builds a built-in strategy by name (empty means random) —
+// the bridge from flag/JSON surfaces to the Strategy interface.
+func StrategyFor(name string, p StrategyParams) (Strategy, error) {
+	switch name {
+	case "", StrategyRandom:
+		return NewRandom(p.Seed), nil
+	case StrategyDelay:
+		return NewDelay(p.Seed, p.DelayBound), nil
+	case StrategyExhaustive:
+		return NewExhaustive(p.POR), nil
+	case StrategyCoverage:
+		return NewCoverage(p.Seed), nil
 	default:
-		return "", fmt.Errorf("explore: unknown strategy %q (random, delay, exhaustive)", s)
+		return nil, fmt.Errorf("explore: unknown strategy %q (random, delay, exhaustive, coverage)", name)
+	}
+}
+
+// randomStrategy: stateless uniform sampling; feedback is ignored.
+type randomStrategy struct {
+	seed int64
+}
+
+// NewRandom returns the uniform-sampling strategy. Run i draws every
+// pick from a generator seeded with seed+i, so runs are mutually
+// independent and the exploration is reproducible.
+func NewRandom(seed int64) Strategy { return &randomStrategy{seed: seed} }
+
+func (s *randomStrategy) Name() string { return StrategyRandom }
+
+func (s *randomStrategy) Plan(i int) (PickFunc, PlanState) {
+	return randomNext(rand.New(rand.NewSource(s.seed + int64(i)))), PlanReady
+}
+
+func (s *randomStrategy) Observe(Feedback) {}
+
+// delayStrategy: delay-bounded sampling; feedback is ignored.
+type delayStrategy struct {
+	seed  int64
+	bound int
+}
+
+// NewDelay returns the delay-bounded strategy: each run deviates from
+// the default schedule in at most bound positions (0 means 2), seeded
+// like NewRandom.
+func NewDelay(seed int64, bound int) Strategy {
+	if bound <= 0 {
+		bound = 2
+	}
+	return &delayStrategy{seed: seed, bound: bound}
+}
+
+func (s *delayStrategy) Name() string { return StrategyDelay }
+
+func (s *delayStrategy) Plan(i int) (PickFunc, PlanState) {
+	return delayNext(rand.New(rand.NewSource(s.seed+int64(i))), s.bound), PlanReady
+}
+
+func (s *delayStrategy) Observe(Feedback) {}
+
+// exhaustiveStrategy owns the breadth-first frontier of forced pick
+// prefixes. Each observed run exposes the branching domains along its
+// schedule; unvisited siblings (non-zero picks at positions past the
+// forced prefix) become new frontier entries. Every reachable pick
+// vector is generated exactly once: a vector's canonical prefix is
+// itself up to its last non-zero pick.
+//
+// With por, sibling expansion skips positions flagged independent: the
+// whole permutation batch at such positions commutes (pairwise-distinct
+// non-zero independence keys), so one order — the default — represents
+// the equivalence class, and the skipped alternatives are counted in
+// PrunedPicks.
+type exhaustiveStrategy struct {
+	por      bool
+	queue    [][]int // discovered prefixes, in BFS order
+	planned  int     // runs handed out (next plan index)
+	observed int     // runs fed back
+	pruned   int     // sibling picks POR skipped
+}
+
+// NewExhaustive returns the breadth-first enumeration strategy; por
+// enables partial-order reduction. POR preserves the always/sometimes/
+// never warning classification (commuting batches touch disjoint
+// simulation state) but may merge fingerprint-distinct orders, so it is
+// opt-in.
+func NewExhaustive(por bool) Strategy {
+	return &exhaustiveStrategy{por: por, queue: [][]int{nil}}
+}
+
+func (s *exhaustiveStrategy) Name() string { return StrategyExhaustive }
+
+func (s *exhaustiveStrategy) Plan(i int) (PickFunc, PlanState) {
+	if i < len(s.queue) {
+		if i >= s.planned {
+			s.planned = i + 1
+		}
+		return playbackNext(s.queue[i]), PlanReady
+	}
+	if s.observed >= s.planned {
+		// Every dispatched run reported back and none grew the frontier
+		// past i: the space is enumerated.
+		return nil, PlanDone
+	}
+	return nil, PlanWait
+}
+
+func (s *exhaustiveStrategy) Observe(fb Feedback) {
+	s.observed++
+	prefix := s.queue[fb.Index]
+	for pos := len(prefix); pos < len(fb.Domains); pos++ {
+		if s.por && pos < len(fb.Independent) && fb.Independent[pos] {
+			s.pruned += fb.Domains[pos] - 1
+			continue
+		}
+		for v := 1; v < fb.Domains[pos]; v++ {
+			child := make([]int, pos+1)
+			copy(child, fb.Picks[:pos])
+			child[pos] = v
+			s.queue = append(s.queue, child)
+		}
+	}
+}
+
+// Exhausted implements SpaceReporter: true when every discovered prefix
+// was executed and fed back within the budget.
+func (s *exhaustiveStrategy) Exhausted() bool { return s.observed == len(s.queue) }
+
+// CoverageStats implements CoverageReporter (PrunedPicks only).
+func (s *exhaustiveStrategy) CoverageStats() CoverageStats {
+	return CoverageStats{PrunedPicks: s.pruned}
+}
+
+// coverageGeneration is the coverage strategy's planning quantum: runs
+// are planned in generations of this size, and generation g sees
+// exactly the corpus accumulated from the runs of generations < g. The
+// boundary is what keeps the corpus identical for every worker count —
+// Plan never reads feedback that a different completion order could
+// have delivered earlier or later.
+const coverageGeneration = 8
+
+// corpusEntry is one schedule that discovered a new fingerprint.
+type corpusEntry struct {
+	picks []int
+}
+
+// coverageStrategy is the greybox-fuzzer walk over schedule space:
+// uniform sampling discovers seed schedules, every run that produced a
+// new Async-Graph fingerprint joins the corpus, and subsequent
+// generations mostly mutate corpus schedules instead of sampling
+// blindly. Seed selection is energy-weighted by recency: the k-th
+// corpus entry (0-based) is drawn with weight k+1, so fresh discoveries
+// — whose neighborhoods are least explored — get the most mutation
+// budget.
+type coverageStrategy struct {
+	seed       int64
+	entries    []corpusEntry
+	boundaries []int // corpus size visible to each generation
+	observed   int
+}
+
+// NewCoverage returns the coverage-guided strategy (see
+// StrategyCoverage), seeded like NewRandom.
+func NewCoverage(seed int64) Strategy {
+	return &coverageStrategy{seed: seed, boundaries: []int{0}}
+}
+
+func (s *coverageStrategy) Name() string { return StrategyCoverage }
+
+func (s *coverageStrategy) Plan(i int) (PickFunc, PlanState) {
+	g := i / coverageGeneration
+	if g >= len(s.boundaries) {
+		// Generation g opens only after every run of generations < g has
+		// been observed.
+		return nil, PlanWait
+	}
+	corpus := s.entries[:s.boundaries[g]]
+	rng := rand.New(rand.NewSource(s.seed + int64(i)))
+	// One run in four stays purely random so the walk keeps discovering
+	// schedules no corpus neighborhood reaches.
+	if len(corpus) == 0 || rng.Intn(4) == 0 {
+		return randomNext(rng), PlanReady
+	}
+	seed := corpus[pickWeighted(rng, len(corpus))]
+	return mutateNext(rng, seed.picks), PlanReady
+}
+
+func (s *coverageStrategy) Observe(fb Feedback) {
+	if fb.NewGraph {
+		s.entries = append(s.entries, corpusEntry{picks: append([]int(nil), fb.Picks...)})
+	}
+	s.observed++
+	if s.observed%coverageGeneration == 0 {
+		s.boundaries = append(s.boundaries, len(s.entries))
+	}
+}
+
+// CoverageStats implements CoverageReporter (CorpusSize only).
+func (s *coverageStrategy) CoverageStats() CoverageStats {
+	return CoverageStats{CorpusSize: len(s.entries)}
+}
+
+// pickWeighted draws an index in [0, n) with weight k+1 — later entries
+// proportionally more often.
+func pickWeighted(rng *rand.Rand, n int) int {
+	r := rng.Intn(n * (n + 1) / 2)
+	for k := 0; k < n; k++ {
+		r -= k + 1
+		if r < 0 {
+			return k
+		}
+	}
+	return n - 1
+}
+
+// mutateNext replays a corpus schedule with light greybox mutation:
+// each position deviates with probability 1/8 (drawing uniformly from
+// the live domain); positions past the seed's end take the default
+// pick. Replayed picks from a diverged schedule may exceed the current
+// domain — the chooser clamps them to 0, exactly as token replay does.
+func mutateNext(rng *rand.Rand, seed []int) PickFunc {
+	return func(pos int, _ eventloop.ChoiceKind, n int) int {
+		if rng.Intn(8) == 0 {
+			return rng.Intn(n)
+		}
+		if pos < len(seed) {
+			return seed[pos]
+		}
+		return 0
 	}
 }
 
@@ -99,20 +443,50 @@ func splitComma(s string) []string {
 // Every Choose call appends exactly one pick, including disabled kinds
 // (forced to 0 with domain 1), so pick positions line up between
 // recording and replay regardless of which kinds were enabled.
+//
+// chooser also implements eventloop.IndependenceScheduler: when a
+// permutation batch's independence keys are pairwise distinct and
+// non-zero, the batch's pick positions are flagged in indep — the raw
+// material of the exhaustive strategy's partial-order reduction.
 type chooser struct {
 	enabled map[eventloop.ChoiceKind]bool
-	next    func(pos int, kind eventloop.ChoiceKind, n int) int
+	next    PickFunc
 
 	picks   []int
 	domains []int
+	indep   []bool
+
+	indepRun int // remaining picks of the current commuting batch
 }
 
-func newChooser(kinds []eventloop.ChoiceKind, next func(pos int, kind eventloop.ChoiceKind, n int) int) *chooser {
+func newChooser(kinds []eventloop.ChoiceKind, next PickFunc) *chooser {
 	enabled := make(map[eventloop.ChoiceKind]bool, len(kinds))
 	for _, k := range kinds {
 		enabled[k] = true
 	}
 	return &chooser{enabled: enabled, next: next}
+}
+
+// BeginPermute implements eventloop.IndependenceScheduler. The loop
+// announces a batch's keys immediately before its len(keys)-1 Choose
+// calls; the batch commutes only when every key is non-zero and no two
+// are equal.
+func (c *chooser) BeginPermute(_ eventloop.ChoiceKind, keys []uint64) {
+	c.indepRun = 0
+	if len(keys) < 2 {
+		return
+	}
+	for i, k := range keys {
+		if k == 0 {
+			return
+		}
+		for j := 0; j < i; j++ {
+			if keys[j] == k {
+				return
+			}
+		}
+	}
+	c.indepRun = len(keys) - 1
 }
 
 // Choose implements eventloop.Scheduler.
@@ -125,8 +499,14 @@ func (c *chooser) Choose(kind eventloop.ChoiceKind, n int) int {
 			pick = 0
 		}
 	}
+	ind := false
+	if c.indepRun > 0 {
+		c.indepRun--
+		ind = true
+	}
 	c.picks = append(c.picks, pick)
 	c.domains = append(c.domains, domain)
+	c.indep = append(c.indep, ind)
 	return pick
 }
 
@@ -134,13 +514,13 @@ func (c *chooser) Choose(kind eventloop.ChoiceKind, n int) int {
 func (c *chooser) Schedule() Schedule { return Schedule{Picks: c.picks} }
 
 // randomNext draws every pick uniformly.
-func randomNext(rng *rand.Rand) func(pos int, kind eventloop.ChoiceKind, n int) int {
+func randomNext(rng *rand.Rand) PickFunc {
 	return func(_ int, _ eventloop.ChoiceKind, n int) int { return rng.Intn(n) }
 }
 
 // delayNext perturbs the default schedule with at most bound non-default
 // picks, each site deviating with probability 1/4.
-func delayNext(rng *rand.Rand, bound int) func(pos int, kind eventloop.ChoiceKind, n int) int {
+func delayNext(rng *rand.Rand, bound int) PickFunc {
 	budget := bound
 	return func(_ int, _ eventloop.ChoiceKind, n int) int {
 		if budget > 0 && rng.Intn(4) == 0 {
@@ -154,7 +534,7 @@ func delayNext(rng *rand.Rand, bound int) func(pos int, kind eventloop.ChoiceKin
 // playbackNext replays a recorded pick sequence, defaulting to 0 past
 // its end (tokens trim trailing zeros, and a deviated prefix may make
 // the run shorter or longer than the recording).
-func playbackNext(picks []int) func(pos int, kind eventloop.ChoiceKind, n int) int {
+func playbackNext(picks []int) PickFunc {
 	return func(pos int, _ eventloop.ChoiceKind, _ int) int {
 		if pos < len(picks) {
 			return picks[pos]

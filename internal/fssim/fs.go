@@ -40,6 +40,7 @@ type FS struct {
 	latency time.Duration
 	files   map[string][]byte
 	mtimes  map[string]time.Duration
+	keys    map[string]uint64 // per-path independence keys (POR)
 }
 
 // New creates an empty file system.
@@ -52,7 +53,21 @@ func New(l *eventloop.Loop, opts Options) *FS {
 		latency: opts.Latency,
 		files:   make(map[string][]byte),
 		mtimes:  make(map[string]time.Duration),
+		keys:    make(map[string]uint64),
 	}
+}
+
+// ioKey returns the path's independence key, allocating on first use.
+// Operations on distinct paths touch disjoint file state, so their
+// completion order commutes; operations spanning the namespace
+// (Readdir) pass key 0 instead.
+func (f *FS) ioKey(path string) uint64 {
+	k, ok := f.keys[path]
+	if !ok {
+		k = f.loop.NextIOKey()
+		f.keys[path] = k
+	}
+	return k
 }
 
 // Seed stores a file synchronously — for test and example setup.
@@ -70,7 +85,7 @@ func (f *FS) Exists(path string) bool {
 // run schedules op through the I/O phase and delivers its result to the
 // registered callback on the nextTick queue, like the network and DB
 // substrates do.
-func (f *FS) run(at loc.Loc, api string, cb *vm.Function, op func() (vm.Value, error)) {
+func (f *FS) run(at loc.Loc, api string, key uint64, cb *vm.Function, op func() (vm.Value, error)) {
 	var seq uint64
 	if cb != nil {
 		seq = f.loop.NextRegSeq()
@@ -96,11 +111,11 @@ func (f *FS) run(at loc.Loc, api string, cb *vm.Function, op func() (vm.Value, e
 		f.loop.ScheduleTickJob(cb, []vm.Value{errVal, res}, &vm.Dispatch{API: api, RegSeq: seq})
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), ioFn, nil, &vm.Dispatch{API: api})
+	f.loop.ScheduleIOKeyedAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil, &vm.Dispatch{API: api})
 }
 
 // runP is run with a promise result instead of a callback.
-func (f *FS) runP(at loc.Loc, api string, op func() (vm.Value, error)) *promise.Promise {
+func (f *FS) runP(at loc.Loc, api string, key uint64, op func() (vm.Value, error)) *promise.Promise {
 	p := promise.New(f.loop, at, nil)
 	ioFn := vm.NewFuncAt("(fs.io)", loc.Internal, func([]vm.Value) vm.Value {
 		res, err := op()
@@ -114,7 +129,7 @@ func (f *FS) runP(at loc.Loc, api string, op func() (vm.Value, error)) *promise.
 		p.Resolve(loc.Internal, res)
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), ioFn, nil, &vm.Dispatch{API: api})
+	f.loop.ScheduleIOKeyedAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil, &vm.Dispatch{API: api})
 	return p
 }
 
@@ -122,12 +137,12 @@ func enoent(path string) error { return fmt.Errorf("ENOENT: no such file %q", pa
 
 // ReadFile reads a file; cb receives (err, []byte).
 func (f *FS) ReadFile(at loc.Loc, path string, cb *vm.Function) {
-	f.run(at, "fs.readFile", cb, func() (vm.Value, error) { return f.readSync(path) })
+	f.run(at, "fs.readFile", f.ioKey(path), cb, func() (vm.Value, error) { return f.readSync(path) })
 }
 
 // ReadFileP is the fs/promises variant.
 func (f *FS) ReadFileP(at loc.Loc, path string) *promise.Promise {
-	return f.runP(at, "fs.readFile", func() (vm.Value, error) { return f.readSync(path) })
+	return f.runP(at, "fs.readFile", f.ioKey(path), func() (vm.Value, error) { return f.readSync(path) })
 }
 
 func (f *FS) readSync(path string) (vm.Value, error) {
@@ -141,7 +156,7 @@ func (f *FS) readSync(path string) (vm.Value, error) {
 // WriteFile replaces a file's contents; cb receives (err).
 func (f *FS) WriteFile(at loc.Loc, path string, data []byte, cb *vm.Function) {
 	buf := append([]byte(nil), data...)
-	f.run(at, "fs.writeFile", cb, func() (vm.Value, error) {
+	f.run(at, "fs.writeFile", f.ioKey(path), cb, func() (vm.Value, error) {
 		f.files[path] = buf
 		f.mtimes[path] = f.loop.Now()
 		return vm.Undefined, nil
@@ -151,7 +166,7 @@ func (f *FS) WriteFile(at loc.Loc, path string, data []byte, cb *vm.Function) {
 // WriteFileP is the fs/promises variant.
 func (f *FS) WriteFileP(at loc.Loc, path string, data []byte) *promise.Promise {
 	buf := append([]byte(nil), data...)
-	return f.runP(at, "fs.writeFile", func() (vm.Value, error) {
+	return f.runP(at, "fs.writeFile", f.ioKey(path), func() (vm.Value, error) {
 		f.files[path] = buf
 		f.mtimes[path] = f.loop.Now()
 		return vm.Undefined, nil
@@ -161,7 +176,7 @@ func (f *FS) WriteFileP(at loc.Loc, path string, data []byte) *promise.Promise {
 // AppendFile appends to a file, creating it if absent.
 func (f *FS) AppendFile(at loc.Loc, path string, data []byte, cb *vm.Function) {
 	buf := append([]byte(nil), data...)
-	f.run(at, "fs.appendFile", cb, func() (vm.Value, error) {
+	f.run(at, "fs.appendFile", f.ioKey(path), cb, func() (vm.Value, error) {
 		f.files[path] = append(f.files[path], buf...)
 		f.mtimes[path] = f.loop.Now()
 		return vm.Undefined, nil
@@ -170,7 +185,7 @@ func (f *FS) AppendFile(at loc.Loc, path string, data []byte, cb *vm.Function) {
 
 // Stat delivers (err, Stat).
 func (f *FS) Stat(at loc.Loc, path string, cb *vm.Function) {
-	f.run(at, "fs.stat", cb, func() (vm.Value, error) {
+	f.run(at, "fs.stat", f.ioKey(path), cb, func() (vm.Value, error) {
 		data, ok := f.files[path]
 		if !ok {
 			return nil, enoent(path)
@@ -181,7 +196,7 @@ func (f *FS) Stat(at loc.Loc, path string, cb *vm.Function) {
 
 // Unlink removes a file; cb receives (err).
 func (f *FS) Unlink(at loc.Loc, path string, cb *vm.Function) {
-	f.run(at, "fs.unlink", cb, func() (vm.Value, error) {
+	f.run(at, "fs.unlink", f.ioKey(path), cb, func() (vm.Value, error) {
 		if _, ok := f.files[path]; !ok {
 			return nil, enoent(path)
 		}
@@ -195,7 +210,7 @@ func (f *FS) Unlink(at loc.Loc, path string, cb *vm.Function) {
 // (treating "/"-separated paths as a flat namespace with directories as
 // prefixes).
 func (f *FS) Readdir(at loc.Loc, dir string, cb *vm.Function) {
-	f.run(at, "fs.readdir", cb, func() (vm.Value, error) {
+	f.run(at, "fs.readdir", 0, cb, func() (vm.Value, error) {
 		prefix := strings.TrimSuffix(dir, "/") + "/"
 		seen := make(map[string]bool)
 		var names []string

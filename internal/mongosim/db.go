@@ -67,6 +67,7 @@ type Collection struct {
 	db   *DB
 	name string
 	docs []Document
+	key  uint64 // independence key for read-only ops (POR)
 }
 
 // Name returns the collection name.
@@ -96,10 +97,23 @@ type result struct {
 	distinct []any
 }
 
+// ioKey returns the collection's independence key, allocating on first
+// use. Only read-only operations carry it: reads on distinct collections
+// touch disjoint document sets, so their completion order commutes.
+// Writes always pass key 0 — every insert draws from the DB-wide _id
+// sequence, so even writes to different collections do not commute.
+func (c *Collection) ioKey() uint64 {
+	if c.key == 0 {
+		c.key = c.db.loop.NextIOKey()
+	}
+	return c.key
+}
+
 // run schedules the operation op on the I/O phase after the DB latency,
 // hops through the driver's internal nextTicks, and finally delivers via
-// deliver. api names the user-facing operation in probe events.
-func (c *Collection) run(api string, op func() result, deliver func(result)) {
+// deliver. api names the user-facing operation in probe events. key is
+// the independence key of the completion (see ioKey).
+func (c *Collection) run(api string, key uint64, op func() result, deliver func(result)) {
 	l := c.db.loop
 	ticks := c.db.opts.DriverTicks
 	ioFn := vm.NewFuncAt("(db.io)", loc.Internal, func([]vm.Value) vm.Value {
@@ -121,7 +135,7 @@ func (c *Collection) run(api string, op func() result, deliver func(result)) {
 		hop(ticks)
 		return vm.Undefined
 	})
-	l.ScheduleIOAt(l.Now()+l.PerturbLatency(c.db.opts.Latency), ioFn, nil, &vm.Dispatch{API: api})
+	l.ScheduleIOKeyedAt(l.Now()+l.PerturbLatency(c.db.opts.Latency), key, ioFn, nil, &vm.Dispatch{API: api})
 }
 
 // registerCallback announces the user callback registration under the
@@ -157,7 +171,7 @@ func (c *Collection) Insert(at loc.Loc, doc Document, cb *vm.Function) {
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
 	}
-	c.run(api, func() result {
+	c.run(api, 0, func() result {
 		return result{doc: c.InsertSync(doc)}
 	}, func(res result) {
 		if cb != nil {
@@ -170,7 +184,7 @@ func (c *Collection) Insert(at loc.Loc, doc Document, cb *vm.Function) {
 func (c *Collection) Find(at loc.Loc, query string, cb *vm.Function) {
 	api := "db." + c.name + ".find"
 	seq := c.registerCallback(at, api, cb)
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, docs: docs}
 	}, func(res result) {
@@ -183,7 +197,7 @@ func (c *Collection) Find(at loc.Loc, query string, cb *vm.Function) {
 func (c *Collection) FindOne(at loc.Loc, query string, cb *vm.Function) {
 	api := "db." + c.name + ".findOne"
 	seq := c.registerCallback(at, api, cb)
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		res := result{err: err}
 		if len(docs) > 0 {
@@ -206,7 +220,7 @@ func (c *Collection) Update(at loc.Loc, query string, set Document, cb *vm.Funct
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
 	}
-	c.run(api, func() result {
+	c.run(api, 0, func() result {
 		n, err := c.updateSync(query, set)
 		return result{err: err, n: n}
 	}, func(res result) {
@@ -223,7 +237,7 @@ func (c *Collection) Remove(at loc.Loc, query string, cb *vm.Function) {
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
 	}
-	c.run(api, func() result {
+	c.run(api, 0, func() result {
 		n, err := c.removeSync(query)
 		return result{err: err, n: n}
 	}, func(res result) {
@@ -237,7 +251,7 @@ func (c *Collection) Remove(at loc.Loc, query string, cb *vm.Function) {
 func (c *Collection) Count(at loc.Loc, query string, cb *vm.Function) {
 	api := "db." + c.name + ".count"
 	seq := c.registerCallback(at, api, cb)
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, n: len(docs)}
 	}, func(res result) {
@@ -252,7 +266,7 @@ func (c *Collection) Count(at loc.Loc, query string, cb *vm.Function) {
 func (c *Collection) FindCursor(at loc.Loc, query string) *events.Emitter {
 	cursor := events.New(c.db.loop, "cursor:"+c.name, at)
 	api := "db." + c.name + ".findCursor"
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, docs: docs}
 	}, func(res result) {
@@ -273,7 +287,7 @@ func (c *Collection) FindCursor(at loc.Loc, query string) *events.Emitter {
 // FindP returns a promise of []Document.
 func (c *Collection) FindP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".findP", func() result {
+	c.run("db."+c.name+".findP", c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, docs: docs}
 	}, func(res result) {
@@ -289,7 +303,7 @@ func (c *Collection) FindP(at loc.Loc, query string) *promise.Promise {
 // FindOneP returns a promise of a Document (Undefined when no match).
 func (c *Collection) FindOneP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".findOneP", func() result {
+	c.run("db."+c.name+".findOneP", c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		res := result{err: err}
 		if len(docs) > 0 {
@@ -312,7 +326,7 @@ func (c *Collection) FindOneP(at loc.Loc, query string) *promise.Promise {
 // InsertP returns a promise of the stored Document.
 func (c *Collection) InsertP(at loc.Loc, doc Document) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".insertP", func() result {
+	c.run("db."+c.name+".insertP", 0, func() result {
 		return result{doc: c.InsertSync(doc)}
 	}, func(res result) {
 		p.Resolve(loc.Internal, res.doc)
@@ -323,7 +337,7 @@ func (c *Collection) InsertP(at loc.Loc, doc Document) *promise.Promise {
 // UpdateP returns a promise of the number of updated documents.
 func (c *Collection) UpdateP(at loc.Loc, query string, set Document) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".updateP", func() result {
+	c.run("db."+c.name+".updateP", 0, func() result {
 		n, err := c.updateSync(query, set)
 		return result{err: err, n: n}
 	}, func(res result) {
@@ -339,7 +353,7 @@ func (c *Collection) UpdateP(at loc.Loc, query string, set Document) *promise.Pr
 // RemoveP returns a promise of the number of removed documents.
 func (c *Collection) RemoveP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".removeP", func() result {
+	c.run("db."+c.name+".removeP", 0, func() result {
 		n, err := c.removeSync(query)
 		return result{err: err, n: n}
 	}, func(res result) {

@@ -89,7 +89,7 @@ func typeName(v any) string {
 func (c *Collection) FindWith(at loc.Loc, query string, opts FindOptions, cb *vm.Function) {
 	api := "db." + c.name + ".find"
 	seq := c.registerCallback(at, api, cb)
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		if err == nil {
 			docs = opts.apply(docs)
@@ -105,7 +105,7 @@ func (c *Collection) FindWith(at loc.Loc, query string, opts FindOptions, cb *vm
 func (c *Collection) Distinct(at loc.Loc, field, query string, cb *vm.Function) {
 	api := "db." + c.name + ".distinct"
 	seq := c.registerCallback(at, api, cb)
-	c.run(api, func() result {
+	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		if err != nil {
 			return result{err: err}

@@ -73,12 +73,18 @@ func (n *Network) Latency() time.Duration { return n.latency }
 // Internal deliveries dispatch with the given API tag and no
 // registration: the Async Graph shows the externally-triggered work via
 // the emitter events fired inside, as with real Node internals.
-func (n *Network) deliver(api string, fn func()) {
+//
+// key is the delivery's independence key for partial-order reduction:
+// deliveries on distinct connections (distinct non-zero keys) touch
+// disjoint socket state, so their poll-batch order commutes. Deliveries
+// that touch shared network state (handshakes mutate the listener's
+// accept queue and allocate the server-side socket) pass 0.
+func (n *Network) deliver(api string, key uint64, fn func()) {
 	wrapped := vm.NewFuncAt("("+api+")", loc.Internal, func([]vm.Value) vm.Value {
 		fn()
 		return vm.Undefined
 	})
-	n.loop.ScheduleIOAt(n.loop.Now()+n.loop.PerturbLatency(n.latency), wrapped, nil, &vm.Dispatch{API: api})
+	n.loop.ScheduleIOKeyedAt(n.loop.Now()+n.loop.PerturbLatency(n.latency), key, wrapped, nil, &vm.Dispatch{API: api})
 }
 
 // Server is a listening endpoint. It is an event emitter: 'connection'
@@ -90,6 +96,7 @@ type Server struct {
 	port    int
 	open    bool
 	sockets []*Socket
+	key     uint64 // independence key for server-scoped deliveries
 }
 
 // Listen binds a server to the port. Binding an occupied port returns an
@@ -103,6 +110,7 @@ func (n *Network) Listen(at loc.Loc, port int) (*Server, error) {
 		net:     n,
 		port:    port,
 		open:    true,
+		key:     n.loop.NextIOKey(),
 	}
 	n.listeners[port] = s
 	n.loop.EmitAPIEvent(&vm.APIEvent{
@@ -111,7 +119,7 @@ func (n *Network) Listen(at loc.Loc, port int) (*Server, error) {
 		Receiver: s.Ref(),
 		Args:     []vm.Value{port},
 	})
-	n.deliver("net.listening", func() {
+	n.deliver("net.listening", s.key, func() {
 		s.Emit(loc.Internal, EventListening)
 	})
 	return s, nil
@@ -150,6 +158,10 @@ type Socket struct {
 	server bool
 	ended  bool // we sent end
 	closed bool
+	// key is the connection's independence key, shared by both endpoints
+	// (an end/reset delivery touches both sides of its connection but no
+	// other connection). 0 until the socket joins a connection.
+	key uint64
 }
 
 func (n *Network) newSocket(at loc.Loc, name string, server bool) *Socket {
@@ -180,7 +192,11 @@ func (n *Network) Connect(at loc.Loc, port int) *Socket {
 		Receiver: client.Ref(),
 		Args:     []vm.Value{port},
 	})
-	n.deliver("net.handshake", func() {
+	client.key = n.loop.NextIOKey()
+	// The handshake mutates the listener map and allocates the
+	// server-side socket (shared state and object identities), so it is
+	// never independent: key 0.
+	n.deliver("net.handshake", 0, func() {
 		srv, ok := n.listeners[port]
 		if !ok || !srv.open {
 			client.closed = true
@@ -188,11 +204,12 @@ func (n *Network) Connect(at loc.Loc, port int) *Socket {
 			return
 		}
 		remote := n.newSocket(loc.Internal, fmt.Sprintf("conn%d:server", id), true)
+		remote.key = client.key
 		client.peer = remote
 		remote.peer = client
 		srv.sockets = append(srv.sockets, remote)
 		srv.Emit(loc.Internal, EventConnection, remote)
-		n.deliver("net.connected", func() {
+		n.deliver("net.connected", client.key, func() {
 			if !client.closed {
 				client.Emit(loc.Internal, EventConnect)
 			}
@@ -209,6 +226,8 @@ func (n *Network) Pipe(at loc.Loc) (*Socket, *Socket) {
 	a := n.newSocket(at, fmt.Sprintf("pipe%d:a", id), false)
 	z := n.newSocket(at, fmt.Sprintf("pipe%d:b", id), true)
 	a.peer, z.peer = z, a
+	a.key = n.loop.NextIOKey()
+	z.key = a.key
 	return a, z
 }
 
@@ -231,7 +250,7 @@ func (s *Socket) Write(at loc.Loc, data []byte) bool {
 	}
 	peer := s.peer
 	buf := append([]byte(nil), data...)
-	s.net.deliver("net.data", func() {
+	s.net.deliver("net.data", s.key, func() {
 		if !peer.closed {
 			peer.Emit(loc.Internal, EventData, buf)
 		}
@@ -261,7 +280,7 @@ func (s *Socket) End(at loc.Loc, data []byte) {
 	})
 	s.ended = true
 	peer := s.peer
-	s.net.deliver("net.end", func() {
+	s.net.deliver("net.end", s.key, func() {
 		if peer != nil && !peer.closed {
 			peer.Emit(loc.Internal, EventEnd)
 			peer.scheduleClose()
@@ -283,7 +302,7 @@ func (s *Socket) Destroy(at loc.Loc) {
 	peer := s.peer
 	s.scheduleClose()
 	if peer != nil {
-		s.net.deliver("net.reset", func() { peer.scheduleClose() })
+		s.net.deliver("net.reset", s.key, func() { peer.scheduleClose() })
 	}
 }
 

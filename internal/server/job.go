@@ -31,7 +31,7 @@ type jobSpec struct {
 	// Target is a registry spec resolved through explore.TargetByName
 	// (see GET /v1/targets).
 	Target string `json:"target"`
-	// Strategy is random, delay, or exhaustive (empty = random).
+	// Strategy is random, delay, exhaustive, or coverage (empty = random).
 	Strategy string `json:"strategy,omitempty"`
 	// Runs bounds the number of schedules (0 = 32).
 	Runs int `json:"runs,omitempty"`
@@ -42,6 +42,10 @@ type jobSpec struct {
 	Workers int `json:"workers,omitempty"`
 	// DelayBound caps non-default picks for the delay strategy (0 = 2).
 	DelayBound int `json:"delayBound,omitempty"`
+	// POR enables partial-order reduction for the exhaustive strategy:
+	// sibling branches proven equivalent by independence metadata are
+	// pruned (Result.PrunedPicks counts the skipped picks).
+	POR bool `json:"por,omitempty"`
 	// Kinds restricts the perturbed choice kinds, comma-separated like
 	// the CLI flag (empty = the default kinds).
 	Kinds string `json:"kinds,omitempty"`

@@ -108,7 +108,13 @@ type serverMetrics struct {
 	cancelled int64
 	failed    int64
 	runs      int64
-	snap      trace.Snapshot
+	// Coverage feedback accumulated across jobs: distinct async-graph
+	// fingerprints discovered, final corpus sizes of coverage-strategy
+	// jobs, and picks pruned by partial-order reduction.
+	newGraphs   int64
+	corpusSize  int64
+	prunedPicks int64
+	snap        trace.Snapshot
 }
 
 // New builds the service and starts its worker pool. The pool idles
@@ -295,6 +301,9 @@ func (m *serverMetrics) record(j *job) {
 	}
 	if res != nil {
 		m.runs += int64(len(res.Runs))
+		m.newGraphs += int64(res.NewGraphs)
+		m.corpusSize += int64(res.CorpusSize)
+		m.prunedPicks += int64(res.PrunedPicks)
 		m.snap.Merge(res.Metrics)
 	}
 }
@@ -305,11 +314,13 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	strat := explore.StrategyRandom
-	if spec.Strategy != "" {
-		if strat, err = explore.ParseStrategy(spec.Strategy); err != nil {
-			return nil, err
-		}
+	strat, err := explore.StrategyFor(spec.Strategy, explore.StrategyParams{
+		Seed:       spec.Seed,
+		DelayBound: spec.DelayBound,
+		POR:        spec.POR,
+	})
+	if err != nil {
+		return nil, err
 	}
 	kinds, err := explore.ParseKinds(spec.Kinds)
 	if err != nil {
@@ -329,7 +340,6 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 		explore.WithSeed(spec.Seed),
 		explore.WithStrategy(strat),
 		explore.WithKinds(kinds...),
-		explore.WithDelayBound(spec.DelayBound),
 		explore.WithWorkers(spec.Workers),
 	}
 	if !spec.NoMetrics {
@@ -543,6 +553,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"failed":    s.metrics.failed,
 		},
 		"runsExplored": s.metrics.runs,
+		"coverage": map[string]int64{
+			"newGraphs":   s.metrics.newGraphs,
+			"corpusSize":  s.metrics.corpusSize,
+			"prunedPicks": s.metrics.prunedPicks,
+		},
 	}
 	s.metrics.mu.Unlock()
 	if err != nil {
