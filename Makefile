@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server fleet-smoke race-fleet
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -42,6 +42,20 @@ race-explore:
 # clean SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the distributed exploration coordinator: two
+# local serve workers, a coverage exploration of AcmeAir sharded across
+# them (merged NDJSON must be byte-identical to a single-process
+# explore), and a kill -9'd coordinator resuming from its journal
+# without re-running completed shards.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+# Fleet coordinator behavior under the race detector: merge equivalence
+# for every strategy at varying shard widths, journal round-trip,
+# resume-after-cancel, and dead-worker reassignment.
+race-fleet:
+	$(GO) test -race -count=1 ./internal/fleet/...
 
 # Analysis-service behavior under the race detector: the 200-submission
 # overflow load test (queue capacity 8 → 429 + Retry-After), per-job

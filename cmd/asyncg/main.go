@@ -23,6 +23,13 @@
 //	                                   diff two benchmark recordings
 //	asyncg serve -addr 127.0.0.1:8321  run the HTTP analysis service
 //	                                   (POST /v1/jobs, NDJSON streams)
+//	asyncg fleet -workers <urls> -target <spec>
+//	                                   shard one exploration across serve
+//	                                   workers; merged output is identical
+//	                                   to a single-process explore
+//	asyncg fleet -workers <urls> -resume <dir>
+//	                                   resume a killed coordinator from
+//	                                   its journal directory
 //
 // Exit codes: 0 clean, 1 analysis findings (or a cancelled run),
 // 2 usage/configuration errors — see exit.go.
@@ -50,6 +57,8 @@ func main() {
 			return
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
+		case "fleet":
+			os.Exit(runFleet(os.Args[2:]))
 		}
 	}
 	var (

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,15 +59,23 @@ func runServe(args []string) int {
 		JobTimeout:      *jobTimeout,
 		MaxFinishedJobs: *retain,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: svc.Handler()}
 
+	// Listen explicitly so -addr with port 0 works: the banner carries
+	// the real bound address, which smoke scripts (and the fleet helper)
+	// parse to find the worker.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		svc.Shutdown(context.Background())
+		return exitUsage
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "asyncg serve: listening on %s (queue %d, drain %s)\n", *addr, *queueSize, *drainTimeout)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "asyncg serve: listening on %s (queue %d, drain %s)\n", ln.Addr(), *queueSize, *drainTimeout)
 
 	select {
 	case err := <-errc:
-		// Listen failed before any signal (bad address, port in use).
 		fmt.Fprintln(os.Stderr, err)
 		svc.Shutdown(context.Background())
 		return exitUsage
@@ -78,7 +87,7 @@ func runServe(args []string) int {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	httpSrv.Shutdown(drainCtx)
-	err := svc.Shutdown(drainCtx)
+	err = svc.Shutdown(drainCtx)
 	<-errc // ListenAndServe has returned http.ErrServerClosed
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "asyncg serve: drain timed out; outstanding jobs were cancelled (%v)\n", err)

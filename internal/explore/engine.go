@@ -126,6 +126,9 @@ type config struct {
 	// RunMetrics attaches the trace metrics registry to every run and
 	// aggregates the snapshots into Result.Metrics (see WithRunMetrics).
 	RunMetrics bool
+	// Feedback copies each run's choice-point record (domain sizes,
+	// independence flags) into its RunResult (see WithRunFeedback).
+	Feedback bool
 }
 
 func (c config) withDefaults() config {
@@ -189,6 +192,15 @@ type RunResult struct {
 	// PrunedPicks is the running total of sibling picks partial-order
 	// reduction skipped (0 without POR).
 	PrunedPicks int `json:"prunedPicks,omitempty"`
+	// Domains records the domain size of every choice point the run hit,
+	// in pick order. Populated only under WithRunFeedback — it is the
+	// fleet coordinator's input for expanding the exhaustive frontier
+	// remotely — and stripped before results are merged or compared.
+	Domains []int `json:"domains,omitempty"`
+	// Independent records, per choice point, whether the pick permutes
+	// independent alternatives (the partial-order-reduction signal).
+	// Populated only under WithRunFeedback, alongside Domains.
+	Independent []bool `json:"independent,omitempty"`
 }
 
 // WarningStat classifies one warning key across all runs.

@@ -57,6 +57,18 @@ func WithProgress(fn func(RunResult)) Option {
 	return func(c *config) { c.Progress = fn }
 }
 
+// WithRunFeedback copies each run's choice-point record — the domain
+// size and independence flag of every pick — into RunResult.Domains and
+// RunResult.Independent. This is the exhaustive strategy's Observe input
+// exported over the wire: a fleet coordinator dispatching prefix shards
+// to remote workers needs it to expand the breadth-first frontier
+// exactly as a local exploration would. Off by default; the fields are
+// stripped again before merged results are compared, so enabling it
+// never changes a Result's canonical JSON.
+func WithRunFeedback() Option {
+	return func(c *config) { c.Feedback = true }
+}
+
 // WithRunMetrics attaches the trace metrics registry to every run and
 // aggregates the per-run snapshots into Result.Metrics (merge order is
 // irrelevant — see trace.Snapshot.Merge — so the aggregate is identical

@@ -124,6 +124,10 @@ func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) erro
 				rr.NewGraph = true
 			}
 			rr.NewGraphs = len(seen)
+			if cfg.Feedback {
+				rr.Domains = append([]int(nil), nd.ch.domains...)
+				rr.Independent = append([]bool(nil), nd.ch.indep...)
+			}
 			cfg.Strategy.Observe(Feedback{
 				Index:       rr.Index,
 				Token:       rr.Token,

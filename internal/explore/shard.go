@@ -1,0 +1,174 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file is the sharding surface of the exploration engine: the
+// exported description of one deterministic slice of a strategy's
+// schedule space (ShardSpec), the Strategy that executes exactly that
+// slice (ShardStrategy), and the merge primitive (Finalize) that
+// rebuilds a Result's aggregate sections after shard results have been
+// stitched back into global run order. Together they let a fleet
+// coordinator fan one exploration across many asyncg serve workers and
+// still produce output byte-identical to a single-process Run at the
+// same budget.
+
+// CoverageGenerationSize is the coverage strategy's planning quantum:
+// runs are planned in generations of this many, and generation g sees
+// exactly the corpus accumulated from generations < g. A coverage
+// ShardSpec must stay inside one generation — the corpus snapshot it
+// carries is only constant within the generation.
+const CoverageGenerationSize = coverageGeneration
+
+// ShardSpec describes one deterministic slice of an exploration: the
+// shard's runs are the global run indices [Start, Start+Runs), planned
+// exactly as the named full-exploration strategy would plan them. The
+// strategy-specific payload makes the shard self-contained:
+//
+//   - random/delay need only the base Seed — run i derives its generator
+//     from Seed+i, so any index range is independently computable.
+//   - coverage additionally carries Corpus, the replay tokens of the
+//     mutation corpus visible to the shard's generation (the schedules
+//     that discovered a new fingerprint in generations before it).
+//   - exhaustive carries Prefixes, the breadth-first forced pick
+//     prefixes (as replay tokens) for each of the shard's runs; the
+//     coordinator owns the frontier and expands it from run feedback.
+type ShardSpec struct {
+	// Strategy names the sharded walk (StrategyRandom, StrategyDelay,
+	// StrategyCoverage, StrategyExhaustive).
+	Strategy string `json:"strategy"`
+	// Seed is the exploration's base seed (random, delay, coverage).
+	Seed int64 `json:"seed,omitempty"`
+	// Start is the global run index of the shard's first run.
+	Start int `json:"start"`
+	// Runs is the number of runs in the shard.
+	Runs int `json:"runs"`
+	// DelayBound caps non-default picks per run (delay; 0 means 2).
+	DelayBound int `json:"delayBound,omitempty"`
+	// Prefixes holds one forced pick prefix per run, as replay tokens
+	// (exhaustive only; len(Prefixes) == Runs).
+	Prefixes []string `json:"prefixes,omitempty"`
+	// Corpus holds the mutation-corpus schedules visible to the shard's
+	// generation, as replay tokens in discovery order (coverage only).
+	Corpus []string `json:"corpus,omitempty"`
+}
+
+// Validate checks the spec's internal coherence: a known strategy, a
+// positive in-range window, and a strategy payload that matches (and a
+// coverage window that stays inside its generation).
+func (s ShardSpec) Validate() error {
+	if s.Runs <= 0 {
+		return fmt.Errorf("explore: shard needs a positive run count, got %d", s.Runs)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("explore: negative shard start %d", s.Start)
+	}
+	switch s.Strategy {
+	case StrategyRandom, StrategyDelay:
+		if len(s.Prefixes) != 0 || len(s.Corpus) != 0 {
+			return fmt.Errorf("explore: %s shard carries no prefixes or corpus", s.Strategy)
+		}
+	case StrategyCoverage:
+		if len(s.Prefixes) != 0 {
+			return fmt.Errorf("explore: coverage shard carries no prefixes")
+		}
+		if s.Start/coverageGeneration != (s.Start+s.Runs-1)/coverageGeneration {
+			return fmt.Errorf("explore: coverage shard [%d,%d) crosses a generation boundary (size %d)",
+				s.Start, s.Start+s.Runs, coverageGeneration)
+		}
+	case StrategyExhaustive:
+		if len(s.Prefixes) != s.Runs {
+			return fmt.Errorf("explore: exhaustive shard has %d prefixes for %d runs", len(s.Prefixes), s.Runs)
+		}
+		if len(s.Corpus) != 0 {
+			return fmt.Errorf("explore: exhaustive shard carries no corpus")
+		}
+	default:
+		return fmt.Errorf("explore: unknown shard strategy %q", s.Strategy)
+	}
+	return nil
+}
+
+// ShardStrategy builds the Strategy that executes exactly the spec's
+// slice of the global exploration: local run j is planned as global run
+// Start+j would be under the full strategy. The result is feedback-free
+// by construction — all cross-run feedback (coverage corpus growth,
+// exhaustive frontier expansion, NewGraph flags) belongs to the
+// coordinator that issued the shard — so a shard's runs are identical
+// at any worker count and any shard decomposition.
+func ShardStrategy(spec ShardSpec) (Strategy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &shardStrategy{spec: spec}
+	for _, tok := range spec.Corpus {
+		sched, err := ParseToken(tok)
+		if err != nil {
+			return nil, fmt.Errorf("explore: shard corpus: %v", err)
+		}
+		s.corpus = append(s.corpus, sched.Picks)
+	}
+	for _, tok := range spec.Prefixes {
+		sched, err := ParseToken(tok)
+		if err != nil {
+			return nil, fmt.Errorf("explore: shard prefix: %v", err)
+		}
+		s.prefixes = append(s.prefixes, sched.Picks)
+	}
+	return s, nil
+}
+
+// shardStrategy plans one ShardSpec's runs (see ShardStrategy).
+type shardStrategy struct {
+	spec     ShardSpec
+	corpus   [][]int // coverage: parsed corpus schedules, discovery order
+	prefixes [][]int // exhaustive: parsed forced prefixes, one per run
+}
+
+func (s *shardStrategy) Name() string { return s.spec.Strategy }
+
+func (s *shardStrategy) Plan(j int) (PickFunc, PlanState) {
+	if j >= s.spec.Runs {
+		return nil, PlanDone
+	}
+	global := int64(s.spec.Start + j)
+	switch s.spec.Strategy {
+	case StrategyRandom:
+		return randomNext(rand.New(rand.NewSource(s.spec.Seed + global))), PlanReady
+	case StrategyDelay:
+		bound := s.spec.DelayBound
+		if bound <= 0 {
+			bound = 2
+		}
+		return delayNext(rand.New(rand.NewSource(s.spec.Seed+global)), bound), PlanReady
+	case StrategyCoverage:
+		// Mirrors coverageStrategy.Plan exactly, with the generation's
+		// corpus snapshot frozen into the spec: same rng derivation, same
+		// exploration/exploitation draw, same energy weighting.
+		rng := rand.New(rand.NewSource(s.spec.Seed + global))
+		if len(s.corpus) == 0 || rng.Intn(4) == 0 {
+			return randomNext(rng), PlanReady
+		}
+		return mutateNext(rng, s.corpus[pickWeighted(rng, len(s.corpus))]), PlanReady
+	default: // StrategyExhaustive — Validate guarantees the prefix exists.
+		return playbackNext(s.prefixes[j]), PlanReady
+	}
+}
+
+func (s *shardStrategy) Observe(Feedback) {}
+
+// Finalize re-derives a Result's aggregate sections — the fingerprint
+// census, the warning and category classification, and NewGraphs — from
+// its Runs, replacing whatever was there. It is the merge primitive of
+// the fleet coordinator: after shard results are stitched back into
+// global run order (indices rewritten, NewGraph flags recomputed against
+// the global fingerprint set), Finalize rebuilds exactly the aggregates
+// a single-process Run would have produced, because aggregation is a
+// pure function of the ordered run records and the target's Expect set.
+func Finalize(t Target, res *Result) {
+	res.Fingerprints, res.Warnings, res.Categories = nil, nil, nil
+	aggregate(t, res)
+	res.NewGraphs = len(res.Fingerprints)
+}

@@ -1,0 +1,454 @@
+// Package fleet is the distributed exploration coordinator: it fans one
+// schedule-space exploration across many asyncg serve workers and
+// reassembles their partial results into output byte-identical to a
+// single-process explore.Run at the same budget.
+//
+// The schedule space is sharded deterministically per strategy — seed
+// index ranges for random/delay, generation-boundary windows carrying a
+// frozen corpus snapshot for coverage, breadth-first replay-token prefix
+// ranges for exhaustive — so every shard is a self-contained job any
+// worker can execute via the jobs API. The coordinator consumes each
+// job's live NDJSON stream, normalizes runs back into global index
+// order (recomputing the cross-run NewGraph/corpus/pruning bookkeeping
+// that individual workers cannot know), merges the per-shard
+// trace.Snapshots with the existing commutative Merge, and re-derives
+// the fingerprint/warning/category censuses with explore.Finalize.
+//
+// Every completed shard is committed to a write-ahead journal before it
+// counts, so a killed coordinator resumes from its last completed shard
+// (Config.Resume) instead of restarting the exploration.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"asyncg/internal/explore"
+	"asyncg/internal/trace"
+)
+
+// Plan is the deterministic description of one distributed exploration —
+// everything the shard planning depends on, and exactly what plan.json
+// persists for resume.
+type Plan struct {
+	// Target is the explore registry spec ("case:SO-17894000",
+	// "acmeair:requests=10,...") every worker resolves identically.
+	Target string `json:"target"`
+	// Strategy names the walk (random, delay, exhaustive, coverage).
+	Strategy string `json:"strategy"`
+	// Seed is the exploration's base seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Runs is the global run budget.
+	Runs int `json:"runs"`
+	// Kinds is the comma-separated choice-kind restriction (empty means
+	// the explore defaults).
+	Kinds string `json:"kinds,omitempty"`
+	// DelayBound caps non-default picks per run (delay strategy).
+	DelayBound int `json:"delayBound,omitempty"`
+	// POR enables partial-order reduction (exhaustive strategy).
+	POR bool `json:"por,omitempty"`
+	// ShardRuns is the target shard width in runs (default 8; coverage
+	// shards are additionally clipped to generation boundaries and
+	// exhaustive shards to the discovered frontier).
+	ShardRuns int `json:"shardRuns,omitempty"`
+	// Metrics aggregates per-run trace snapshots into Result.Metrics,
+	// like explore.WithRunMetrics.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.Strategy == "" {
+		p.Strategy = explore.StrategyRandom
+	}
+	if p.Runs == 0 {
+		p.Runs = 32
+	}
+	if p.ShardRuns <= 0 {
+		p.ShardRuns = 8
+	}
+	return p
+}
+
+func (p Plan) validate() error {
+	if p.Target == "" {
+		return errors.New("fleet: plan needs a target")
+	}
+	if p.Runs < 0 {
+		return fmt.Errorf("fleet: negative run budget %d", p.Runs)
+	}
+	if _, err := explore.ParseKinds(p.Kinds); err != nil {
+		return err
+	}
+	switch p.Strategy {
+	case explore.StrategyRandom, explore.StrategyDelay, explore.StrategyExhaustive, explore.StrategyCoverage:
+		return nil
+	default:
+		return fmt.Errorf("fleet: unknown strategy %q", p.Strategy)
+	}
+}
+
+// equal compares plans for the resume check (JSON-normalized, so only
+// the persisted planning inputs count).
+func (p Plan) equal(other Plan) bool {
+	return string(mustJSON(p)) == string(mustJSON(other))
+}
+
+// LoadPlan reads a journal directory's plan — how `asyncg fleet -resume`
+// recovers the original flags.
+func LoadPlan(dir string) (Plan, error) {
+	return readPlan(dir + "/plan.json")
+}
+
+// Config parameterizes a coordinator run.
+type Config struct {
+	// Plan is the exploration to distribute.
+	Plan Plan
+	// Workers lists the serve base URLs ("http://host:port"). At most
+	// one shard is in flight per worker entry.
+	Workers []string
+	// Dir is the journal directory (required).
+	Dir string
+	// Resume continues the journal already in Dir instead of starting
+	// fresh: Plan must match plan.json, and completed shards load from
+	// disk instead of re-running.
+	Resume bool
+	// RequestTimeout bounds each control request (health, submit,
+	// cancel); streams run under the exploration context only. 0 = 10s.
+	RequestTimeout time.Duration
+	// MaxAttempts is the per-shard dispatch attempt budget across
+	// workers. 0 = 5.
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the capped exponential retry delay
+	// (attempt n waits base<<n, clamped to cap; a 429's Retry-After
+	// overrides when longer). 0 = 100ms / 5s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Progress, when set, receives every run in global index order —
+	// the same contract as explore.WithProgress.
+	Progress func(explore.RunResult)
+	// Logf, when set, receives coordinator progress lines (dispatches,
+	// retries, resumes).
+	Logf func(format string, args ...any)
+	// LookupTarget resolves Plan.Target for the final aggregation
+	// (warning classification needs the target's Expect set); nil means
+	// explore.TargetByName.
+	LookupTarget func(string) (explore.Target, error)
+}
+
+func (c Config) withDefaults() Config {
+	c.Plan = c.Plan.withDefaults()
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	if c.LookupTarget == nil {
+		c.LookupTarget = explore.TargetByName
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats summarizes a coordinator run for reporting and tests.
+type Stats struct {
+	// Shards is the total number of shards the plan produced.
+	Shards int
+	// Dispatched counts shards actually sent to workers this run.
+	Dispatched int
+	// Resumed counts shards loaded from the journal instead of running.
+	Resumed int
+	// Retries counts failed dispatch attempts that were retried.
+	Retries int
+}
+
+// shardResult carries one shard's outcome back to the coordinator loop.
+type shardResult struct {
+	idx     int
+	spec    explore.ShardSpec
+	out     *shardOutput
+	err     error
+	retries int
+}
+
+// Run executes the plan against the configured workers and returns the
+// merged Result. On context cancellation it returns ctx's error with
+// the journal intact, so a later Resume run picks up where it stopped.
+func Run(ctx context.Context, cfg Config) (*explore.Result, *Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Plan.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, nil, errors.New("fleet: no workers configured")
+	}
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("fleet: no journal directory configured")
+	}
+	target, err := cfg.LookupTarget(cfg.Plan.Target)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := plannerFor(cfg.Plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	jr, err := openJournal(cfg.Dir, cfg.Plan, cfg.Resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer jr.close()
+
+	c := &coordinator{cfg: cfg, target: target, planner: pl, journal: jr}
+	return c.run(ctx)
+}
+
+type coordinator struct {
+	cfg     Config
+	target  explore.Target
+	planner planner
+	journal *journal
+
+	slots   chan *client // worker rotation; one in-flight shard per slot
+	results chan shardResult
+
+	res   *explore.Result
+	stats Stats
+	seen  map[string]bool // global fingerprint census, in run order
+}
+
+func (c *coordinator) run(ctx context.Context) (*explore.Result, *Stats, error) {
+	cfg := c.cfg
+	c.slots = make(chan *client, len(cfg.Workers))
+	for _, url := range cfg.Workers {
+		c.slots <- newClient(url, cfg.RequestTimeout)
+	}
+	c.results = make(chan shardResult)
+	c.seen = make(map[string]bool)
+	c.res = &explore.Result{
+		Target:    c.target.Name,
+		Strategy:  cfg.Plan.Strategy,
+		Seed:      cfg.Plan.Seed,
+		Requested: cfg.Plan.Runs,
+	}
+
+	inFlight := 0
+	nextObserve := 0
+	pending := make(map[int]shardResult)
+	shardCount := 0
+	var fatal error
+
+	// drain waits out in-flight dispatches after a failure or cancel, so
+	// no goroutine outlives the coordinator.
+	drain := func() {
+		for inFlight > 0 {
+			<-c.results
+			inFlight--
+		}
+	}
+
+	for {
+		// progressed records whether this iteration formed or absorbed
+		// anything: a feedback-gated planner (coverage, exhaustive) only
+		// yields more shards after absorbing, so the loop must circle back
+		// to forming — and an iteration with no progress, nothing in
+		// flight, and an unfinished plan is a genuine stall.
+		progressed := false
+
+		// Form every shard the planner will yield and the worker pool can
+		// hold; journaled shards complete instantly, skipping dispatch.
+		for inFlight < len(cfg.Workers) {
+			spec, ok := c.planner.next()
+			if !ok {
+				break
+			}
+			progressed = true
+			idx := shardCount
+			shardCount++
+			c.stats.Shards++
+			c.journal.event(statusEvent{Event: "planned", Shard: idx, Start: spec.Start, Runs: spec.Runs})
+			if out, err := c.journal.take(idx, spec); err != nil {
+				fatal = err
+				break
+			} else if out != nil {
+				c.stats.Resumed++
+				c.journal.event(statusEvent{Event: "resumed", Shard: idx, Start: spec.Start, Runs: spec.Runs})
+				cfg.Logf("fleet: shard %d [%d,%d) resumed from journal", idx, spec.Start, spec.Start+spec.Runs)
+				pending[idx] = shardResult{idx: idx, spec: spec, out: out}
+				continue
+			}
+			c.stats.Dispatched++
+			c.journal.event(statusEvent{Event: "dispatched", Shard: idx, Start: spec.Start, Runs: spec.Runs})
+			inFlight++
+			go c.dispatch(ctx, idx, spec)
+		}
+		if fatal != nil {
+			drain()
+			break
+		}
+
+		// Absorb completed shards strictly in shard order (= global run
+		// order, since windows are consecutive).
+		for {
+			sr, ok := pending[nextObserve]
+			if !ok {
+				break
+			}
+			delete(pending, nextObserve)
+			nextObserve++
+			progressed = true
+			if err := c.absorb(sr); err != nil {
+				fatal = err
+				break
+			}
+			c.journal.event(statusEvent{Event: "done", Shard: sr.idx, Start: sr.spec.Start, Runs: sr.spec.Runs})
+		}
+		if fatal != nil {
+			drain()
+			break
+		}
+
+		if inFlight == 0 {
+			if c.planner.done() && len(pending) == 0 {
+				break
+			}
+			if !progressed {
+				fatal = errors.New("fleet: planner stalled with no work in flight")
+				break
+			}
+			continue
+		}
+		select {
+		case sr := <-c.results:
+			inFlight--
+			c.stats.Retries += sr.retries
+			if sr.err != nil {
+				fatal = sr.err
+				drain()
+			} else {
+				pending[sr.idx] = sr
+			}
+		case <-ctx.Done():
+			fatal = ctx.Err()
+			drain()
+		}
+		if fatal != nil {
+			break
+		}
+	}
+
+	if fatal == nil {
+		fatal = ctx.Err()
+	}
+	if fatal == nil {
+		c.res.Exhausted = c.planner.exhausted()
+	}
+	st := c.planner.stats()
+	c.res.CorpusSize = st.CorpusSize
+	c.res.PrunedPicks = st.PrunedPicks
+	explore.Finalize(c.target, c.res)
+	return c.res, &c.stats, fatal
+}
+
+// dispatch runs one shard to completion: worker rotation, capped
+// exponential backoff, Retry-After, and reassignment on mid-stream
+// death are all here. The journal commit happens before the result is
+// reported, so "completed" always means "on disk".
+func (c *coordinator) dispatch(ctx context.Context, idx int, spec explore.ShardSpec) {
+	req := jobRequest{
+		Target:    c.cfg.Plan.Target,
+		Kinds:     c.cfg.Plan.Kinds,
+		NoMetrics: !c.cfg.Plan.Metrics,
+		// The exhaustive planner expands the frontier from each run's
+		// choice-point recording; other strategies keep the wire lean.
+		Feedback: spec.Strategy == explore.StrategyExhaustive,
+		Shard:    &spec,
+	}
+	sr := shardResult{idx: idx, spec: spec}
+	for attempt := 0; ; attempt++ {
+		var cl *client
+		select {
+		case cl = <-c.slots:
+		case <-ctx.Done():
+			sr.err = ctx.Err()
+			c.results <- sr
+			return
+		}
+		out, err := cl.runShard(ctx, req)
+		c.slots <- cl // rotation: the next attempt prefers a different worker
+		if err == nil {
+			if err := c.journal.commitShard(idx, spec, out); err != nil {
+				sr.err = fmt.Errorf("fleet: journaling shard %d: %w", idx, err)
+				c.results <- sr
+				return
+			}
+			sr.out = out
+			c.results <- sr
+			return
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) || ctx.Err() != nil || attempt+1 >= c.cfg.MaxAttempts {
+			sr.err = fmt.Errorf("fleet: shard %d [%d,%d) failed after %d attempt(s): %w",
+				idx, spec.Start, spec.Start+spec.Runs, attempt+1, err)
+			c.results <- sr
+			return
+		}
+		sr.retries++
+		delay := backoffDelay(attempt, c.cfg.BackoffBase, c.cfg.BackoffCap, err)
+		c.cfg.Logf("fleet: shard %d attempt %d on %s failed (%v); retrying in %s", idx, attempt+1, cl.base, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			sr.err = ctx.Err()
+			c.results <- sr
+			return
+		}
+	}
+}
+
+// absorb folds one completed shard into the global result, run by run in
+// local order: assert the worker's indices, re-index into global order,
+// recompute the cross-run feedback (NewGraph against the global census),
+// feed the planner, stamp the planner's running stats, and strip the
+// wire-only feedback fields — after which each RunResult is exactly what
+// the single-process coordinator would have emitted.
+func (c *coordinator) absorb(sr shardResult) error {
+	for j, rr := range sr.out.Runs {
+		if rr.Index != j {
+			return fmt.Errorf("fleet: shard %d run %d arrived with local index %d", sr.idx, j, rr.Index)
+		}
+		rr.Index = sr.spec.Start + j
+		rr.NewGraph = false
+		if !c.seen[rr.Fingerprint] {
+			c.seen[rr.Fingerprint] = true
+			rr.NewGraph = true
+		}
+		rr.NewGraphs = len(c.seen)
+		c.planner.observe(rr)
+		st := c.planner.stats()
+		rr.CorpusSize = st.CorpusSize
+		rr.PrunedPicks = st.PrunedPicks
+		rr.Domains, rr.Independent = nil, nil
+		c.res.Runs = append(c.res.Runs, rr)
+		if c.cfg.Progress != nil {
+			c.cfg.Progress(rr)
+		}
+	}
+	if sr.out.Metrics != nil && c.cfg.Plan.Metrics {
+		if c.res.Metrics == nil {
+			c.res.Metrics = &trace.Snapshot{}
+		}
+		c.res.Metrics.Merge(sr.out.Metrics)
+	}
+	return nil
+}

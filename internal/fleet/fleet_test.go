@@ -1,0 +1,376 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncg/internal/explore"
+	"asyncg/internal/server"
+)
+
+const caseTarget = "case:SO-17894000"
+
+// startWorkers boots n in-process serve workers and returns their base
+// URLs.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		svc := server.New(server.Config{QueueSize: 8, Workers: 2})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Shutdown(context.Background())
+		})
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// singleProcess runs the plan with explore.Run — the reference the
+// fleet's merged Result must match byte for byte.
+func singleProcess(t *testing.T, p Plan) *explore.Result {
+	t.Helper()
+	p = p.withDefaults()
+	target, err := explore.TargetByName(p.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := explore.StrategyFor(p.Strategy, explore.StrategyParams{
+		Seed:       p.Seed,
+		DelayBound: p.DelayBound,
+		POR:        p.POR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds, err := explore.ParseKinds(p.Kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []explore.Option{
+		explore.WithRuns(p.Runs),
+		explore.WithSeed(p.Seed),
+		explore.WithStrategy(strat),
+		explore.WithKinds(kinds...),
+		explore.WithWorkers(2),
+	}
+	if p.Metrics {
+		opts = append(opts, explore.WithRunMetrics())
+	}
+	res, err := explore.Run(context.Background(), target, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkIdentical(t *testing.T, got, want *explore.Result) {
+	t.Helper()
+	gj, wj := mustJSON(got), mustJSON(want)
+	if !bytes.Equal(gj, wj) {
+		t.Errorf("merged result differs from single-process explore.Run\nfleet:  %s\nsingle: %s", gj, wj)
+	}
+}
+
+// TestFleetMatchesSingleProcess is the acceptance matrix: every
+// strategy, POR on and off, at shard widths that do and do not divide
+// the budget, against two workers — the merged Result must be
+// byte-identical to a single-process run of the same plan.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	plans := []Plan{
+		{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 16},
+		{Target: caseTarget, Strategy: explore.StrategyDelay, Seed: 7, Runs: 16, DelayBound: 2},
+		{Target: caseTarget, Strategy: explore.StrategyCoverage, Seed: 11, Runs: 40},
+		{Target: caseTarget, Strategy: explore.StrategyExhaustive, Seed: 1, Runs: 60, Kinds: "io-order,latency"},
+		{Target: caseTarget, Strategy: explore.StrategyExhaustive, Seed: 1, Runs: 60, Kinds: "io-order,latency", POR: true},
+	}
+	workers := startWorkers(t, 2)
+	for _, p := range plans {
+		want := singleProcess(t, p)
+		for _, width := range []int{1, 5} {
+			p := p
+			p.ShardRuns = width
+			name := fmt.Sprintf("%s-w%d", p.Strategy, width)
+			if p.POR {
+				name = fmt.Sprintf("%s-por-w%d", p.Strategy, width)
+			}
+			t.Run(name, func(t *testing.T) {
+				var streamed []explore.RunResult
+				res, stats, err := Run(context.Background(), Config{
+					Plan:    p,
+					Workers: workers,
+					Dir:     t.TempDir(),
+					Progress: func(rr explore.RunResult) {
+						streamed = append(streamed, rr)
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkIdentical(t, res, want)
+				// The progress stream must carry exactly the merged runs in
+				// global order — it is what `asyncg fleet -ndjson` emits.
+				if !bytes.Equal(mustJSON(streamed), mustJSON(want.Runs)) {
+					t.Error("progress stream differs from the single-process run sequence")
+				}
+				if stats.Resumed != 0 || stats.Dispatched != stats.Shards {
+					t.Errorf("fresh run stats: %+v, want everything dispatched", stats)
+				}
+			})
+		}
+	}
+}
+
+// TestFleetMetrics checks the metrics snapshots merge across shards to
+// the same aggregate a single process accumulates run by run.
+func TestFleetMetrics(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 12, ShardRuns: 4, Metrics: true}
+	want := singleProcess(t, p)
+	if want.Metrics == nil {
+		t.Fatal("reference run has no metrics snapshot")
+	}
+	res, _, err := Run(context.Background(), Config{Plan: p, Workers: startWorkers(t, 2), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, res, want)
+}
+
+// TestFleetResumeCompletedJournal re-runs a finished journal: every
+// shard must load from disk, none may re-dispatch, and the Result must
+// be unchanged.
+func TestFleetResumeCompletedJournal(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyCoverage, Seed: 11, Runs: 24, ShardRuns: 5}
+	workers := startWorkers(t, 2)
+	dir := t.TempDir()
+	res1, stats1, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, stats2, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Dispatched != 0 || stats2.Resumed != stats1.Shards {
+		t.Errorf("resume stats: %+v, want all %d shards resumed", stats2, stats1.Shards)
+	}
+	checkIdentical(t, res2, res1)
+}
+
+// TestFleetResumeAfterCancel kills a coordinator mid-run (context
+// cancel once a few runs have streamed) and resumes it: the completed
+// shards must load from the journal, the rest re-run, and the final
+// Result must match a single-process run.
+func TestFleetResumeAfterCancel(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 16, ShardRuns: 2}
+	workers := startWorkers(t, 2)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runsSeen := 0
+	_, _, err := Run(ctx, Config{
+		Plan:    p,
+		Workers: workers,
+		Dir:     dir,
+		Progress: func(explore.RunResult) {
+			runsSeen++
+			if runsSeen == 4 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+
+	res, stats, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed < 2 {
+		t.Errorf("resumed %d shards, want at least the 2 absorbed before the cancel", stats.Resumed)
+	}
+	if stats.Resumed+stats.Dispatched != stats.Shards {
+		t.Errorf("stats don't add up: %+v", stats)
+	}
+	checkIdentical(t, res, singleProcess(t, p))
+}
+
+// TestFleetDeadWorkerReassignment puts a dead URL in the worker pool:
+// its shards must fail over to the live worker and the merged Result
+// stay correct.
+func TestFleetDeadWorkerReassignment(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 8, ShardRuns: 2}
+	live := startWorkers(t, 1)
+	res, stats, err := Run(context.Background(), Config{
+		Plan:        p,
+		Workers:     []string{deadURL, live[0]},
+		Dir:         t.TempDir(),
+		BackoffBase: time.Millisecond,
+		BackoffCap:  20 * time.Millisecond,
+		MaxAttempts: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries == 0 {
+		t.Error("no retries recorded; the dead worker was never tried")
+	}
+	checkIdentical(t, res, singleProcess(t, p))
+}
+
+// TestFleetAllWorkersDead: with no live worker the run must fail after
+// MaxAttempts, keeping the journal for a later resume.
+func TestFleetAllWorkersDead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 4, ShardRuns: 2}
+	dir := t.TempDir()
+	_, _, err = Run(context.Background(), Config{
+		Plan:        p,
+		Workers:     []string{deadURL},
+		Dir:         dir,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		MaxAttempts: 2,
+	})
+	if err == nil {
+		t.Fatal("run with only a dead worker succeeded")
+	}
+	if _, err := LoadPlan(dir); err != nil {
+		t.Errorf("journal plan unreadable after failure: %v", err)
+	}
+}
+
+// TestJournalIgnoresIncompleteShard truncates one committed shard file
+// (dropping its done line): resume must re-dispatch exactly that shard
+// and still produce the identical Result.
+func TestJournalIgnoresIncompleteShard(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 12, ShardRuns: 4}
+	workers := startWorkers(t, 2)
+	dir := t.TempDir()
+	res1, stats1, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "shard-0001.ndjson")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if err := os.WriteFile(path, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, stats2, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Dispatched != 1 || stats2.Resumed != stats1.Shards-1 {
+		t.Errorf("resume stats: %+v, want exactly the truncated shard re-dispatched", stats2)
+	}
+	checkIdentical(t, res2, res1)
+}
+
+// TestFleetJournalSafety: a fresh run refuses a directory that already
+// holds a journal, and a resume refuses a plan that differs from the
+// journaled one.
+func TestFleetJournalSafety(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 4, ShardRuns: 2}
+	workers := startWorkers(t, 1)
+	dir := t.TempDir()
+	if _, _, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), Config{Plan: p, Workers: workers, Dir: dir}); err == nil {
+		t.Error("fresh run over an existing journal succeeded, want refusal")
+	}
+	other := p
+	other.Seed = 99
+	if _, _, err := Run(context.Background(), Config{Plan: other, Workers: workers, Dir: dir, Resume: true}); err == nil {
+		t.Error("resume with a different plan succeeded, want refusal")
+	}
+}
+
+// TestSubmitErrorClassification checks the client's refusal taxonomy:
+// 429 parses Retry-After into a busyError, 400 is permanent.
+func TestSubmitErrorClassification(t *testing.T) {
+	mode := "busy"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode {
+		case "busy":
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "bad":
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"unknown field \"bogus\""}`)
+		}
+	}))
+	defer ts.Close()
+
+	cl := newClient(ts.URL, time.Second)
+	spec := explore.ShardSpec{Strategy: explore.StrategyRandom, Runs: 1}
+	_, err := cl.submit(context.Background(), jobRequest{Target: caseTarget, Shard: &spec})
+	var busy *busyError
+	if !errors.As(err, &busy) || busy.retryAfter != 7*time.Second {
+		t.Errorf("429 gave %v, want busyError with 7s Retry-After", err)
+	}
+
+	mode = "bad"
+	_, err = cl.submit(context.Background(), jobRequest{Target: caseTarget, Shard: &spec})
+	var perm *permanentError
+	if !errors.As(err, &perm) || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("400 gave %v, want permanentError carrying the body", err)
+	}
+}
+
+// TestBackoffDelay pins the retry schedule: exponential from the base,
+// clamped at the cap, overridden by a longer Retry-After hint.
+func TestBackoffDelay(t *testing.T) {
+	base, cap := 100*time.Millisecond, time.Second
+	cases := []struct {
+		n    int
+		err  error
+		want time.Duration
+	}{
+		{0, nil, 100 * time.Millisecond},
+		{1, nil, 200 * time.Millisecond},
+		{3, nil, 800 * time.Millisecond},
+		{4, nil, time.Second},                                         // clamped
+		{70, nil, time.Second},                                        // shift overflow clamps too
+		{0, &busyError{retryAfter: 3 * time.Second}, 3 * time.Second}, // hint wins
+		{0, &busyError{retryAfter: time.Millisecond}, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := backoffDelay(c.n, base, cap, c.err); got != c.want {
+			t.Errorf("backoffDelay(%d, %v) = %v, want %v", c.n, c.err, got, c.want)
+		}
+	}
+}

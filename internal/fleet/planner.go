@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"fmt"
+
+	"asyncg/internal/explore"
+)
+
+// A planner is the fleet-side mirror of an explore.Strategy, operating
+// at shard granularity instead of run granularity: it cuts the global
+// run sequence [0, Plan.Runs) into ShardSpecs a remote worker can
+// execute independently, and consumes per-run feedback — strictly in
+// global run-index order, exactly like Strategy.Observe — to unlock the
+// shards that depend on it (the coverage corpus snapshot, the
+// exhaustive frontier).
+//
+// The invariant every planner upholds: concatenating its shards' runs
+// in shard order reproduces the single-process strategy's run sequence
+// pick-for-pick. The coordinator layers the cross-run bookkeeping (new
+// fingerprints, corpus/pruning stats) on top, so the merged Result is
+// byte-identical to explore.Run at the same budget.
+type planner interface {
+	// next forms the next shard. ok=false means no shard can be formed
+	// right now: either the plan is complete (done() is true) or the
+	// planner is gated on feedback from dispatched runs.
+	next() (spec explore.ShardSpec, ok bool)
+	// done reports that every shard has been formed (no future next()
+	// will succeed).
+	done() bool
+	// observe consumes one completed run's feedback, in global run-index
+	// order. The RunResult carries the coordinator-normalized NewGraph
+	// flag, and — for the exhaustive planner — the Domains/Independent
+	// recording requested via the job's feedback field.
+	observe(rr explore.RunResult)
+	// exhausted reports that the schedule space was fully enumerated
+	// within the budget (exhaustive planner only).
+	exhausted() bool
+	// stats mirrors explore.CoverageReporter: the corpus size / pruned
+	// picks after the most recent observe.
+	stats() explore.CoverageStats
+}
+
+// plannerFor builds the planner for a validated Plan.
+func plannerFor(p Plan) (planner, error) {
+	switch p.Strategy {
+	case explore.StrategyRandom, explore.StrategyDelay:
+		return &staticPlanner{plan: p}, nil
+	case explore.StrategyCoverage:
+		return &coveragePlanner{plan: p}, nil
+	case explore.StrategyExhaustive:
+		return newExhaustivePlanner(p), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown strategy %q", p.Strategy)
+	}
+}
+
+// staticPlanner shards the feedback-free strategies (random, delay):
+// run i depends only on seed+i, so the whole plan is a fixed set of
+// consecutive index windows, all formable upfront.
+type staticPlanner struct {
+	plan      Plan
+	nextStart int
+}
+
+func (s *staticPlanner) next() (explore.ShardSpec, bool) {
+	if s.nextStart >= s.plan.Runs {
+		return explore.ShardSpec{}, false
+	}
+	n := s.plan.ShardRuns
+	if rest := s.plan.Runs - s.nextStart; rest < n {
+		n = rest
+	}
+	spec := explore.ShardSpec{
+		Strategy: s.plan.Strategy,
+		Seed:     s.plan.Seed,
+		Start:    s.nextStart,
+		Runs:     n,
+	}
+	if s.plan.Strategy == explore.StrategyDelay {
+		spec.DelayBound = s.plan.DelayBound
+	}
+	s.nextStart += n
+	return spec, true
+}
+
+func (s *staticPlanner) done() bool                   { return s.nextStart >= s.plan.Runs }
+func (s *staticPlanner) observe(explore.RunResult)    {}
+func (s *staticPlanner) exhausted() bool              { return false }
+func (s *staticPlanner) stats() explore.CoverageStats { return explore.CoverageStats{} }
+
+// coveragePlanner shards the coverage strategy along its generation
+// boundaries: generation g (CoverageGenerationSize runs) plans against
+// exactly the corpus discovered by generations < g, so a generation's
+// shards all carry the same frozen corpus snapshot and a new generation
+// only opens once every earlier run has been observed — the same gate
+// coverageStrategy.Plan enforces in-process with PlanWait.
+type coveragePlanner struct {
+	plan      Plan
+	corpus    []string // replay tokens of every NewGraph run observed, in order
+	genCorpus []string // the snapshot frozen for the generation being cut
+	curGen    int      // generation genCorpus belongs to; -1 before the first shard
+	nextStart int
+	observed  int
+}
+
+func (c *coveragePlanner) next() (explore.ShardSpec, bool) {
+	if c.nextStart >= c.plan.Runs {
+		return explore.ShardSpec{}, false
+	}
+	const gen = explore.CoverageGenerationSize
+	g := c.nextStart / gen
+	if c.observed < g*gen {
+		// The generation's corpus is still being decided by in-flight
+		// runs; forming its shards now would freeze a premature snapshot.
+		return explore.ShardSpec{}, false
+	}
+	if c.genCorpus == nil || g != c.curGen {
+		// First shard of generation g: observe has delivered exactly the
+		// runs of generations < g, so the accumulated corpus IS the
+		// snapshot the in-process strategy would record at this boundary.
+		c.genCorpus = append([]string{}, c.corpus...)
+		c.curGen = g
+	}
+	n := c.plan.ShardRuns
+	if genRest := (g+1)*gen - c.nextStart; genRest < n {
+		n = genRest
+	}
+	if rest := c.plan.Runs - c.nextStart; rest < n {
+		n = rest
+	}
+	spec := explore.ShardSpec{
+		Strategy: explore.StrategyCoverage,
+		Seed:     c.plan.Seed,
+		Start:    c.nextStart,
+		Runs:     n,
+		Corpus:   c.genCorpus,
+	}
+	c.nextStart += n
+	return spec, true
+}
+
+func (c *coveragePlanner) done() bool { return c.nextStart >= c.plan.Runs }
+
+func (c *coveragePlanner) observe(rr explore.RunResult) {
+	if rr.NewGraph {
+		c.corpus = append(c.corpus, rr.Token)
+	}
+	c.observed++
+}
+
+func (c *coveragePlanner) exhausted() bool { return false }
+
+func (c *coveragePlanner) stats() explore.CoverageStats {
+	return explore.CoverageStats{CorpusSize: len(c.corpus)}
+}
+
+// exhaustivePlanner owns the breadth-first frontier the in-process
+// exhaustive strategy keeps, but ships it as replay-token prefix ranges:
+// each observed run's choice-point recording (Domains/Independent, the
+// job-level feedback option) exposes its unvisited siblings, which are
+// appended to the queue in exactly exhaustiveStrategy.Observe's order.
+// A prefix always ends in its last non-zero pick and playback pads with
+// defaults, so Schedule.Token round-trips it losslessly.
+type exhaustivePlanner struct {
+	plan       Plan
+	queue      [][]int  // discovered prefixes, BFS order
+	tokens     []string // queue entries as replay tokens
+	dispatched int      // runs handed out in formed shards
+	observed   int      // runs fed back
+	pruned     int      // sibling picks POR skipped
+}
+
+func newExhaustivePlanner(p Plan) *exhaustivePlanner {
+	return &exhaustivePlanner{
+		plan:   p,
+		queue:  [][]int{nil},
+		tokens: []string{explore.Schedule{}.Token()},
+	}
+}
+
+// limit is how much of the discovered queue the budget admits.
+func (e *exhaustivePlanner) limit() int {
+	if len(e.queue) < e.plan.Runs {
+		return len(e.queue)
+	}
+	return e.plan.Runs
+}
+
+func (e *exhaustivePlanner) next() (explore.ShardSpec, bool) {
+	limit := e.limit()
+	if e.dispatched >= limit {
+		return explore.ShardSpec{}, false
+	}
+	n := e.plan.ShardRuns
+	if rest := limit - e.dispatched; rest < n {
+		n = rest
+	}
+	spec := explore.ShardSpec{
+		Strategy: explore.StrategyExhaustive,
+		Start:    e.dispatched,
+		Runs:     n,
+		Prefixes: append([]string{}, e.tokens[e.dispatched:e.dispatched+n]...),
+	}
+	e.dispatched += n
+	return spec, true
+}
+
+// done: every dispatched run was observed and the frontier (as admitted
+// by the budget) has no undispatched entries — mirroring the PlanDone
+// condition of the in-process strategy.
+func (e *exhaustivePlanner) done() bool {
+	return e.observed == e.dispatched && e.dispatched == e.limit()
+}
+
+func (e *exhaustivePlanner) observe(rr explore.RunResult) {
+	prefix := e.queue[rr.Index]
+	// The replay token trims trailing default picks; pad back to the
+	// recording's length so child prefixes copy true positions.
+	sched, err := explore.ParseToken(rr.Token)
+	if err != nil {
+		// The coordinator validated the token when the run line arrived;
+		// an unparseable one here is a programming error.
+		panic(fmt.Sprintf("fleet: invalid run token %q: %v", rr.Token, err))
+	}
+	picks := make([]int, len(rr.Domains))
+	copy(picks, sched.Picks)
+	for pos := len(prefix); pos < len(rr.Domains); pos++ {
+		if e.plan.POR && pos < len(rr.Independent) && rr.Independent[pos] {
+			e.pruned += rr.Domains[pos] - 1
+			continue
+		}
+		for v := 1; v < rr.Domains[pos]; v++ {
+			child := make([]int, pos+1)
+			copy(child, picks[:pos])
+			child[pos] = v
+			e.queue = append(e.queue, child)
+			e.tokens = append(e.tokens, explore.Schedule{Picks: child}.Token())
+		}
+	}
+	e.observed++
+}
+
+func (e *exhaustivePlanner) exhausted() bool { return e.observed == len(e.queue) }
+
+func (e *exhaustivePlanner) stats() explore.CoverageStats {
+	return explore.CoverageStats{PrunedPicks: e.pruned}
+}

@@ -55,6 +55,18 @@ type jobSpec struct {
 	// NoMetrics opts this job out of per-run metrics aggregation (on by
 	// default — the snapshots back GET /metrics).
 	NoMetrics bool `json:"noMetrics,omitempty"`
+	// Shard executes one deterministic slice of a larger exploration
+	// instead of a standalone walk: the shard spec carries the strategy,
+	// seed, global index window and strategy payload (corpus snapshot or
+	// prefix list). The fleet coordinator's job shape. Shard jobs take
+	// their strategy parameters from the spec — the outer strategy, seed,
+	// delayBound and por fields must stay unset — and runs, when given,
+	// must match the shard's window.
+	Shard *explore.ShardSpec `json:"shard,omitempty"`
+	// Feedback copies each run's choice-point record (domain sizes,
+	// independence flags) into its stream line (explore.WithRunFeedback) —
+	// how a fleet coordinator expands the exhaustive frontier remotely.
+	Feedback bool `json:"feedback,omitempty"`
 }
 
 // job is one submitted exploration: the resolved target and options,

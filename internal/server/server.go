@@ -314,11 +314,27 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	strat, err := explore.StrategyFor(spec.Strategy, explore.StrategyParams{
-		Seed:       spec.Seed,
-		DelayBound: spec.DelayBound,
-		POR:        spec.POR,
-	})
+	var strat explore.Strategy
+	if spec.Shard != nil {
+		// A shard job's walk is fully determined by the shard spec; outer
+		// strategy parameters would silently disagree with it, so their
+		// presence is an error, not a tiebreak.
+		if spec.Strategy != "" || spec.Seed != 0 || spec.DelayBound != 0 || spec.POR {
+			return nil, fmt.Errorf("server: shard jobs take strategy/seed/delayBound/por from the shard spec; leave the outer fields unset")
+		}
+		if spec.Runs != 0 && spec.Runs != spec.Shard.Runs {
+			return nil, fmt.Errorf("server: runs %d conflicts with shard window of %d runs", spec.Runs, spec.Shard.Runs)
+		}
+		spec.Runs = spec.Shard.Runs
+		spec.Seed = spec.Shard.Seed
+		strat, err = explore.ShardStrategy(*spec.Shard)
+	} else {
+		strat, err = explore.StrategyFor(spec.Strategy, explore.StrategyParams{
+			Seed:       spec.Seed,
+			DelayBound: spec.DelayBound,
+			POR:        spec.POR,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +361,9 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 	if !spec.NoMetrics {
 		opts = append(opts, explore.WithRunMetrics())
 	}
+	if spec.Feedback {
+		opts = append(opts, explore.WithRunFeedback())
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &job{
 		spec:    spec,
@@ -365,7 +384,19 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 // finishes — cancelling it if the client disconnects first.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec jobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	dec := json.NewDecoder(r.Body)
+	// Unknown fields are refused, and the offending field is named in the
+	// response body: a version-skewed fleet coordinator must fail fast,
+	// not silently run a default-configured job.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		if field, ok := unknownFieldOf(err); ok {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("invalid job spec: unknown field %q", field),
+				"field": field,
+			})
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid job spec: %v", err))
 		return
 	}
@@ -516,13 +547,18 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"targets": explore.Targets()})
 }
 
-// handleHealthz reports liveness plus queue pressure; a draining server
-// answers 503 so load balancers stop routing to it.
+// handleHealthz reports liveness plus queue pressure and lifetime job
+// counts — enough for a fleet coordinator (or load balancer) to probe
+// liveness and dispatch capacity-aware. A draining server answers 503 so
+// routers stop sending it work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining, running := s.draining, s.running
 	queued := len(s.queue)
 	s.mu.Unlock()
+	s.metrics.mu.Lock()
+	done, cancelled, failed := s.metrics.done, s.metrics.cancelled, s.metrics.failed
+	s.metrics.mu.Unlock()
 	status, code := "ok", http.StatusOK
 	if draining {
 		status, code = "draining", http.StatusServiceUnavailable
@@ -531,6 +567,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   status,
 		"queued":   queued,
 		"running":  running,
+		"finished": done + cancelled + failed,
+		"jobs": map[string]int64{
+			"done":      done,
+			"cancelled": cancelled,
+			"failed":    failed,
+		},
 		"capacity": s.cfg.QueueSize,
 		"workers":  s.cfg.Workers,
 	})
@@ -593,4 +635,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+// unknownFieldOf recovers the field name from encoding/json's
+// DisallowUnknownFields error ('json: unknown field "xyz"'); the stdlib
+// exposes no typed error for it.
+func unknownFieldOf(err error) (string, bool) {
+	const prefix = `json: unknown field "`
+	msg := err.Error()
+	if len(msg) > len(prefix)+1 && msg[:len(prefix)] == prefix && msg[len(msg)-1] == '"' {
+		return msg[len(prefix) : len(msg)-1], true
+	}
+	return "", false
 }

@@ -635,3 +635,120 @@ func TestStreamFollowsLive(t *testing.T) {
 	}
 	waitStatus(t, ts, v.ID, statusDone)
 }
+
+// TestUnknownFieldRejected: jobSpec decoding refuses unknown fields and
+// names the offender in a structured body, so a version-skewed fleet
+// coordinator fails fast instead of silently running a default job.
+func TestUnknownFieldRejected(t *testing.T) {
+	s := New(Config{QueueSize: 2, Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"target":"case:SO-17894000","shardSeed":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST with unknown field: status %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Field != "shardSeed" || !strings.Contains(body.Error, `"shardSeed"`) {
+		t.Errorf("error body = %+v, want the bad field named", body)
+	}
+}
+
+// TestShardJob: a shard-scoped job executes exactly its window of the
+// global exploration — the runs match the full walk at the shifted
+// indices — and conflicting outer strategy fields are refused.
+func TestShardJob(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{QueueSize: 4, Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tg, err := explore.TargetByName("case:SO-17894000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := explore.Run(context.Background(), tg, explore.WithRuns(8), explore.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, v := postJob(t, ts,
+		`{"target":"case:SO-17894000","feedback":true,"shard":{"strategy":"random","seed":3,"start":4,"runs":4}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST shard job: status %d", code)
+	}
+	waitStatus(t, ts, v.ID, statusDone)
+	var res explore.Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("GET shard result: %d", code)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("shard result has %d runs, want 4", len(res.Runs))
+	}
+	for j, got := range res.Runs {
+		want := full.Runs[4+j]
+		if got.Token != want.Token || got.Fingerprint != want.Fingerprint {
+			t.Errorf("shard run %d: token/fp = %q/%q, want global run %d's %q/%q",
+				j, got.Token, got.Fingerprint, 4+j, want.Token, want.Fingerprint)
+		}
+		if len(got.Domains) == 0 || len(got.Domains) != len(got.Independent) {
+			t.Errorf("shard run %d: feedback=true but domains/independent = %d/%d",
+				j, len(got.Domains), len(got.Independent))
+		}
+	}
+
+	for _, body := range []string{
+		`{"target":"case:SO-17894000","strategy":"random","shard":{"strategy":"random","start":0,"runs":2}}`,
+		`{"target":"case:SO-17894000","seed":7,"shard":{"strategy":"random","start":0,"runs":2}}`,
+		`{"target":"case:SO-17894000","runs":5,"shard":{"strategy":"random","start":0,"runs":2}}`,
+		`{"target":"case:SO-17894000","shard":{"strategy":"coverage","start":6,"runs":4}}`,
+	} {
+		if code, _ := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("POST %s: status %d, want 400", body, code)
+		}
+	}
+}
+
+// TestHealthzJobCounts: /healthz exposes queued/running/finished job
+// counts — the fleet coordinator's liveness and capacity probe.
+func TestHealthzJobCounts(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{QueueSize: 4, Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, v := postJob(t, ts, `{"target":"case:SO-17894000","runs":2}`)
+	waitStatus(t, ts, v.ID, statusDone)
+
+	var health struct {
+		Status   string           `json:"status"`
+		Queued   int              `json:"queued"`
+		Running  int              `json:"running"`
+		Finished int64            `json:"finished"`
+		Jobs     map[string]int64 `json:"jobs"`
+		Workers  int              `json:"workers"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	if health.Finished != 1 || health.Jobs["done"] != 1 {
+		t.Errorf("healthz finished counts: %+v", health)
+	}
+	if health.Workers != 1 || health.Queued != 0 || health.Running != 0 {
+		t.Errorf("healthz pool counts: %+v", health)
+	}
+}

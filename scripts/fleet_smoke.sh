@@ -1,0 +1,81 @@
+#!/bin/sh
+# fleet_smoke.sh — end-to-end smoke of the distributed exploration
+# coordinator: two local serve workers, one coverage exploration of the
+# AcmeAir workload sharded across them, and two assertions:
+#
+#   1. the coordinator's merged NDJSON stream is byte-identical to a
+#      single-process `asyncg explore` of the same plan;
+#   2. a coordinator killed with SIGKILL mid-run resumes from its
+#      journal without re-running the shards it had completed.
+#
+# Run from the repository root (make fleet-smoke).
+set -eu
+
+. "$(dirname "$0")/serve_lib.sh"
+
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/asyncg" ./cmd/asyncg
+
+TARGET="acmeair:requests=20,clients=3,seed=1"
+PLAN_FLAGS="-target $TARGET -strategy coverage -seed 1 -runs 24 -shard-runs 4"
+
+start_worker "$TMP/asyncg" -queue 8 -job-workers 2
+W1="$WORKER_URL"
+PIDS="$PIDS $WORKER_PID"
+start_worker "$TMP/asyncg" -queue 8 -job-workers 2
+W2="$WORKER_URL"
+PIDS="$PIDS $WORKER_PID"
+echo "fleet-smoke: workers $W1 $W2"
+
+# Reference: the same plan in a single process.
+"$TMP/asyncg" explore -target "$TARGET" -strategy coverage -seed 1 -runs 24 \
+  -ndjson "$TMP/single.ndjson" >/dev/null
+echo "fleet-smoke: single-process reference recorded"
+
+# Distributed run: the merged stream must match byte for byte.
+# shellcheck disable=SC2086
+"$TMP/asyncg" fleet -workers "$W1,$W2" $PLAN_FLAGS \
+  -dir "$TMP/journal1" -ndjson "$TMP/fleet.ndjson" >/dev/null
+cmp "$TMP/single.ndjson" "$TMP/fleet.ndjson"
+echo "fleet-smoke: merged stream identical to single-process explore"
+
+# Crash resume: SIGKILL the coordinator once its journal records a
+# completed shard, then -resume must finish the exploration — loading
+# at least that many shards from disk — and still match the reference.
+DIR="$TMP/journal2"
+# shellcheck disable=SC2086
+"$TMP/asyncg" fleet -workers "$W1,$W2" $PLAN_FLAGS -dir "$DIR" >/dev/null 2>&1 &
+COORD_PID=$!
+i=0
+until [ -f "$DIR/status.ndjson" ] && grep -q '"event":"done"' "$DIR/status.ndjson" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 400 ]; then
+    echo "fleet-smoke: coordinator made no journal progress" >&2
+    exit 1
+  fi
+  # A fast machine may finish the whole run first; resume must still work.
+  kill -0 "$COORD_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$COORD_PID" 2>/dev/null || true
+wait "$COORD_PID" 2>/dev/null || true
+DONE_BEFORE=$(grep -c '"event":"done"' "$DIR/status.ndjson" || true)
+echo "fleet-smoke: coordinator killed with $DONE_BEFORE shard(s) done"
+
+"$TMP/asyncg" fleet -workers "$W1,$W2" -resume "$DIR" \
+  -ndjson "$TMP/resumed.ndjson" >/dev/null
+cmp "$TMP/single.ndjson" "$TMP/resumed.ndjson"
+RESUMED=$(grep -c '"event":"resumed"' "$DIR/status.ndjson" || true)
+if [ "$RESUMED" -lt "$DONE_BEFORE" ]; then
+  echo "fleet-smoke: resume re-ran completed shards ($RESUMED resumed < $DONE_BEFORE done before kill)" >&2
+  exit 1
+fi
+echo "fleet-smoke: resume completed ($RESUMED shard(s) loaded from journal)"
+
+for p in $PIDS; do kill -TERM "$p" 2>/dev/null || true; done
+for p in $PIDS; do wait "$p" 2>/dev/null || true; done
+PIDS=""
+echo "fleet-smoke: ok"

@@ -1,0 +1,42 @@
+# serve_lib.sh — shared helper for the smoke scripts: boot an asyncg
+# serve worker on a free port and wait for it to become healthy.
+# POSIX sh; source it, don't execute it.
+
+# start_worker <asyncg-binary> [serve flags...]
+#
+# Starts `asyncg serve -addr 127.0.0.1:0` in the background, parses the
+# real bound address from the startup banner, and waits for /healthz.
+# Sets the globals (no subshell, so the caller keeps the PID):
+#
+#   WORKER_URL  the worker's base URL (http://127.0.0.1:<port>)
+#   WORKER_PID  the worker's process id, for later kill/wait
+start_worker() {
+  _bin="$1"
+  shift
+  _log="$(mktemp)"
+  "$_bin" serve -addr 127.0.0.1:0 "$@" 2>"$_log" &
+  WORKER_PID=$!
+  WORKER_URL=""
+  _i=0
+  while [ -z "$WORKER_URL" ]; do
+    _i=$((_i + 1))
+    if [ "$_i" -gt 100 ]; then
+      echo "serve_lib: worker never printed its listen address" >&2
+      cat "$_log" >&2
+      return 1
+    fi
+    WORKER_URL="$(sed -n 's|^asyncg serve: listening on \([0-9.]*:[0-9]*\).*|http://\1|p' "$_log" | head -n 1)"
+    [ -n "$WORKER_URL" ] || sleep 0.1
+  done
+  _i=0
+  until curl -fsS "$WORKER_URL/healthz" >/dev/null 2>&1; do
+    _i=$((_i + 1))
+    if [ "$_i" -gt 100 ]; then
+      echo "serve_lib: $WORKER_URL never became healthy" >&2
+      cat "$_log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  rm -f "$_log"
+}

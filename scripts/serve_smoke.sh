@@ -5,26 +5,16 @@
 # (exit 0). Run from the repository root (make serve-smoke).
 set -eu
 
-PORT="${PORT:-8321}"
-BASE="http://127.0.0.1:$PORT"
+. "$(dirname "$0")/serve_lib.sh"
+
 TMP="$(mktemp -d)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+trap 'kill "${WORKER_PID:-0}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/asyncg" ./cmd/asyncg
 
-"$TMP/asyncg" serve -addr "127.0.0.1:$PORT" -queue 4 -job-workers 2 &
-SERVE_PID=$!
-
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "serve-smoke: server never became healthy" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-echo "serve-smoke: healthy"
+start_worker "$TMP/asyncg" -queue 4 -job-workers 2
+BASE="$WORKER_URL"
+echo "serve-smoke: healthy at $BASE"
 
 curl -fsS "$BASE/v1/targets" >"$TMP/targets.json"
 grep -q '"acmeair"' "$TMP/targets.json"
@@ -56,8 +46,8 @@ grep -q '"runsExplored": 8' "$TMP/metrics.json"
 echo "serve-smoke: result and metrics agree"
 
 # SIGTERM must drain and exit 0.
-kill -TERM "$SERVE_PID"
-if wait "$SERVE_PID"; then
+kill -TERM "$WORKER_PID"
+if wait "$WORKER_PID"; then
   echo "serve-smoke: drained cleanly"
 else
   echo "serve-smoke: drain exited non-zero" >&2
