@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server fleet-smoke race-fleet
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server fleet-smoke race-fleet docs-check
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -69,6 +69,13 @@ race-server:
 # See EXPERIMENTS.md §Recording benchmarks for the schema.
 bench-record:
 	$(GO) run ./cmd/asyncg bench -out BENCH_explore.json
+
+# Documentation checks: every exported Go declaration carries a doc
+# comment (cmd/doclint, stdlib-only) and every relative link in the
+# user-facing markdown (README, ARCHITECTURE, DESIGN, EXPERIMENTS,
+# ROADMAP, docs/DEBUGGING) resolves to a file on disk.
+docs-check:
+	./scripts/docs_check.sh
 
 # Regenerate the golden trace fixtures from the deterministic program in
 # internal/trace/exporter_test.go, then check they still pass.

@@ -68,21 +68,22 @@ const (
 
 // config is the resolved session configuration built by Options.
 type config struct {
-	loop      eventloop.Options
-	graph     asyncgraph.Config
-	graphSet  bool
-	det       detect.Config
-	detSet    bool
-	disabled  bool
-	network   netio.Options
-	db        mongosim.Options
-	traceW    io.Writer
-	traceFmt  TraceFormat
-	traceCfg  trace.ExporterConfig
-	traceOn   bool
-	metricsOn bool
-	sched     eventloop.Scheduler
-	interrupt func() error
+	loop        eventloop.Options
+	graph       asyncgraph.Config
+	graphSet    bool
+	det         detect.Config
+	detSet      bool
+	disabled    bool
+	network     netio.Options
+	db          mongosim.Options
+	traceW      io.Writer
+	traceFmt    TraceFormat
+	traceCfg    trace.ExporterConfig
+	traceOn     bool
+	metricsOn   bool
+	sched       eventloop.Scheduler
+	interrupt   func() error
+	debugStacks bool
 }
 
 // Option configures a Session. Options are applied in order; later
@@ -122,6 +123,18 @@ func WithContext(ctx context.Context) Option {
 // option the builder tracks everything (asyncgraph.DefaultConfig).
 func WithGraph(cfg asyncgraph.Config) Option {
 	return func(c *config) { c.graph = cfg; c.graphSet = true }
+}
+
+// WithDebugStacks turns on creation-stack capture: the graph builder
+// records the Go call stack (via runtime.Callers) at every
+// promise/emitter creation, trigger, and callback registration, and
+// provenance chains render the captured frames under each hop. It
+// composes with WithGraph in any order — the flag is OR'd into the
+// graph config when the session is built. Opt-in because symbolizing a
+// stack per tracked API call dominates the builder's cost (see
+// EXPERIMENTS.md).
+func WithDebugStacks() Option {
+	return func(c *config) { c.debugStacks = true }
 }
 
 // WithDetect configures the bug detectors. Without this option all
@@ -282,6 +295,9 @@ func New(opts ...Option) *Session {
 	if !cfg.disabled {
 		if !cfg.graphSet {
 			cfg.graph = asyncgraph.DefaultConfig()
+		}
+		if cfg.debugStacks {
+			cfg.graph.DebugStacks = true
 		}
 		if !cfg.detSet {
 			cfg.det = detect.DefaultConfig()

@@ -176,6 +176,32 @@ func BenchmarkAblationNoChainAnalysis(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationFullTracking is the default full configuration
+// (builder + detectors, no debug stacks) — the baseline the
+// -debug-stacks overhead is measured against.
+func BenchmarkAblationFullTracking(b *testing.B) {
+	runAcmeAir(b, benchLoad(), func(l *eventloop.Loop) {
+		builder := asyncgraph.NewBuilder(asyncgraph.DefaultConfig())
+		l.Probes().Attach(builder)
+		l.Probes().Attach(detect.NewAnalyzer(builder, detect.DefaultConfig()))
+	})
+}
+
+// BenchmarkAblationDebugStacks is the full configuration with
+// Config.DebugStacks on: runtime.Callers capture plus frame resolution
+// at every OB creation, CT trigger, and CR registration. The delta over
+// BenchmarkAblationFullTracking is the cost EXPERIMENTS.md records for
+// the -debug-stacks opt-in.
+func BenchmarkAblationDebugStacks(b *testing.B) {
+	runAcmeAir(b, benchLoad(), func(l *eventloop.Loop) {
+		cfg := asyncgraph.DefaultConfig()
+		cfg.DebugStacks = true
+		builder := asyncgraph.NewBuilder(cfg)
+		l.Probes().Attach(builder)
+		l.Probes().Attach(detect.NewAnalyzer(builder, detect.DefaultConfig()))
+	})
+}
+
 // BenchmarkAblationDetectorsOnly runs detectors without the graph — not
 // a supported configuration in AsyncG (detectors annotate graph nodes),
 // measured here with the builder in its cheapest configuration.

@@ -10,6 +10,7 @@ import (
 
 	"asyncg"
 	"asyncg/internal/explore"
+	"asyncg/internal/provenance"
 	"asyncg/internal/trace"
 )
 
@@ -36,6 +37,8 @@ func runExplore(args []string) int {
 		delayBound = fs.Int("delay-bound", 2, "delay strategy: max non-default picks per run")
 		por        = fs.Bool("por", false, "exhaustive strategy: prune schedule branches proven equivalent by partial-order reduction")
 		minNew     = fs.Int("min-new-graphs", 0, "exit 1 unless at least this many distinct async-graph fingerprints were discovered (CI smoke)")
+		chains     = fs.Bool("chains", false, "attach async causal chains: each classified warning carries its async stack trace (walked on a replay of its witness schedule) in text and NDJSON output; with -replay, print each warning's chain")
+		debugStack = fs.Bool("debug-stacks", false, "capture Go creation call stacks at every promise/emitter creation, trigger, and registration so chain hops show where each node originated (opt-in: measurable overhead, see EXPERIMENTS.md)")
 		replay     = fs.String("replay", "", "replay one schedule token instead of exploring")
 		ndjsonOut  = fs.String("ndjson", "", "stream NDJSON exploration records to this file ('-' for stdout); run lines are flushed as they complete")
 		traceOut   = fs.String("trace", "", "with -replay: write an event trace of the replayed run")
@@ -76,7 +79,7 @@ func runExplore(args []string) int {
 	}
 
 	if *replay != "" {
-		return replaySchedule(target, *replay, *traceOut, *traceFmt)
+		return replaySchedule(target, *replay, *traceOut, *traceFmt, *chains, *debugStack)
 	}
 
 	strat, err := explore.StrategyFor(*strategy, explore.StrategyParams{
@@ -103,6 +106,12 @@ func runExplore(args []string) int {
 		explore.WithStrategy(strat),
 		explore.WithKinds(kindList...),
 		explore.WithWorkers(*workers),
+	}
+	if *chains {
+		opts = append(opts, explore.WithChains())
+	}
+	if *debugStack {
+		opts = append(opts, explore.WithDebugStacks())
 	}
 
 	// NDJSON run lines stream live and flush per line, so an aborted or
@@ -178,8 +187,9 @@ func runExplore(args []string) int {
 
 // replaySchedule re-executes one recorded schedule, optionally with the
 // trace exporter attached — a witness token from an exploration becomes
-// a fully-observable run.
-func replaySchedule(target explore.Target, token, traceOut, traceFmt string) int {
+// a fully-observable run. With chains each warning prints its async
+// stack trace; with debugStacks the hops carry creation call sites.
+func replaySchedule(target explore.Target, token, traceOut, traceFmt string, chains, debugStacks bool) int {
 	format, err := trace.ParseFormat(traceFmt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -195,6 +205,9 @@ func replaySchedule(target explore.Target, token, traceOut, traceFmt string) int
 		}
 		traceFile = f
 		extra = append(extra, asyncg.WithTrace(f, format))
+	}
+	if debugStacks {
+		extra = append(extra, asyncg.WithDebugStacks())
 	}
 	rr, report, err := explore.Replay(target, token, extra...)
 	if err != nil {
@@ -218,6 +231,11 @@ func replaySchedule(target explore.Target, token, traceOut, traceFmt string) int
 	}
 	for _, w := range report.Warnings {
 		fmt.Printf("⚡ %s\n", w)
+		if chains && len(w.Chain) > 0 {
+			fmt.Printf("   replay token: %s\n", w.ReplayToken)
+			fmt.Printf("   async stack trace:\n")
+			provenance.Render(os.Stdout, w.Chain, "     ")
+		}
 	}
 	return exitOK
 }

@@ -33,6 +33,8 @@ func runFleet(args []string) int {
 		por            = fs.Bool("por", false, "exhaustive strategy: partial-order reduction")
 		shardRuns      = fs.Int("shard-runs", 8, "target shard width in runs")
 		metrics        = fs.Bool("metrics", false, "aggregate per-run trace metrics into the merged result")
+		chains         = fs.Bool("chains", false, "attach async causal chains to the merged warning classification (computed locally after the merge; byte-identical to single-process -chains)")
+		debugStack     = fs.Bool("debug-stacks", false, "run shard schedules and chain replays under creation-stack capture so chain hops carry Go call sites")
 		dir            = fs.String("dir", "", "journal directory (default: a fresh temp dir, removed on success, kept on failure)")
 		resume         = fs.String("resume", "", "resume the journal in this directory; planning flags come from its plan.json")
 		ndjsonOut      = fs.String("ndjson", "", "stream merged NDJSON exploration records to this file ('-' for stdout)")
@@ -73,7 +75,7 @@ func runFleet(args []string) int {
 		conflicts := map[string]bool{
 			"target": true, "runs": true, "seed": true, "strategy": true,
 			"kinds": true, "delay-bound": true, "por": true, "shard-runs": true,
-			"metrics": true, "dir": true,
+			"metrics": true, "dir": true, "chains": true, "debug-stacks": true,
 		}
 		bad := ""
 		fs.Visit(func(f *flag.Flag) {
@@ -99,15 +101,17 @@ func runFleet(args []string) int {
 			return exitUsage
 		}
 		plan = fleet.Plan{
-			Target:     *targetSpec,
-			Strategy:   *strategy,
-			Seed:       *seed,
-			Runs:       *runs,
-			Kinds:      *kinds,
-			DelayBound: *delayBound,
-			POR:        *por,
-			ShardRuns:  *shardRuns,
-			Metrics:    *metrics,
+			Target:      *targetSpec,
+			Strategy:    *strategy,
+			Seed:        *seed,
+			Runs:        *runs,
+			Kinds:       *kinds,
+			DelayBound:  *delayBound,
+			POR:         *por,
+			ShardRuns:   *shardRuns,
+			Metrics:     *metrics,
+			Chains:      *chains,
+			DebugStacks: *debugStack,
 		}
 		if journalDir == "" {
 			tmp, err := os.MkdirTemp("", "asyncg-fleet-*")

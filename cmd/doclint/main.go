@@ -1,0 +1,215 @@
+// Doclint is the repository's documentation checker, run by `make
+// docs-check` and CI. It has two modes:
+//
+//	doclint docs <dir>...   lint Go doc comments: every exported
+//	                        top-level declaration in the given package
+//	                        directories must carry a doc comment, and
+//	                        every package must have a package comment.
+//	doclint links <file>... check markdown files: every relative link
+//	                        and image target must exist on disk
+//	                        (anchors and external URLs are skipped).
+//
+// It uses only the standard library, prints one "file:line: message"
+// finding per problem, and exits 1 when any finding was printed.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: doclint docs <dir>... | doclint links <file>...")
+		os.Exit(2)
+	}
+	var findings int
+	switch os.Args[1] {
+	case "docs":
+		for _, dir := range os.Args[2:] {
+			findings += lintDocs(dir)
+		}
+	case "links":
+		for _, file := range os.Args[2:] {
+			findings += lintLinks(file)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "doclint: unknown mode %q\n", os.Args[1])
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDocs parses one package directory (tests excluded) and reports
+// exported declarations without doc comments.
+func lintDocs(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	findings := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", p.Filename, p.Line, fmt.Sprintf(format, args...))
+		findings++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			// Anchor the finding on any file of the package.
+			for name, f := range pkg.Files {
+				fmt.Printf("%s:1: package %s has no package comment\n", name, pkg.Name)
+				findings++
+				_ = f
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || isExportedRecv(d) == skip {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					findings += lintGenDecl(report, d)
+				}
+			}
+		}
+	}
+	return findings
+}
+
+type recvVisibility int
+
+const (
+	keep recvVisibility = iota
+	skip
+)
+
+// isExportedRecv skips methods on unexported receivers: their docs are
+// internal style, not API surface.
+func isExportedRecv(d *ast.FuncDecl) recvVisibility {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return keep
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			if !tt.IsExported() {
+				return skip
+			}
+			return keep
+		default:
+			return keep
+		}
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// lintGenDecl handles const/var/type groups: the group doc covers its
+// members, so a finding fires only when neither the group nor the spec
+// carries a comment.
+func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) int {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return 0
+	}
+	findings := 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				findings++
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					findings++
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// linkPattern matches inline markdown links and images: [text](target)
+// and ![alt](target). Reference-style links are rare in this repo and
+// are not checked.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// lintLinks checks every relative link target in one markdown file.
+func lintLinks(file string) int {
+	b, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	findings := 0
+	dir := filepath.Dir(file)
+	inFence := false
+	for i, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			// Strip an in-file anchor from a relative path.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Printf("%s:%d: broken link %q\n", file, i+1, m[1])
+				findings++
+			}
+		}
+	}
+	return findings
+}

@@ -1,16 +1,20 @@
 // Bugdetect: run the paper's Fig. 4 example (a buggy combination of
 // promises and emitters) and its fixed version under AsyncG, showing how
 // the detector findings disappear after the fix — the paper's Fig. 5(a)
-// vs Fig. 5(b).
+// vs Fig. 5(b). Every warning is printed with its async causal chain
+// (the "async stack trace" walked backwards over the graph's CE/CT/CR
+// edges); docs/DEBUGGING.md reads this output hop by hop.
 //
 //	go run ./examples/bugdetect
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"asyncg"
 	"asyncg/internal/loc"
+	"asyncg/internal/provenance"
 )
 
 // buggy is the Fig. 4 listing: the promise reaction registers the 'foo'
@@ -66,8 +70,13 @@ func run(name string, program func(*asyncg.Context)) {
 	if len(report.Warnings) == 0 {
 		fmt.Println("  no warnings")
 	}
+	pw := provenance.NewWalker(report.Graph)
 	for _, w := range report.Warnings {
 		fmt.Println("  ⚡", w)
+		if chain := pw.Chain(w.Node); len(chain) > 0 {
+			fmt.Println("     async stack trace:")
+			provenance.Render(os.Stdout, chain, "       ")
+		}
 	}
 	fmt.Println()
 }

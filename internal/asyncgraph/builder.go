@@ -22,7 +22,10 @@ func renderValue(v vm.Value) string {
 }
 
 // captureStack resolves the current call stack into display frames for
-// promise-node provenance (async stack traces).
+// creation-site provenance (the debug-stacks mode of async stack
+// traces). Capturing and resolving frames on every tracked API call is
+// deliberate, measured overhead — which is why Config.DebugStacks is
+// opt-in.
 func captureStack() []string {
 	var pcs [24]uintptr
 	n := runtime.Callers(3, pcs[:])
@@ -55,9 +58,18 @@ type Config struct {
 	// promise analyses do). It is the costly part of promise tracking
 	// and exists as an explicit knob for the overhead ablation.
 	ChainAnalysis bool
+	// DebugStacks captures the Go call stack (runtime.Callers, resolved
+	// to display frames) at every promise/emitter creation, trigger, and
+	// callback registration, attaching it to the created node
+	// (Node.Stack) so provenance chains can show *where in the program*
+	// each hop originated. Off by default: capture + symbolization on
+	// every tracked API call is the dominant cost of the mode (see
+	// EXPERIMENTS.md), exactly like the WithDebugMode promise-stack
+	// capture of real event-loop libraries.
+	DebugStacks bool
 }
 
-// DefaultConfig tracks everything.
+// DefaultConfig tracks everything; DebugStacks stays opt-in.
 func DefaultConfig() Config {
 	return Config{Promises: true, Emitters: true, Scheduling: true, IO: true, ChainAnalysis: true}
 }
@@ -315,7 +327,7 @@ func (b *Builder) addPromiseOB(ev *vm.APIEvent) {
 		Obj:   ev.Receiver,
 		Label: fmt.Sprintf("P%d", b.promiseCount),
 	}, "")
-	if b.cfg.ChainAnalysis {
+	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
 	}
 	for _, in := range ev.Related {
@@ -335,13 +347,16 @@ func (b *Builder) addEmitterOB(ev *vm.APIEvent) {
 			label = fmt.Sprintf("E%d:%s", b.emitterCount, s)
 		}
 	}
-	b.newNode(&Node{
+	n := b.newNode(&Node{
 		Kind:  OB,
 		Loc:   ev.Loc,
 		API:   ev.API,
 		Obj:   ev.Receiver,
 		Label: label,
 	}, "")
+	if b.cfg.DebugStacks {
+		n.Stack = captureStack()
+	}
 }
 
 // addTrigger creates the ★ node for an emit / resolve / reject. Implicit
@@ -366,11 +381,11 @@ func (b *Builder) addTrigger(ev *vm.APIEvent) {
 		Label:   b.cachedTriggerLabel(ev),
 	}, "")
 	b.ctByTrig[ev.TriggerSeq] = n.ID
-	if b.cfg.ChainAnalysis && ev.Receiver.Kind == vm.ObjPromise {
+	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
-		if len(ev.Args) > 0 {
-			n.ValueStr = renderValue(ev.Args[0])
-		}
+	}
+	if b.cfg.ChainAnalysis && ev.Receiver.Kind == vm.ObjPromise && len(ev.Args) > 0 {
+		n.ValueStr = renderValue(ev.Args[0])
 	}
 	// Tie the trigger to its object for readability (emit('x') ⇠ E1).
 	if ob := b.g.ObjNode(ev.Receiver.ID); ob != NoNode {
@@ -410,7 +425,7 @@ func (b *Builder) addRegistration(ev *vm.APIEvent) {
 		b.pending[reg.Callback] = append(b.pending[reg.Callback], cr)
 		b.byRegSeq[reg.Seq] = cr
 	}
-	if b.cfg.ChainAnalysis && ev.Receiver.Kind == vm.ObjPromise {
+	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
 	}
 	// Relation edges to bound objects: listener-on-emitter

@@ -1,0 +1,38 @@
+package asyncgraph
+
+// ChainHop is one step of an async causal chain: a single Async Graph
+// node on the backward walk from a warning's anchor towards the main
+// tick. A chain reads like a stack trace — hop 0 is the warning's own
+// node, the last hop is the oldest cause the graph records (typically a
+// registration performed by the main program). The provenance package
+// computes chains; this type lives here so every layer that carries
+// warnings (detect, explore, server, fleet) can embed chains without
+// importing the walker.
+type ChainHop struct {
+	// Node is the hop's graph node ID (valid for the graph the chain was
+	// walked on; chains survive serialization, node IDs do not resolve
+	// across different runs).
+	Node NodeID `json:"node"`
+	// Kind is the node class tag: "CR", "CE", "CT", or "OB".
+	Kind string `json:"kind"`
+	// Step names the causal edge that led from the previous (more
+	// recent) hop to this one: "" for the anchor hop, "trigger" for the
+	// ★ whose firing ran the previous execution, "registration" for the
+	// □ that registered the previous execution's callback, and "context"
+	// for the ○ during which the previous hop's node was created.
+	Step string `json:"step,omitempty"`
+	// Tick is the committed tick label ("t3:io"), or "" for nodes in an
+	// uncommitted tick.
+	Tick string `json:"tick,omitempty"`
+	// Label is the node's display label ("L7: on('foo')", "P1").
+	Label string `json:"label"`
+	// Loc is the source location of the originating API use
+	// ("file.go:12", or "*" when unknown).
+	Loc string `json:"loc"`
+	// Func names the registered/executed callback, when the node has one.
+	Func string `json:"func,omitempty"`
+	// Stack is the Go call stack captured at the node's creation site —
+	// populated only under the opt-in debug-stacks mode
+	// (Config.DebugStacks), filtered to user frames.
+	Stack []string `json:"stack,omitempty"`
+}

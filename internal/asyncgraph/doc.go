@@ -1,0 +1,70 @@
+// Package asyncgraph implements the Async Graph (AG) of the paper — a
+// time-oriented graph describing the asynchronous flow of a program on
+// the simulated Node.js event loop — together with the builder that
+// constructs it from probe events (the paper's Algorithms 1–3) and DOT
+// and JSON exporters.
+//
+// # Node kinds
+//
+// Nodes come in four kinds, drawn with the paper's symbols throughout
+// this repository's output:
+//
+//	CR  □  callback registration  (on, then, setTimeout, ...)
+//	CE  ○  callback execution     (the registered callback running)
+//	CT  ★  callback trigger       (emit, resolve, reject, I/O ready)
+//	OB  △  object binding         (promise / emitter creation)
+//
+// Nodes are grouped into event-loop ticks (one top-level callback
+// execution each, labelled "t3:io"); edges are either solid direct
+// causal edges (→) or dashed binding/relation edges (⇠).
+//
+// # The edge model
+//
+// Three edge shapes carry all causality. For the canonical snippet
+//
+//	// t1:main                        t2:promise
+//	p.then(cb)                        cb() runs
+//	p.resolve()
+//
+// the builder emits:
+//
+//		 t1:main                 │    t2:promise
+//		                         │
+//		  □ then ──────────────────────→ ○ cb ─────→ (nodes created in cb)
+//		      ▲                  │      ╱   direct: happens-in
+//		      ┆ binding (CE ⇠ CR)│     ╱
+//		      └┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄╱
+//		  ★ resolve ───────────────→ ○ cb
+//		                direct: trigger (CT → CE)
+//
+//	  - CR → CE (direct): the registration caused this execution. When a
+//	    CT exists it is the primary cause; the CR edge still records
+//	    which registration the callback came from.
+//	  - CT → CE (direct): the trigger (resolve/emit/expiry) that made the
+//	    callback runnable.
+//	  - CE → n (direct, "happens-in"): every node n created while a
+//	    callback executes hangs off that execution — this is what lets a
+//	    backward walk recover "who created this?".
+//	  - CE ⇠ CR (binding, dashed): each execution is bound back to its
+//	    registration node.
+//	  - OB relation edges (dashed, labelled "then", "link", ...) connect
+//	    object-binding nodes to related nodes.
+//
+// The provenance package inverts exactly these edges to produce the
+// async causal chain ("async stack trace") behind a detector warning.
+//
+// # Warnings and provenance
+//
+// Detector findings attach to nodes as Warning values; each carries its
+// anchor NodeID, and — once the provenance or explore layer has run —
+// its Chain ([]ChainHop, defined here so every layer can embed chains
+// without importing the walker) and ReplayToken.
+//
+// # Debug stacks
+//
+// With Config.DebugStacks set, the builder captures the resolved Go
+// call stack at every OB creation, CT trigger, and CR registration, so
+// chain hops can show the program call sites that produced them. The
+// capture is off by default: it is the mode's dominant cost (see
+// EXPERIMENTS.md for measurements).
+package asyncgraph

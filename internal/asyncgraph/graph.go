@@ -1,13 +1,3 @@
-// Package asyncgraph implements the Async Graph (AG) of the paper — a
-// time-oriented graph describing the asynchronous flow of a program on
-// the simulated Node.js event loop — together with the builder that
-// constructs it from probe events (the paper's Algorithms 1–3) and DOT
-// and JSON exporters.
-//
-// Nodes come in four kinds: Callback Registration (CR, □), Callback
-// Execution (CE, ○), Callback Trigger (CT, ★) and Object Binding (OB, △).
-// Nodes are grouped into event-loop ticks; edges are either direct causal
-// edges (→) or dashed binding/relation edges (⇠).
 package asyncgraph
 
 import (
@@ -87,11 +77,12 @@ type Node struct {
 	// ValueStr is the rendered settlement value for promise trigger
 	// nodes (Fig. 5 labels the value flowing from p1 to p2).
 	ValueStr string
-	// Stack is the resolved creation stack captured for promise nodes
-	// when chain analysis is on — the async-stack-trace provenance a
-	// promise debugger shows. Capturing and resolving it on every
-	// promise operation is the dominant cost of promise tracking
-	// (the paper's "withpromise" overhead).
+	// Stack is the resolved Go call stack captured at the node's
+	// creation site under the opt-in debug-stacks mode
+	// (Config.DebugStacks) — the creation-site provenance a promise
+	// debugger shows. Capturing and resolving it on every tracked API
+	// call is the mode's dominant cost, which is why it is off by
+	// default (see EXPERIMENTS.md for the measured overhead).
 	Stack []string
 }
 
@@ -166,6 +157,14 @@ type Warning struct {
 	Node NodeID
 	// Loc is the source location the warning points at.
 	Loc loc.Loc
+	// Chain is the async causal chain walked backwards from Node — the
+	// warning's "async stack trace". Filled post-hoc by
+	// provenance.Annotate (and by explore.Replay); empty until then.
+	Chain []ChainHop `json:"chain,omitempty"`
+	// ReplayToken is the schedule token that reproduces the run this
+	// warning was observed in (`asyncg explore -replay <token>`).
+	// Stamped by the explore layer; empty for plain single runs.
+	ReplayToken string `json:"replayToken,omitempty"`
 }
 
 // String renders the warning as "[category] message (file:line)".

@@ -87,8 +87,18 @@ func All() []Case {
 // Table1 returns the fourteen Table I entries only.
 func Table1() []Case { return All()[:14] }
 
-// ByID finds a case by identifier.
+// aliases maps friendly names onto canonical case IDs. "bugdetect" is
+// the Fig. 4 program as packaged in examples/bugdetect — the anchor of
+// the docs/DEBUGGING.md walkthrough.
+var aliases = map[string]string{
+	"bugdetect": "fig4",
+}
+
+// ByID finds a case by identifier or alias.
 func ByID(id string) (Case, bool) {
+	if canon, ok := aliases[id]; ok {
+		id = canon
+	}
 	for _, c := range All() {
 		if c.ID == id {
 			return c, true

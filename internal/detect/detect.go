@@ -1,16 +1,3 @@
-// Package detect implements AsyncG's automatic bug detection (§VI of the
-// paper) on top of the Async Graph builder: scheduling bugs (recursive
-// micro-tasks, mixing similar APIs, unexpected timeout order), emitter
-// bugs (dead listeners, dead emits, invalid removal, duplicate listeners,
-// add-listener-within-listener), and promise bugs (dead promises, missing
-// reactions, missing exceptional reject reactions, missing returns,
-// double resolve/reject), plus the graph-assisted manual queries of
-// §VI-B.
-//
-// The Analyzer attaches to the same probe stream as the graph builder
-// (attach the builder first so nodes exist when the analyzer annotates
-// them). Some warnings fire online while the program runs; the rest are
-// produced by Finish once the run ends.
 package detect
 
 import (

@@ -1,0 +1,28 @@
+// Package detect implements AsyncG's automatic bug detection (§VI of the
+// paper) on top of the Async Graph builder: scheduling bugs (recursive
+// micro-tasks, mixing similar APIs, unexpected timeout order), emitter
+// bugs (dead listeners, dead emits, invalid removal, duplicate listeners,
+// add-listener-within-listener), and promise bugs (dead promises, missing
+// reactions, missing exceptional reject reactions, missing returns,
+// double resolve/reject), plus the graph-assisted manual queries of
+// §VI-B.
+//
+// # Attachment and phases
+//
+// The Analyzer attaches to the same probe stream as the graph builder
+// (attach the builder first so nodes exist when the analyzer annotates
+// them). Some warnings fire online while the program runs; the rest are
+// produced by Finish once the run ends.
+//
+// # Warnings, anchors, and provenance
+//
+// Every finding is an asyncgraph.Warning with a typed Category (the
+// constants below — a typo'd category is a compile error, not a
+// silently-empty filter) and an anchor node: the □ registration of a
+// dead listener, the ★ trigger of a dead emit, the △ binding of an
+// unhandled promise. The anchor is what makes a warning debuggable —
+// the provenance package walks the graph backwards from it to produce
+// the warning's async causal chain, and the explore layer stamps the
+// schedule token that reproduces it. Program-level findings with no
+// natural node use asyncgraph.NoNode and carry no chain.
+package detect

@@ -91,6 +91,7 @@ func (e *Emitter) ID() uint64 { return e.id }
 // Name returns the diagnostic label.
 func (e *Emitter) Name() string { return e.name }
 
+// String renders the emitter as "EventEmitter(name#id)".
 func (e *Emitter) String() string { return fmt.Sprintf("EventEmitter(%s#%d)", e.name, e.id) }
 
 // SetMaxListeners adjusts the leak-warning threshold; 0 disables it.

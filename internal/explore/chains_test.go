@@ -1,0 +1,119 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestChainsAttached: WithChains must leave every witnessed warning stat
+// carrying a non-empty async causal chain, and replaying the witness
+// token must reproduce the identical warning set and the identical
+// chain — the chain is a deterministic function of (target, token).
+func TestChainsAttached(t *testing.T) {
+	tg := caseTarget(t, "fig4")
+	res := mustRun(t, tg, WithRuns(8), WithSeed(1), WithChains())
+	if len(res.Warnings) == 0 {
+		t.Fatal("no warnings classified")
+	}
+	for _, ws := range res.Warnings {
+		if ws.Witness == "" {
+			continue
+		}
+		if len(ws.Chain) == 0 {
+			t.Errorf("%s: witnessed warning has no chain", ws.Key)
+			continue
+		}
+		_, report, err := Replay(tg, ws.Witness)
+		if err != nil {
+			t.Fatalf("%s: replay %s: %v", ws.Key, ws.Witness, err)
+		}
+		found := false
+		for _, w := range report.Warnings {
+			if warnKey(w) != ws.Key {
+				continue
+			}
+			found = true
+			if w.ReplayToken != ws.Witness {
+				t.Errorf("%s: replayed warning carries token %q, want %q", ws.Key, w.ReplayToken, ws.Witness)
+			}
+			if !reflect.DeepEqual(w.Chain, ws.Chain) {
+				t.Errorf("%s: replayed chain differs from classified chain:\nreplay:   %+v\nclassify: %+v",
+					ws.Key, w.Chain, ws.Chain)
+			}
+		}
+		if !found {
+			t.Errorf("%s: witness replay did not reproduce the warning", ws.Key)
+		}
+	}
+}
+
+// TestChainsIdenticalAcrossWorkers: the chain attachment happens after
+// aggregation, so the classified output — chains included — must be
+// byte-identical regardless of how many workers executed the schedules.
+func TestChainsIdenticalAcrossWorkers(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	seq := mustRun(t, tg, WithRuns(16), WithSeed(3), WithWorkers(1), WithChains())
+	par := mustRun(t, tg, WithRuns(16), WithSeed(3), WithWorkers(4), WithChains())
+	sj, err := json.Marshal(seq.Warnings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(par.Warnings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("warning stats differ across worker counts:\nworkers=1: %s\nworkers=4: %s", sj, pj)
+	}
+}
+
+// TestNDJSONSometimesCarriesBothTokens is the regression test for the
+// token contract: every sometimes-classified warning line in the NDJSON
+// stream must carry BOTH its witness and its counter-witness replay
+// token. A consumer debugging a schedule-dependent warning needs the
+// pair — one schedule that shows the bug and one that does not.
+func TestNDJSONSometimesCarriesBothTokens(t *testing.T) {
+	tg := caseTarget(t, "SO-17894000")
+	res := mustRun(t, tg, WithRuns(24), WithSeed(3), WithChains())
+	var buf bytes.Buffer
+	if err := res.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sometimes := 0
+	scanner := bufio.NewScanner(&buf)
+	for scanner.Scan() {
+		var line struct {
+			Kind           string `json:"kind"`
+			Key            string `json:"key"`
+			Outcome        string `json:"outcome"`
+			Witness        string `json:"witness"`
+			CounterWitness string `json:"counterWitness"`
+			Chain          []any  `json:"chain"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		if line.Kind != KindWarning || line.Outcome != string(OutcomeSometimes) {
+			continue
+		}
+		sometimes++
+		if line.Witness == "" {
+			t.Errorf("%s: sometimes warning line without witness token", line.Key)
+		}
+		if line.CounterWitness == "" {
+			t.Errorf("%s: sometimes warning line without counter-witness token", line.Key)
+		}
+		if len(line.Chain) == 0 {
+			t.Errorf("%s: sometimes warning line without chain (explored with WithChains)", line.Key)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sometimes == 0 {
+		t.Fatal("no sometimes-classified warning line in the stream; the regression test exercised nothing")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"asyncg"
 	"asyncg/internal/acmeair"
+	"asyncg/internal/asyncgraph"
 	"asyncg/internal/casestudy"
 	"asyncg/internal/detect"
 	"asyncg/internal/eventloop"
@@ -129,6 +130,12 @@ type config struct {
 	// Feedback copies each run's choice-point record (domain sizes,
 	// independence flags) into its RunResult (see WithRunFeedback).
 	Feedback bool
+	// Chains attaches async causal chains to the classified warnings
+	// after aggregation (see WithChains and AttachChains).
+	Chains bool
+	// DebugStacks turns on creation-stack capture inside every run and
+	// witness replay (see WithDebugStacks).
+	DebugStacks bool
 }
 
 func (c config) withDefaults() config {
@@ -213,10 +220,20 @@ type WarningStat struct {
 	Outcome Outcome `json:"outcome"`
 	// Runs counts the runs that produced the warning.
 	Runs int `json:"runs"`
-	// Witness replays a run that produced the warning.
+	// Witness replays a run that produced the warning — the warning's
+	// replay token (`asyncg explore -replay <witness>` reproduces it
+	// deterministically).
 	Witness string `json:"witness,omitempty"`
-	// CounterWitness replays a run that did not (sometimes only).
+	// CounterWitness replays a run that did not (sometimes only). Both
+	// tokens are always emitted together on every surface (text,
+	// NDJSON, serve, fleet): a schedule-dependent finding without its
+	// counter-example is half a diagnosis.
 	CounterWitness string `json:"counterWitness,omitempty"`
+	// Chain is the warning's async causal chain, walked on a replay of
+	// the Witness schedule (see AttachChains). Populated only when
+	// chains were requested (WithChains / -chains / jobSpec.chains);
+	// additive on every stream and result surface.
+	Chain []asyncgraph.ChainHop `json:"chain,omitempty"`
 }
 
 // CategoryStat classifies one detector category across all runs
@@ -343,6 +360,9 @@ func runExploration(ctx context.Context, t Target, cfg config) (*Result, error) 
 	}
 	aggregate(t, res)
 	res.NewGraphs = len(res.Fingerprints)
+	if err == nil && cfg.Chains {
+		AttachChains(t, res, cfg.DebugStacks)
+	}
 	return res, err
 }
 
@@ -371,7 +391,7 @@ func emitRun(res *Result, cfg *config, rr RunResult, snap *trace.Snapshot) {
 // parallel coordinators — and surfaced as err; coordinators treat it as
 // fatal to the exploration, so a panic fails the caller's job without
 // ever killing a worker goroutine (or the process).
-func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bool) (rr RunResult, snap *trace.Snapshot, err error) {
+func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics, debugStacks bool) (rr RunResult, snap *trace.Snapshot, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rr, snap = RunResult{}, nil
@@ -384,6 +404,9 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bo
 	}
 	if withMetrics {
 		extra = append(extra, asyncg.WithMetrics())
+	}
+	if debugStacks {
+		extra = append(extra, asyncg.WithDebugStacks())
 	}
 	report, rerr := t.Run(extra...)
 	rr = RunResult{Index: idx, Token: ch.Schedule().Token()}
@@ -399,7 +422,7 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bo
 	}
 	seen := make(map[string]bool)
 	for _, w := range report.Warnings {
-		key := fmt.Sprintf("%s @ %s", w.Category, w.Loc)
+		key := warnKey(w)
 		if !seen[key] {
 			seen[key] = true
 			rr.Warnings = append(rr.Warnings, key)
@@ -410,8 +433,11 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics bo
 }
 
 // Replay runs the target once under a recorded schedule token; extra
-// options (tracing, metrics) ride along, so a witness schedule can be
-// re-examined with the full observability stack attached.
+// options (tracing, metrics, asyncg.WithDebugStacks) ride along, so a
+// witness schedule can be re-examined with the full observability stack
+// attached. Every warning of the replayed report is annotated with its
+// provenance: ReplayToken is stamped with token and Chain with the
+// async causal chain walked back from the warning's graph node.
 func Replay(t Target, token string, extra ...asyncg.Option) (RunResult, *asyncg.Report, error) {
 	sched, err := ParseToken(token)
 	if err != nil {
@@ -429,9 +455,10 @@ func Replay(t Target, token string, extra ...asyncg.Option) (RunResult, *asyncg.
 		if report.Graph != nil {
 			rr.Fingerprint = report.Graph.Fingerprint()
 		}
+		annotateReport(report, token)
 		seen := make(map[string]bool)
 		for _, w := range report.Warnings {
-			key := fmt.Sprintf("%s @ %s", w.Category, w.Loc)
+			key := warnKey(w)
 			if !seen[key] {
 				seen[key] = true
 				rr.Warnings = append(rr.Warnings, key)
@@ -557,6 +584,11 @@ func aggregate(t Target, res *Result) {
 		}
 		return a.Fingerprint < b.Fingerprint
 	})
+}
+
+// warnKey renders a warning's exploration identity: "category @ location".
+func warnKey(w asyncgraph.Warning) string {
+	return fmt.Sprintf("%s @ %s", w.Category, w.Loc)
 }
 
 // warnKeyCategory recovers the category from a "category @ location"

@@ -69,6 +69,27 @@ func WithRunFeedback() Option {
 	return func(c *config) { c.Feedback = true }
 }
 
+// WithChains attaches async causal chains to the classified warnings:
+// after aggregation, each distinct witness token is replayed once and
+// every warning's chain is walked backwards on the replayed graph
+// (WarningStat.Chain, rendered by the CLI's -chains flag and carried
+// additively through NDJSON and the serve/fleet surfaces). Chains are a
+// deterministic function of (target, witness token), so results remain
+// byte-identical for any worker count and across fleet merges.
+func WithChains() Option {
+	return func(c *config) { c.Chains = true }
+}
+
+// WithDebugStacks runs every schedule (and every witness replay) under
+// asyncg.WithDebugStacks: the graph builder captures the Go call stack
+// at each promise/emitter creation, trigger, and registration, and
+// chain hops carry the frames. Opt-in — stack symbolization per tracked
+// API call dominates the builder's cost (see EXPERIMENTS.md). It never
+// perturbs scheduling, fingerprints, or classification.
+func WithDebugStacks() Option {
+	return func(c *config) { c.DebugStacks = true }
+}
+
 // WithRunMetrics attaches the trace metrics registry to every run and
 // aggregates the per-run snapshots into Result.Metrics (merge order is
 // irrelevant — see trace.Snapshot.Merge — so the aggregate is identical

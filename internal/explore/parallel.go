@@ -94,7 +94,7 @@ func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) erro
 			inFlight++
 			go func() {
 				ch := newChooser(cfg.Kinds, next)
-				rr, snap, err := runOnce(ctx, t, idx, ch, cfg.RunMetrics)
+				rr, snap, err := runOnce(ctx, t, idx, ch, cfg.RunMetrics, cfg.DebugStacks)
 				done <- doneRun{idx: idx, rr: rr, snap: snap, ch: ch, err: err}
 			}()
 		}

@@ -3,6 +3,8 @@ package explore
 import (
 	"fmt"
 	"io"
+
+	"asyncg/internal/provenance"
 )
 
 // BudgetNote describes a mismatch between the requested run budget and
@@ -56,6 +58,14 @@ func (r *Result) WriteText(w io.Writer) error {
 		if ws.Outcome == OutcomeSometimes {
 			fmt.Fprintf(w, "              witness         %s\n", ws.Witness)
 			fmt.Fprintf(w, "              counter-witness %s\n", ws.CounterWitness)
+		} else if ws.Witness != "" && len(ws.Chain) > 0 {
+			fmt.Fprintf(w, "              replay          %s\n", ws.Witness)
+		}
+		if len(ws.Chain) > 0 {
+			fmt.Fprintf(w, "              async stack trace:\n")
+			if err := provenance.Render(w, ws.Chain, "                "); err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Fprintf(w, "\ncategories (* = expected by the case study):\n")

@@ -86,12 +86,13 @@ func (c *client) checkHealth(ctx context.Context) error {
 // of the server's jobSpec (the server rejects unknown fields, so this
 // struct is the compatibility contract).
 type jobRequest struct {
-	Target    string             `json:"target"`
-	Kinds     string             `json:"kinds,omitempty"`
-	NoMetrics bool               `json:"noMetrics,omitempty"`
-	Feedback  bool               `json:"feedback,omitempty"`
-	TimeoutMs int64              `json:"timeoutMs,omitempty"`
-	Shard     *explore.ShardSpec `json:"shard"`
+	Target      string             `json:"target"`
+	Kinds       string             `json:"kinds,omitempty"`
+	NoMetrics   bool               `json:"noMetrics,omitempty"`
+	Feedback    bool               `json:"feedback,omitempty"`
+	DebugStacks bool               `json:"debugStacks,omitempty"`
+	TimeoutMs   int64              `json:"timeoutMs,omitempty"`
+	Shard       *explore.ShardSpec `json:"shard"`
 }
 
 // jobRef is the slice of the submission response the client needs.

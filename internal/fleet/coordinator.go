@@ -56,6 +56,17 @@ type Plan struct {
 	// Metrics aggregates per-run trace snapshots into Result.Metrics,
 	// like explore.WithRunMetrics.
 	Metrics bool `json:"metrics,omitempty"`
+	// Chains attaches async causal chains to the merged warning
+	// classification. The coordinator attaches them locally *after*
+	// explore.Finalize — chains are a deterministic function of
+	// (target, witness token), so the merged Result stays byte-identical
+	// to a single-process explore.Run with WithChains; shard workers
+	// never compute chains.
+	Chains bool `json:"chains,omitempty"`
+	// DebugStacks runs shard schedules and the coordinator's chain
+	// replays under creation-stack capture (explore.WithDebugStacks);
+	// chain hops then carry creation call sites.
+	DebugStacks bool `json:"debugStacks,omitempty"`
 }
 
 func (p Plan) withDefaults() Plan {
@@ -357,6 +368,12 @@ func (c *coordinator) run(ctx context.Context) (*explore.Result, *Stats, error) 
 	c.res.CorpusSize = st.CorpusSize
 	c.res.PrunedPicks = st.PrunedPicks
 	explore.Finalize(c.target, c.res)
+	if fatal == nil && c.cfg.Plan.Chains {
+		// After Finalize, witness tokens are final; replaying them
+		// locally yields the same chains a single-process exploration
+		// attaches, keeping the byte-identical merge invariant.
+		explore.AttachChains(c.target, c.res, c.cfg.Plan.DebugStacks)
+	}
 	return c.res, &c.stats, fatal
 }
 
@@ -366,9 +383,10 @@ func (c *coordinator) run(ctx context.Context) (*explore.Result, *Stats, error) 
 // reported, so "completed" always means "on disk".
 func (c *coordinator) dispatch(ctx context.Context, idx int, spec explore.ShardSpec) {
 	req := jobRequest{
-		Target:    c.cfg.Plan.Target,
-		Kinds:     c.cfg.Plan.Kinds,
-		NoMetrics: !c.cfg.Plan.Metrics,
+		Target:      c.cfg.Plan.Target,
+		Kinds:       c.cfg.Plan.Kinds,
+		NoMetrics:   !c.cfg.Plan.Metrics,
+		DebugStacks: c.cfg.Plan.DebugStacks,
 		// The exhaustive planner expands the frontier from each run's
 		// choice-point recording; other strategies keep the wire lean.
 		Feedback: spec.Strategy == explore.StrategyExhaustive,

@@ -68,6 +68,9 @@ func singleProcess(t *testing.T, p Plan) *explore.Result {
 	if p.Metrics {
 		opts = append(opts, explore.WithRunMetrics())
 	}
+	if p.Chains {
+		opts = append(opts, explore.WithChains())
+	}
 	res, err := explore.Run(context.Background(), target, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -139,6 +142,30 @@ func TestFleetMetrics(t *testing.T) {
 	want := singleProcess(t, p)
 	if want.Metrics == nil {
 		t.Fatal("reference run has no metrics snapshot")
+	}
+	res, _, err := Run(context.Background(), Config{Plan: p, Workers: startWorkers(t, 2), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, res, want)
+}
+
+// TestFleetChainsMatchSingleProcess: async causal chains attach after
+// the merge, re-derived from witness-token replays, so the fleet's
+// classification — chains, witness and counter-witness tokens included —
+// must stay byte-identical to a single-process explore.Run of the same
+// plan with WithChains.
+func TestFleetChainsMatchSingleProcess(t *testing.T) {
+	p := Plan{Target: caseTarget, Strategy: explore.StrategyRandom, Seed: 3, Runs: 16, ShardRuns: 5, Chains: true}
+	want := singleProcess(t, p)
+	chained := 0
+	for _, ws := range want.Warnings {
+		if len(ws.Chain) > 0 {
+			chained++
+		}
+	}
+	if chained == 0 {
+		t.Fatal("reference run carries no chains; the equivalence test would prove nothing")
 	}
 	res, _, err := Run(context.Background(), Config{Plan: p, Workers: startWorkers(t, 2), Dir: t.TempDir()})
 	if err != nil {

@@ -20,6 +20,7 @@ const (
 	CatIO                  // simulated network / fs APIs
 )
 
+// String names the category for diagnostics and trace output.
 func (c Category) String() string {
 	switch c {
 	case CatScheduling:

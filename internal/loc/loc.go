@@ -37,6 +37,8 @@ func Here() Loc { return Caller(0) }
 // IsInternal reports whether the location refers to runtime internals.
 func (l Loc) IsInternal() bool { return l.File == "" }
 
+// String renders the location as "file:line" ("<internal>" for
+// runtime-internal locations).
 func (l Loc) String() string {
 	if l.IsInternal() {
 		return "*"

@@ -20,6 +20,8 @@ type AggregateError struct {
 	Reasons []vm.Value
 }
 
+// Error summarizes the aggregate rejection, mirroring the JS
+// AggregateError message.
 func (e *AggregateError) Error() string {
 	return fmt.Sprintf("AggregateError: all %d promises were rejected", len(e.Reasons))
 }

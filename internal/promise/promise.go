@@ -49,6 +49,8 @@ const (
 	Rejected
 )
 
+// String names the settlement state ("pending", "fulfilled",
+// "rejected").
 func (s State) String() string {
 	switch s {
 	case Pending:
@@ -160,6 +162,7 @@ func (p *Promise) Value() vm.Value { return p.value }
 // CreatedAt returns the creation site.
 func (p *Promise) CreatedAt() loc.Loc { return p.createdAt }
 
+// String renders the promise as "Promise#id(state)".
 func (p *Promise) String() string {
 	return fmt.Sprintf("Promise#%d(%s)", p.id, p.state)
 }

@@ -1,0 +1,97 @@
+package provenance_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asyncg/internal/casestudy"
+	"asyncg/internal/provenance"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden chain files in testdata/")
+
+// goldenCases are the case-study targets whose chains are pinned byte
+// for byte. They span the anchor kinds the walker handles: □ dead
+// listeners, ★ dead emits, △ promise bindings, and CE-rooted warnings,
+// from single-hop (main-tick) to multi-hop (registration inside a
+// promise reaction). Debug stacks stay OFF here: golden files must not
+// contain environment-specific absolute paths.
+var goldenCases = []string{
+	"fig4",
+	"motivation",
+	"fanout-join",
+	"SO-17894000",
+	"SO-33330277",
+	"SO-38140113",
+}
+
+// renderChains runs the buggy program under the default schedule and
+// renders every warning with its chain — the exact hop sequence the
+// golden file asserts.
+func renderChains(t *testing.T, id string) []byte {
+	t.Helper()
+	c, ok := casestudy.ByID(id)
+	if !ok {
+		t.Fatalf("unknown case %q", id)
+	}
+	res := casestudy.RunBuggy(c)
+	if res.Report == nil || res.Report.Graph == nil {
+		t.Fatalf("%s: no graph (err=%v)", id, res.Err)
+	}
+	var buf bytes.Buffer
+	pw := provenance.NewWalker(res.Report.Graph)
+	for _, w := range res.Report.Warnings {
+		fmt.Fprintf(&buf, "⚡ %s\n", w)
+		chain := pw.Chain(w.Node)
+		if len(chain) == 0 {
+			fmt.Fprintf(&buf, "  (no chain: program-level warning)\n")
+			continue
+		}
+		if err := provenance.Render(&buf, chain, "  "); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenChains pins the chain extraction over the case-study corpus.
+// Run with -update after an intentional change to the walk or renderer.
+func TestGoldenChains(t *testing.T) {
+	for _, id := range goldenCases {
+		t.Run(id, func(t *testing.T) {
+			got := renderChains(t, id)
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/provenance -run TestGoldenChains -update`)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("chains changed for %s:\n--- got ---\n%s--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenChainsDeterministic: two fresh runs must render identical
+// bytes — the precondition for golden files (and for the fleet merge
+// invariant, which re-derives chains from witness tokens).
+func TestGoldenChainsDeterministic(t *testing.T) {
+	a := renderChains(t, "fig4")
+	b := renderChains(t, "fig4")
+	if !bytes.Equal(a, b) {
+		t.Errorf("same program rendered differently:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,223 @@
+// Package provenance reconstructs the causal story behind a detector
+// warning by walking the Async Graph backwards from the warning's
+// anchor node — the cross-tick "async stack trace" of the paper's
+// debugging narrative.
+//
+// The walk inverts the graph's causal edges. From a callback execution
+// (○, CE) it recovers the trigger that fired it (★, CT, when one
+// exists), the registration that created the callback (□, CR, via the
+// ○⇠□ binding edge), and then continues from the execution *during
+// which that registration happened* (the CE→□ happens-in edge) — the
+// same "who registered this callback, and who ran them" recursion an
+// async-aware debugger performs over async_hooks. From a CR/CT/OB
+// anchor it first steps to the enclosing execution, then recurses. The
+// walk ends at nodes created by the main program (tick t1 has no
+// enclosing CE) or when the graph records no further cause.
+//
+// A Walker precomputes the three inverted indexes in one O(V+E) pass;
+// each chain then costs O(hops), bounded by MaxHops. Chains are plain
+// data ([]asyncgraph.ChainHop) so every layer that carries warnings can
+// embed them; see Render for the human-readable form.
+package provenance
+
+import (
+	"strings"
+
+	"asyncg/internal/asyncgraph"
+)
+
+// Step values for ChainHop.Step: how a hop follows from the previous
+// (more recent) one.
+const (
+	// StepTrigger marks the ★ node whose firing ran the previous ○.
+	StepTrigger = "trigger"
+	// StepRegistration marks the □ node that registered the previous
+	// ○'s callback.
+	StepRegistration = "registration"
+	// StepContext marks the ○ node during which the previous hop's node
+	// was created (the graph's happens-in edge, inverted).
+	StepContext = "context"
+)
+
+// MaxHops bounds a chain's length as a defensive limit; real chains end
+// at the main tick long before this.
+const MaxHops = 256
+
+// Walker answers backward-provenance queries over one Async Graph. It
+// precomputes the inverted causal indexes once (O(V+E)); build a fresh
+// Walker per graph.
+type Walker struct {
+	g *asyncgraph.Graph
+	// trigOf maps a CE node to the CT node whose firing ran it (NoNode
+	// when the execution had no explicit trigger).
+	trigOf []asyncgraph.NodeID
+	// regOf maps a CE node to the CR node it is bound to (the ○⇠□
+	// binding edge; NoNode for untracked executions).
+	regOf []asyncgraph.NodeID
+	// encOf maps any node to the CE node it was created during (the
+	// happens-in edge, inverted; NoNode for main-tick nodes).
+	encOf []asyncgraph.NodeID
+}
+
+// NewWalker indexes the graph for backward walks.
+func NewWalker(g *asyncgraph.Graph) *Walker {
+	w := &Walker{
+		g:      g,
+		trigOf: make([]asyncgraph.NodeID, len(g.Nodes)),
+		regOf:  make([]asyncgraph.NodeID, len(g.Nodes)),
+		encOf:  make([]asyncgraph.NodeID, len(g.Nodes)),
+	}
+	for i := range w.trigOf {
+		w.trigOf[i] = asyncgraph.NoNode
+		w.regOf[i] = asyncgraph.NoNode
+		w.encOf[i] = asyncgraph.NoNode
+	}
+	for _, e := range g.Edges {
+		from, to := g.Node(e.From), g.Node(e.To)
+		if from == nil || to == nil {
+			continue
+		}
+		switch e.Kind {
+		case asyncgraph.EdgeDirect:
+			// First edge wins: edges are appended in creation order, so
+			// the first is the builder's primary cause.
+			switch {
+			case from.Kind == asyncgraph.CT && to.Kind == asyncgraph.CE:
+				if w.trigOf[to.ID] == asyncgraph.NoNode {
+					w.trigOf[to.ID] = from.ID
+				}
+			case from.Kind == asyncgraph.CE:
+				if w.encOf[to.ID] == asyncgraph.NoNode {
+					w.encOf[to.ID] = from.ID
+				}
+			}
+		case asyncgraph.EdgeBinding:
+			if from.Kind == asyncgraph.CE && to.Kind == asyncgraph.CR &&
+				w.regOf[from.ID] == asyncgraph.NoNode {
+				w.regOf[from.ID] = to.ID
+			}
+		}
+	}
+	return w
+}
+
+// Chain walks backwards from a node and returns its async causal chain,
+// most recent hop first. A NoNode or out-of-range anchor (program-level
+// warnings) yields nil.
+func (w *Walker) Chain(anchor asyncgraph.NodeID) []asyncgraph.ChainHop {
+	n := w.g.Node(anchor)
+	if n == nil {
+		return nil
+	}
+	var hops []asyncgraph.ChainHop
+	visited := make(map[asyncgraph.NodeID]bool)
+	cur, step := n, ""
+	for len(hops) < MaxHops {
+		if cur.Kind == asyncgraph.CE {
+			if visited[cur.ID] {
+				break
+			}
+			visited[cur.ID] = true
+		}
+		hops = append(hops, w.hop(cur, step))
+		if cur.Kind != asyncgraph.CE {
+			// CR/CT/OB: the only backward step is into the execution the
+			// node was created during.
+			enc := w.encOf[cur.ID]
+			if enc == asyncgraph.NoNode {
+				break
+			}
+			cur, step = w.g.Node(enc), StepContext
+			continue
+		}
+		// CE: surface the trigger and the registration as hops, then
+		// continue from the registration's context — the execution that
+		// created this callback.
+		ct, cr := w.trigOf[cur.ID], w.regOf[cur.ID]
+		if ct != asyncgraph.NoNode {
+			hops = append(hops, w.hop(w.g.Node(ct), StepTrigger))
+		}
+		next := asyncgraph.NoNode
+		switch {
+		case cr != asyncgraph.NoNode:
+			hops = append(hops, w.hop(w.g.Node(cr), StepRegistration))
+			next = w.encOf[cr]
+		case ct != asyncgraph.NoNode:
+			next = w.encOf[ct]
+		default:
+			next = w.encOf[cur.ID]
+		}
+		if next == asyncgraph.NoNode {
+			break
+		}
+		cur, step = w.g.Node(next), StepContext
+	}
+	return hops
+}
+
+// hop renders one node as a chain hop.
+func (w *Walker) hop(n *asyncgraph.Node, step string) asyncgraph.ChainHop {
+	h := asyncgraph.ChainHop{
+		Node:  n.ID,
+		Kind:  n.Kind.String(),
+		Step:  step,
+		Label: n.Label,
+		Loc:   n.Loc.String(),
+		Func:  n.Func,
+	}
+	if t := w.g.TickOf(n.ID); t != nil {
+		h.Tick = t.Name()
+	}
+	if len(n.Stack) > 0 {
+		h.Stack = userFrames(n.Stack)
+	}
+	return h
+}
+
+// Annotate fills Warning.Chain for every warning of the graph, in
+// place. One Walker serves all of them.
+func Annotate(g *asyncgraph.Graph) {
+	w := NewWalker(g)
+	for i := range g.Warnings {
+		g.Warnings[i].Chain = w.Chain(g.Warnings[i].Node)
+	}
+}
+
+// machineryPrefixes lists the simulator's own packages: frames from
+// them describe how the runtime dispatched the API call, not where the
+// program made it, so userFrames drops them.
+var machineryPrefixes = []string{
+	"asyncg/internal/vm.",
+	"asyncg/internal/promise.",
+	"asyncg/internal/events.",
+	"asyncg/internal/eventloop.",
+	"asyncg/internal/asyncgraph.",
+	"asyncg/internal/detect.",
+	"runtime.",
+}
+
+// maxUserFrames caps the debug-stack frames shown per hop.
+const maxUserFrames = 10
+
+// userFrames filters a captured creation stack down to the frames a
+// user can act on.
+func userFrames(stack []string) []string {
+	out := make([]string, 0, len(stack))
+	for _, f := range stack {
+		machinery := false
+		for _, p := range machineryPrefixes {
+			if strings.HasPrefix(f, p) {
+				machinery = true
+				break
+			}
+		}
+		if machinery {
+			continue
+		}
+		out = append(out, f)
+		if len(out) == maxUserFrames {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package provenance_test
+
+import (
+	"strings"
+	"testing"
+
+	"asyncg"
+	"asyncg/internal/asyncgraph"
+	"asyncg/internal/casestudy"
+	"asyncg/internal/provenance"
+)
+
+// TestWalkSemantics checks the hop grammar on the Fig. 4 dead-listener
+// warning: the anchor □, the ○ it was created in, that ○'s ★ trigger
+// and □ registration — ending at the main tick.
+func TestWalkSemantics(t *testing.T) {
+	c, ok := casestudy.ByID("fig4")
+	if !ok {
+		t.Fatal("fig4 missing")
+	}
+	res := casestudy.RunBuggy(c)
+	pw := provenance.NewWalker(res.Report.Graph)
+
+	var chain []asyncgraph.ChainHop
+	for _, w := range res.Report.Warnings {
+		if strings.Contains(string(w.Category), "dead-listener") {
+			chain = pw.Chain(w.Node)
+		}
+	}
+	if len(chain) < 4 {
+		t.Fatalf("dead-listener chain has %d hops, want >= 4: %+v", len(chain), chain)
+	}
+	wantKinds := []string{"CR", "CE", "CT", "CR"}
+	wantSteps := []string{"", provenance.StepContext, provenance.StepTrigger, provenance.StepRegistration}
+	for i := range wantKinds {
+		if chain[i].Kind != wantKinds[i] || chain[i].Step != wantSteps[i] {
+			t.Errorf("hop %d = kind %s step %q, want kind %s step %q",
+				i, chain[i].Kind, chain[i].Step, wantKinds[i], wantSteps[i])
+		}
+	}
+	if !strings.HasPrefix(chain[0].Tick, "t") {
+		t.Errorf("anchor hop has no tick name: %+v", chain[0])
+	}
+	if last := chain[len(chain)-1]; !strings.Contains(last.Tick, "main") {
+		t.Errorf("chain does not end at the main tick: %+v", last)
+	}
+}
+
+// TestChainUnknownAnchor: program-level warnings have no anchor node;
+// the walk must yield nil, not panic.
+func TestChainUnknownAnchor(t *testing.T) {
+	c, _ := casestudy.ByID("fig4")
+	res := casestudy.RunBuggy(c)
+	pw := provenance.NewWalker(res.Report.Graph)
+	if got := pw.Chain(asyncgraph.NoNode); got != nil {
+		t.Errorf("Chain(NoNode) = %+v, want nil", got)
+	}
+	if got := pw.Chain(asyncgraph.NodeID(1 << 30)); got != nil {
+		t.Errorf("Chain(out-of-range) = %+v, want nil", got)
+	}
+}
+
+// TestAnnotate fills every warning's chain in place.
+func TestAnnotate(t *testing.T) {
+	c, _ := casestudy.ByID("fig4")
+	res := casestudy.RunBuggy(c)
+	provenance.Annotate(res.Report.Graph)
+	annotated := 0
+	for _, w := range res.Report.Graph.Warnings {
+		if len(w.Chain) > 0 {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Error("Annotate left every warning without a chain")
+	}
+}
+
+// TestDebugStackFrames: under WithDebugStacks the hops carry filtered Go
+// creation frames — the program's own call sites survive, the
+// simulator's machinery frames do not. Frames hold absolute paths, so
+// this asserts substrings, never golden bytes.
+func TestDebugStackFrames(t *testing.T) {
+	c, _ := casestudy.ByID("fig4")
+	res := casestudy.RunBuggy(c, asyncg.WithDebugStacks())
+	pw := provenance.NewWalker(res.Report.Graph)
+	sawFrame := false
+	for _, w := range res.Report.Warnings {
+		for _, hop := range pw.Chain(w.Node) {
+			for _, f := range hop.Stack {
+				sawFrame = true
+				if strings.Contains(f, "asyncg/internal/eventloop.") ||
+					strings.HasPrefix(f, "runtime.") {
+					t.Errorf("machinery frame leaked into chain: %s", f)
+				}
+			}
+		}
+	}
+	if !sawFrame {
+		t.Fatal("no hop carried a debug stack under WithDebugStacks")
+	}
+
+	// Without the opt-in, no hop may carry frames at all.
+	plain := casestudy.RunBuggy(c)
+	pw = provenance.NewWalker(plain.Report.Graph)
+	for _, w := range plain.Report.Warnings {
+		for _, hop := range pw.Chain(w.Node) {
+			if len(hop.Stack) > 0 {
+				t.Fatalf("debug stack captured without opt-in: %+v", hop)
+			}
+		}
+	}
+}

@@ -67,6 +67,16 @@ type jobSpec struct {
 	// independence flags) into its stream line (explore.WithRunFeedback) —
 	// how a fleet coordinator expands the exhaustive frontier remotely.
 	Feedback bool `json:"feedback,omitempty"`
+	// Chains attaches async causal chains to the classified warnings
+	// (explore.WithChains): the explore-warning stream lines and the
+	// /v1/jobs/{id}/result warnings carry a "chain" field, additively.
+	// Fleet shard jobs leave this unset — the coordinator attaches
+	// chains once, after the merge.
+	Chains bool `json:"chains,omitempty"`
+	// DebugStacks runs every schedule under creation-stack capture
+	// (explore.WithDebugStacks), so chain hops carry the Go call site
+	// that created each node. Measurable overhead; see EXPERIMENTS.md.
+	DebugStacks bool `json:"debugStacks,omitempty"`
 }
 
 // job is one submitted exploration: the resolved target and options,

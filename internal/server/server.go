@@ -364,6 +364,12 @@ func (s *Server) buildJob(spec jobSpec) (*job, error) {
 	if spec.Feedback {
 		opts = append(opts, explore.WithRunFeedback())
 	}
+	if spec.Chains {
+		opts = append(opts, explore.WithChains())
+	}
+	if spec.DebugStacks {
+		opts = append(opts, explore.WithDebugStacks())
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	return &job{
 		spec:    spec,

@@ -173,6 +173,41 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobChains: a job submitted with "chains" must return a result
+// whose witnessed warning stats carry their async causal chains and
+// replay tokens, byte-identical to a direct explore.Run with WithChains.
+func TestJobChains(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{QueueSize: 4, Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, v := postJob(t, ts, `{"target":"case:fig4","runs":4,"seed":1,"chains":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	waitStatus(t, ts, v.ID, statusDone)
+
+	var got explore.Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/result", &got); code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	chained := 0
+	for _, ws := range got.Warnings {
+		if ws.Witness == "" {
+			continue
+		}
+		chained++
+		if len(ws.Chain) == 0 {
+			t.Errorf("%s: witnessed warning in service result has no chain", ws.Key)
+		}
+	}
+	if chained == 0 {
+		t.Fatal("result has no witnessed warnings; chains never exercised")
+	}
+}
+
 // TestStreamNDJSON: the stream endpoint replays every explore-run line
 // and ends with the explore-summary — the same format the CLI writes.
 func TestStreamNDJSON(t *testing.T) {

@@ -51,6 +51,7 @@ func (c *Cell) Ref() vm.ObjRef { return vm.ObjRef{ID: c.id, Kind: vm.ObjCell} }
 // Name returns the diagnostic label.
 func (c *Cell) Name() string { return c.name }
 
+// String renders the cell as "Cell(name#id)".
 func (c *Cell) String() string { return fmt.Sprintf("Cell(%s#%d)", c.name, c.id) }
 
 // Get reads the cell, announcing the access.

@@ -14,6 +14,7 @@ const (
 	DropNewest
 )
 
+// String names the drop policy for configuration output.
 func (p DropPolicy) String() string {
 	switch p {
 	case DropOldest:

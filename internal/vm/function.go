@@ -55,6 +55,8 @@ func (f *Function) Invoke(args []Value) Value {
 	return v
 }
 
+// String returns the function's diagnostic name ("<nil>" for a nil
+// function).
 func (f *Function) String() string {
 	if f == nil {
 		return "<nil func>"

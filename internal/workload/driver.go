@@ -38,6 +38,7 @@ const (
 	numOps
 )
 
+// String names the workload operation for logs and metrics.
 func (o Op) String() string {
 	switch o {
 	case OpLogin:

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# docs_check.sh — the `make docs-check` body: doc-comment lint over every
+# package plus a relative-link check over the user-facing markdown.
+# Uses only cmd/doclint (stdlib-only); exits non-zero on any finding.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+
+echo "doclint: Go doc comments"
+pkgs=(.)
+for d in internal/*/ cmd/*/ examples/*/; do
+  pkgs+=("$d")
+done
+"$GO" run ./cmd/doclint docs "${pkgs[@]}"
+
+echo "doclint: markdown links"
+"$GO" run ./cmd/doclint links \
+  README.md \
+  ARCHITECTURE.md \
+  DESIGN.md \
+  EXPERIMENTS.md \
+  ROADMAP.md \
+  docs/DEBUGGING.md
+
+echo "docs-check: OK"
