@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record serve-smoke race-server fleet-smoke race-fleet docs-check
+.PHONY: verify build vet fmt-check test trace-demo explore-smoke explore-coverage race-explore bench-record bench-gate serve-smoke race-server fleet-smoke race-fleet docs-check
 
 # Tier-1 verify: build, vet, formatting, tests.
 verify: build vet fmt-check test
@@ -69,6 +69,14 @@ race-server:
 # See EXPERIMENTS.md §Recording benchmarks for the schema.
 bench-record:
 	$(GO) run ./cmd/asyncg bench -out BENCH_explore.json
+
+# Allocation gate: re-measure the exploration benchmarks quickly (3
+# iterations suffice — allocs/op is iteration-stable, unlike ns/op on a
+# shared box) and fail if any benchmark's allocs/op regressed more than
+# the tolerance past the committed BENCH_explore.json. The fresh
+# measurement lands in BENCH_explore.ci.json for CI to upload.
+bench-gate:
+	$(GO) run ./cmd/asyncg bench -benchtime 3x -out BENCH_explore.ci.json -gate BENCH_explore.json
 
 # Documentation checks: every exported Go declaration carries a doc
 # comment (cmd/doclint, stdlib-only) and every relative link in the

@@ -112,11 +112,15 @@ func WithScheduler(s eventloop.Scheduler) Option {
 // byte-identical. Like WithScheduler it composes with WithLoop in any
 // order.
 func WithContext(ctx context.Context) Option {
-	return func(c *config) {
-		if ctx != nil {
-			c.interrupt = ctx.Err
-		}
+	if ctx == nil {
+		return func(c *config) {}
 	}
+	// Bind the method value once: options built ahead of time and
+	// re-applied to a reused session (explore workers apply the same
+	// slice before every run) would otherwise allocate a fresh
+	// ctx.Err closure on every application.
+	errf := ctx.Err
+	return func(c *config) { c.interrupt = errf }
 }
 
 // WithGraph configures what the Async Graph builder tracks. Without this
@@ -132,7 +136,10 @@ func WithGraph(cfg asyncgraph.Config) Option {
 // composes with WithGraph in any order — the flag is OR'd into the
 // graph config when the session is built. Opt-in because symbolizing a
 // stack per tracked API call dominates the builder's cost (see
-// EXPERIMENTS.md).
+// EXPERIMENTS.md). The exploration layer's [explore.WithDebugStacks]
+// applies this option to every run of an exploration, and
+// [explore.WithChains] builds on it; the canonical semantics table for
+// all three lives in package explore's doc comment.
 func WithDebugStacks() Option {
 	return func(c *config) { c.debugStacks = true }
 }
@@ -186,46 +193,6 @@ func WithTraceConfig(cfg trace.ExporterConfig) Option {
 // field carries the resulting snapshot.
 func WithMetrics() Option {
 	return func(c *config) { c.metricsOn = true }
-}
-
-// Options is the legacy configuration struct.
-//
-// Deprecated: use New with functional options (WithLoop, WithDetect,
-// Disabled, ...). Retained so existing callers of NewFromOptions keep
-// compiling; it cannot express tracing or metrics.
-type Options struct {
-	// Loop configures the event-loop simulator.
-	Loop eventloop.Options
-	// Graph configures the Async Graph builder; zero value means track
-	// everything.
-	Graph asyncgraph.Config
-	// Detect configures the bug detectors; zero value means all
-	// detectors with the paper's thresholds.
-	Detect detect.Config
-	// DisableTool runs the program without AsyncG attached.
-	DisableTool bool
-	// Network configures the simulated network.
-	Network netio.Options
-	// DB configures the simulated database.
-	DB mongosim.Options
-}
-
-// NewFromOptions creates a session from the legacy Options struct,
-// preserving its zero-value-means-default semantics.
-//
-// Deprecated: use New with functional options.
-func NewFromOptions(opts Options) *Session {
-	o := []Option{WithLoop(opts.Loop), WithNetwork(opts.Network), WithDB(opts.DB)}
-	if opts.DisableTool {
-		o = append(o, Disabled())
-	}
-	if opts.Graph != (asyncgraph.Config{}) {
-		o = append(o, WithGraph(opts.Graph))
-	}
-	if opts.Detect != (detect.Config{}) {
-		o = append(o, WithDetect(opts.Detect))
-	}
-	return New(o...)
 }
 
 // Report is the outcome of a Session run.
@@ -283,6 +250,11 @@ type Session struct {
 	exporter *trace.Exporter
 	metrics  *trace.Metrics
 	ctx      *Context
+
+	// applyCfg is Apply's reusable option-evaluation scratch: the
+	// closure calls make a stack-local config escape, and Apply runs
+	// before every run of a reused session.
+	applyCfg *config
 }
 
 // New creates a session. With no options the session tracks everything
@@ -368,6 +340,59 @@ func (s *Session) Enable() {
 
 // Context exposes the runtime API bundle without running (advanced use).
 func (s *Session) Context() *Context { return s.ctx }
+
+// Reset returns the session to its cold-start state while retaining its
+// allocation set: the event loop (with every substrate that registered a
+// reset hook — network, file system, database, promise arena), the Async
+// Graph builder, the detectors, and the trace/metrics probes all rewind
+// to the state a freshly constructed session would have. Object id and
+// registration sequences restart, so a deterministic program re-run after
+// Reset produces a byte-identical Report; pools, interned names, and map
+// buckets survive, so the re-run allocates almost nothing.
+//
+// Reset must not be called while Run is executing. Objects obtained from
+// the previous run (emitters, promises, servers, documents, the previous
+// Report's Graph and Warnings) are invalidated: the runtime recycles
+// their storage for the next run.
+func (s *Session) Reset() {
+	s.loop.Reset()
+	if s.builder != nil {
+		s.builder.Reset()
+	}
+	if s.analyzer != nil {
+		s.analyzer.Reset()
+	}
+	if s.exporter != nil {
+		s.exporter.Reset()
+	}
+	if s.metrics != nil {
+		s.metrics.Reset()
+	}
+}
+
+// Apply installs per-run options on a warm session. Only the options
+// that may legitimately differ between reused runs take effect: the
+// scheduler (WithScheduler — schedule exploration hands every run a
+// fresh recording) and the interrupt context (WithContext). Structural
+// options — tracing, metrics, graph and detector configuration — are
+// fixed at New; passing them here is a no-op, which lets callers forward
+// the same option slice they would give a fresh session.
+func (s *Session) Apply(opts ...Option) {
+	if s.applyCfg == nil {
+		s.applyCfg = new(config)
+	}
+	c := s.applyCfg
+	*c = config{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.sched != nil {
+		s.loop.SetScheduler(c.sched)
+	}
+	if c.interrupt != nil {
+		s.loop.SetInterrupt(c.interrupt)
+	}
+}
 
 // Run executes program as the main tick and processes the event loop to
 // completion (or to a configured limit, returned as the error — the

@@ -23,10 +23,13 @@ func runBench(args []string) {
 		workers   = fs.Int("workers", 0, "parallel worker count for ExplorePar (0 = GOMAXPROCS)")
 		benchtime = fs.String("benchtime", "1s", "per-benchmark measuring time (Go -benchtime syntax, e.g. 2s or 5x)")
 		compare   = fs.String("compare", "", "compare two recordings: -compare old.json,new.json (no benchmarks run)")
+		gate      = fs.String("gate", "", "after recording, gate allocs/op against this committed report; exit 1 on regression")
+		tolerance = fs.Float64("gate-tolerance", 0.25, "allowed relative allocs/op increase before -gate fails")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: asyncg bench [-out BENCH_explore.json] [-case <id>] [-runs N] [-benchtime 2s]\n")
-		fmt.Fprintf(fs.Output(), "       asyncg bench -compare old.json,new.json\n\n")
+		fmt.Fprintf(fs.Output(), "       asyncg bench -compare old.json,new.json\n")
+		fmt.Fprintf(fs.Output(), "       asyncg bench -gate BENCH_explore.json [-gate-tolerance 0.25] [-out new.json]\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +39,24 @@ func runBench(args []string) {
 	if *compare != "" {
 		compareReports(*compare)
 		return
+	}
+
+	// The committed gate report is read before anything runs: -out and
+	// -gate may name the same file, and the recording must not replace
+	// the baseline it is about to be judged against.
+	var committed *benchio.Report
+	if *gate != "" {
+		f, err := os.Open(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitUsage)
+		}
+		committed, err = benchio.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *gate, err)
+			os.Exit(exitUsage)
+		}
 	}
 
 	// testing.Benchmark reads the standard test flags; register them so
@@ -75,7 +96,20 @@ func runBench(args []string) {
 		os.Exit(exitUsage)
 	}
 	if *out != "-" {
-		fmt.Printf("wrote %s (speedup par vs seq: %.2fx on %d cpu)\n", *out, rep.SpeedupParVsSeq, rep.CPUs)
+		if rep.SpeedupNote != "" {
+			fmt.Printf("wrote %s (note: %s)\n", *out, rep.SpeedupNote)
+		} else {
+			fmt.Printf("wrote %s (speedup par vs seq: %.2fx on %d cpu)\n", *out, rep.SpeedupParVsSeq, rep.CPUs)
+		}
+	}
+
+	if committed != nil {
+		text, ok := benchio.Gate(committed, rep, *tolerance)
+		fmt.Print(text)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: allocs/op regressed past %s\n", *gate)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -8,6 +8,11 @@
 //	doclint links <file>... check markdown files: every relative link
 //	                        and image target must exist on disk
 //	                        (anchors and external URLs are skipped).
+//	doclint xref <dir>...   check Go doc-comment cross-references:
+//	                        every [Ident] and [pkg.Ident] doc link in
+//	                        the given package directories must resolve
+//	                        to an exported declaration (references to
+//	                        packages outside the given set are skipped).
 //
 // It uses only the standard library, prints one "file:line: message"
 // finding per problem, and exits 1 when any finding was printed.
@@ -39,6 +44,8 @@ func main() {
 		for _, file := range os.Args[2:] {
 			findings += lintLinks(file)
 		}
+	case "xref":
+		findings += lintXrefs(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "doclint: unknown mode %q\n", os.Args[1])
 		os.Exit(2)
@@ -161,6 +168,146 @@ func lintGenDecl(report func(token.Pos, string, ...any), d *ast.GenDecl) int {
 					findings++
 				}
 			}
+		}
+	}
+	return findings
+}
+
+// xrefPattern matches Go doc-link references in doc comments:
+// [Ident], [pkg.Ident], and [pkg.Type.Method] — an optional lowercase
+// package qualifier followed by an exported identifier path. Bracketed
+// text that is not an identifier path (regexp classes, half-open
+// intervals, citations with spaces) does not match.
+var xrefPattern = regexp.MustCompile(`\[(?:([a-z][a-zA-Z0-9]*)\.)?([A-Z][A-Za-z0-9]*(?:\.[A-Z][A-Za-z0-9]*)*)\]`)
+
+// lintXrefs parses every package directory, collects the exported
+// top-level declarations per package name, then re-scans all doc
+// comments for doc links and reports references that do not resolve.
+// Links qualified with a package name outside the parsed set (stdlib,
+// third-party) are skipped — the checker only owns this repo's surface.
+func lintXrefs(dirs []string) int {
+	fset := token.NewFileSet()
+	type pkgFiles struct {
+		name  string
+		files []*ast.File
+	}
+	var parsed []pkgFiles
+	decls := make(map[string]map[string]bool) // package name → exported decl set
+	findings := 0
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			findings++
+			continue
+		}
+		for _, pkg := range pkgs {
+			if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+				// Binaries export nothing referenceable.
+				continue
+			}
+			set := decls[pkg.Name]
+			if set == nil {
+				set = make(map[string]bool)
+				decls[pkg.Name] = set
+			}
+			pf := pkgFiles{name: pkg.Name}
+			for _, f := range pkg.Files {
+				pf.files = append(pf.files, f)
+				collectDecls(set, f)
+			}
+			parsed = append(parsed, pf)
+		}
+	}
+	for _, pf := range parsed {
+		for _, f := range pf.files {
+			for _, cg := range f.Comments {
+				findings += checkXrefs(fset, cg, pf.name, decls)
+			}
+		}
+	}
+	return findings
+}
+
+// collectDecls records every exported top-level identifier of one file:
+// functions, methods (as Type.Method), types, consts, and vars.
+func collectDecls(set map[string]bool, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				if recv := recvTypeName(d.Recv.List[0].Type); recv != "" {
+					set[recv+"."+d.Name.Name] = true
+				}
+				continue
+			}
+			set[d.Name.Name] = true
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() {
+						set[s.Name.Name] = true
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() {
+							set[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName unwraps a method receiver type down to its identifier.
+func recvTypeName(t ast.Expr) string {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkXrefs validates every doc link in one comment group against the
+// declaration sets: unqualified links resolve in the comment's own
+// package, qualified links in the named package when it was parsed.
+func checkXrefs(fset *token.FileSet, cg *ast.CommentGroup, selfPkg string, decls map[string]map[string]bool) int {
+	findings := 0
+	for _, c := range cg.List {
+		for _, m := range xrefPattern.FindAllStringSubmatch(c.Text, -1) {
+			pkg, ident := m[1], m[2]
+			if pkg == "" {
+				pkg = selfPkg
+			}
+			set, known := decls[pkg]
+			if !known {
+				continue
+			}
+			// A method link also resolves if its type exists: fields and
+			// promoted methods are legitimate prose targets.
+			if set[ident] {
+				continue
+			}
+			if dot := strings.IndexByte(ident, '.'); dot >= 0 && set[ident[:dot]] {
+				continue
+			}
+			p := fset.Position(c.Pos())
+			fmt.Printf("%s:%d: broken doc link [%s.%s]\n", p.Filename, p.Line, pkg, m[2])
+			findings++
 		}
 	}
 	return findings

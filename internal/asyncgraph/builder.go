@@ -75,13 +75,17 @@ func DefaultConfig() Config {
 }
 
 // pendingCR is one entry of the paper's L_pending lists: a registration
-// awaiting executions.
+// awaiting executions. Entries for one callback form a singly-linked
+// list in registration order (the list head lives in Builder.pending),
+// so appending and unlinking never allocate; retired entries return to
+// the builder's free list.
 type pendingCR struct {
 	node  *Node
 	reg   vm.Registration
 	api   string
 	obj   vm.ObjRef
 	event string
+	next  *pendingCR
 }
 
 // frame is one shadow-stack entry.
@@ -107,9 +111,10 @@ type Builder struct {
 	sstack  []frame
 	curTick *Tick
 
-	pending  map[*vm.Function][]*pendingCR
+	pending  map[*vm.Function]*pendingCR
 	byRegSeq map[uint64]*pendingCR
 	ctByTrig map[uint64]NodeID
+	pcrFree  *pendingCR
 
 	// chainUp records, for ChainAnalysis, each promise's upstream
 	// promise in the chain (derived → source).
@@ -120,6 +125,10 @@ type Builder struct {
 	// resolving promises at one line) renders its label once instead of
 	// re-running fmt.Sprintf per node.
 	labels map[labelKey]string
+	// countLabels interns the per-object "P%d"/"E%d[:name]" labels: the
+	// object counters restart at every Reset, so a stream of runs keeps
+	// re-rendering the same small id set.
+	countLabels map[countKey]string
 
 	promiseCount int
 	emitterCount int
@@ -137,18 +146,43 @@ type labelKey struct {
 	loc   loc.Loc
 }
 
+// countKey identifies one rendered per-object label.
+type countKey struct {
+	form byte // 'P' promise, 'E' emitter
+	n    int
+	name string
+}
+
 // NewBuilder creates a builder with the given config.
 func NewBuilder(cfg Config) *Builder {
 	return &Builder{
 		cfg:      cfg,
 		g:        NewGraph(),
 		sstack:   make([]frame, 0, 16),
-		pending:  make(map[*vm.Function][]*pendingCR, 32),
+		pending:  make(map[*vm.Function]*pendingCR, 32),
 		byRegSeq: make(map[uint64]*pendingCR, 32),
 		ctByTrig: make(map[uint64]NodeID, 32),
 		chainUp:  make(map[uint64]uint64, 32),
 		labels:   make(map[labelKey]string, 32),
+
+		countLabels: make(map[countKey]string, 16),
 	}
+}
+
+// cachedCountLabel interns "P%d"/"E%d[:name]" renderings.
+func (b *Builder) cachedCountLabel(form byte, n int, name string) string {
+	key := countKey{form: form, n: n, name: name}
+	if s, ok := b.countLabels[key]; ok {
+		return s
+	}
+	var s string
+	if name != "" {
+		s = fmt.Sprintf("%c%d:%s", form, n, name)
+	} else {
+		s = fmt.Sprintf("%c%d", form, n)
+	}
+	b.countLabels[key] = s
+	return s
 }
 
 // cachedTriggerLabel interns triggerLabel renderings.
@@ -187,6 +221,56 @@ func (b *Builder) cachedExecutionLabel(at loc.Loc, name string) string {
 // Graph returns the graph built so far. It keeps growing while the
 // builder stays attached.
 func (b *Builder) Graph() *Graph { return b.g }
+
+// Reset returns the builder (and its graph) to the empty state while
+// retaining every allocation: node/tick/pending free lists, map buckets,
+// and the interned-label cache, which is keyed by source location and
+// stays valid across runs of the same program. The previously built
+// graph becomes invalid — callers must be done with it first.
+func (b *Builder) Reset() {
+	// Live pending entries sit in the per-callback lists; walk them back
+	// into the free list before dropping the maps.
+	for _, head := range b.pending {
+		for cr := head; cr != nil; {
+			next := cr.next
+			b.recyclePCR(cr)
+			cr = next
+		}
+	}
+	clear(b.pending)
+	clear(b.byRegSeq)
+	clear(b.ctByTrig)
+	clear(b.chainUp)
+	for i := range b.sstack {
+		b.sstack[i] = frame{}
+	}
+	b.sstack = b.sstack[:0]
+	if b.curTick != nil {
+		b.g.recycleTick(b.curTick)
+		b.curTick = nil
+	}
+	b.promiseCount = 0
+	b.emitterCount = 0
+	b.anomalies = nil
+	b.g.Reset()
+}
+
+// borrowPCR returns a cleared pending entry from the free list.
+func (b *Builder) borrowPCR() *pendingCR {
+	if cr := b.pcrFree; cr != nil {
+		b.pcrFree = cr.next
+		cr.next = nil
+		return cr
+	}
+	return &pendingCR{}
+}
+
+// recyclePCR clears an unlinked pending entry and returns it to the
+// free list. The caller must have removed it from pending and byRegSeq.
+func (b *Builder) recyclePCR(cr *pendingCR) {
+	*cr = pendingCR{next: b.pcrFree}
+	b.pcrFree = cr
+}
 
 // Anomalies returns validator mismatches (executions whose scheduling
 // context did not validate against the registration the runtime
@@ -251,7 +335,7 @@ func (b *Builder) ensureTick(phase string) *Tick {
 		if phase == "" {
 			phase = "main"
 		}
-		b.curTick = &Tick{Phase: phase}
+		b.curTick = b.g.blankTick(phase)
 	}
 	return b.curTick
 }
@@ -319,14 +403,14 @@ func (b *Builder) APICall(ev *vm.APIEvent) {
 // for combinator inputs.
 func (b *Builder) addPromiseOB(ev *vm.APIEvent) {
 	b.promiseCount++
-	n := b.newNode(&Node{
-		Kind:  OB,
-		Loc:   ev.Loc,
-		API:   ev.API,
-		Event: ev.Event,
-		Obj:   ev.Receiver,
-		Label: fmt.Sprintf("P%d", b.promiseCount),
-	}, "")
+	n := b.g.blankNode()
+	n.Kind = OB
+	n.Loc = ev.Loc
+	n.API = ev.API
+	n.Event = ev.Event
+	n.Obj = ev.Receiver
+	n.Label = b.cachedCountLabel('P', b.promiseCount, "")
+	b.newNode(n, "")
 	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
 	}
@@ -341,19 +425,19 @@ func (b *Builder) addPromiseOB(ev *vm.APIEvent) {
 // addEmitterOB creates the △ node for a new emitter.
 func (b *Builder) addEmitterOB(ev *vm.APIEvent) {
 	b.emitterCount++
-	label := fmt.Sprintf("E%d", b.emitterCount)
+	var name string
 	if len(ev.Args) > 0 {
-		if s, ok := ev.Args[0].(string); ok && s != "" {
-			label = fmt.Sprintf("E%d:%s", b.emitterCount, s)
+		if s, ok := ev.Args[0].(string); ok {
+			name = s
 		}
 	}
-	n := b.newNode(&Node{
-		Kind:  OB,
-		Loc:   ev.Loc,
-		API:   ev.API,
-		Obj:   ev.Receiver,
-		Label: label,
-	}, "")
+	n := b.g.blankNode()
+	n.Kind = OB
+	n.Loc = ev.Loc
+	n.API = ev.API
+	n.Obj = ev.Receiver
+	n.Label = b.cachedCountLabel('E', b.emitterCount, name)
+	b.newNode(n, "")
 	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
 	}
@@ -371,15 +455,15 @@ func (b *Builder) addTrigger(ev *vm.APIEvent) {
 		}
 		return
 	}
-	n := b.newNode(&Node{
-		Kind:    CT,
-		Loc:     ev.Loc,
-		API:     ev.API,
-		Event:   ev.Event,
-		Obj:     ev.Receiver,
-		TrigSeq: ev.TriggerSeq,
-		Label:   b.cachedTriggerLabel(ev),
-	}, "")
+	n := b.g.blankNode()
+	n.Kind = CT
+	n.Loc = ev.Loc
+	n.API = ev.API
+	n.Event = ev.Event
+	n.Obj = ev.Receiver
+	n.TrigSeq = ev.TriggerSeq
+	n.Label = b.cachedTriggerLabel(ev)
+	b.newNode(n, "")
 	b.ctByTrig[ev.TriggerSeq] = n.ID
 	if b.cfg.DebugStacks {
 		n.Stack = captureStack()
@@ -410,19 +494,28 @@ func (b *Builder) walkChain(id uint64) int {
 // addRegistration creates the □ node for a callback-registering API use
 // (Algorithm 2) and pushes pending entries for Algorithm 3.
 func (b *Builder) addRegistration(ev *vm.APIEvent) {
-	n := b.newNode(&Node{
-		Kind:   CR,
-		Loc:    ev.Loc,
-		API:    ev.API,
-		Event:  ev.Event,
-		Obj:    ev.Receiver,
-		RegSeq: ev.Regs[0].Seq,
-		Func:   ev.Regs[0].Callback.Name,
-		Label:  b.cachedRegistrationLabel(ev),
-	}, "")
+	n := b.g.blankNode()
+	n.Kind = CR
+	n.Loc = ev.Loc
+	n.API = ev.API
+	n.Event = ev.Event
+	n.Obj = ev.Receiver
+	n.RegSeq = ev.Regs[0].Seq
+	n.Func = ev.Regs[0].Callback.Name
+	n.Label = b.cachedRegistrationLabel(ev)
+	b.newNode(n, "")
 	for _, reg := range ev.Regs {
-		cr := &pendingCR{node: n, reg: reg, api: ev.API, obj: ev.Receiver, event: ev.Event}
-		b.pending[reg.Callback] = append(b.pending[reg.Callback], cr)
+		cr := b.borrowPCR()
+		cr.node, cr.reg, cr.api, cr.obj, cr.event = n, reg, ev.API, ev.Receiver, ev.Event
+		// Append at the list tail: L_pending keeps registration order.
+		if head := b.pending[reg.Callback]; head == nil {
+			b.pending[reg.Callback] = cr
+		} else {
+			for head.next != nil {
+				head = head.next
+			}
+			head.next = cr
+		}
 		b.byRegSeq[reg.Seq] = cr
 	}
 	if b.cfg.DebugStacks {
@@ -450,10 +543,15 @@ func (b *Builder) retire(seq uint64) {
 	}
 	cr.node.Removed = true
 	delete(b.byRegSeq, seq)
-	list := b.pending[cr.reg.Callback]
-	for i, entry := range list {
+	var prev *pendingCR
+	for entry := b.pending[cr.reg.Callback]; entry != nil; prev, entry = entry, entry.next {
 		if entry == cr {
-			b.pending[cr.reg.Callback] = append(list[:i:i], list[i+1:]...)
+			if prev == nil {
+				b.pending[cr.reg.Callback] = entry.next
+			} else {
+				prev.next = entry.next
+			}
+			b.recyclePCR(cr)
 			break
 		}
 	}
@@ -479,13 +577,18 @@ func (b *Builder) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
 		// A new tick starts whenever the shadow stack is empty; its
 		// type is the loop phase under which the callback runs
 		// (Algorithm 1, getIterType).
-		b.curTick = &Tick{Phase: info.Phase}
+		b.curTick = b.g.blankTick(info.Phase)
 	}
 	ce := NoNode
 	d := info.Dispatch
 	if d != nil && d.API != "main" && d.API != promise.APIPassthrough && b.tracked(d.API) {
 		if cr := b.matchPending(fn, info); cr != nil {
 			ce = b.executeCR(cr, fn, info)
+			if cr.reg.Once {
+				// matchPending unlinked a once-registration; its fields
+				// are consumed, so the entry can go back to the pool.
+				b.recyclePCR(cr)
+			}
 		}
 	}
 	b.sstack = append(b.sstack, frame{fn: fn, ce: ce})
@@ -494,13 +597,18 @@ func (b *Builder) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
 // matchPending runs the context validator over L_pending[fn] and returns
 // the matching registration, removing it if it fires once.
 func (b *Builder) matchPending(fn *vm.Function, info *vm.CallInfo) *pendingCR {
-	list := b.pending[fn]
-	for i, cr := range list {
+	var prev *pendingCR
+	for cr := b.pending[fn]; cr != nil; prev, cr = cr, cr.next {
 		if !b.validate(cr, info) {
 			continue
 		}
 		if cr.reg.Once {
-			b.pending[fn] = append(list[:i:i], list[i+1:]...)
+			if prev == nil {
+				b.pending[fn] = cr.next
+			} else {
+				prev.next = cr.next
+			}
+			cr.next = nil
 			delete(b.byRegSeq, cr.reg.Seq)
 		}
 		return cr
@@ -554,15 +662,15 @@ func (b *Builder) executeCR(cr *pendingCR, fn *vm.Function, info *vm.CallInfo) N
 	if name == "" {
 		name = "anonymous"
 	}
-	n := b.newNode(&Node{
-		Kind:  CE,
-		Loc:   fn.Loc,
-		API:   cr.api,
-		Event: cr.event,
-		Obj:   cr.obj,
-		Func:  fn.Name,
-		Label: b.cachedExecutionLabel(fn.Loc, name),
-	}, info.Phase)
+	n := b.g.blankNode()
+	n.Kind = CE
+	n.Loc = fn.Loc
+	n.API = cr.api
+	n.Event = cr.event
+	n.Obj = cr.obj
+	n.Func = fn.Name
+	n.Label = b.cachedExecutionLabel(fn.Loc, name)
+	b.newNode(n, info.Phase)
 	cr.node.Executions++
 	b.g.AddEdge(n.ID, cr.node.ID, EdgeBinding, "")
 	if ct, ok := b.ctByTrig[info.Dispatch.TriggerSeq]; ok && info.Dispatch.TriggerSeq != 0 {

@@ -3,8 +3,8 @@ package asyncgraph
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"fmt"
-	"sort"
+	"encoding/hex"
+	"slices"
 
 	"asyncg/internal/loc"
 )
@@ -53,6 +53,48 @@ type arc struct {
 	nbr int32
 }
 
+// fpScratch holds the working storage one Fingerprint call needs. It
+// lives on the Graph (created lazily on first use) so a graph that is
+// fingerprinted after every run — the explore engine's steady state —
+// reuses one allocation set instead of rebuilding labels, CSR views and
+// the hash stream each call.
+type fpScratch struct {
+	labels, next, tags, neigh []uint64
+	outArcs, inArcs           []arc
+	outOff, inOff, fill       []int32
+	stream                    []byte
+}
+
+// growU64 resizes buf to n elements, reallocating only when capacity is
+// short. Contents are unspecified; callers overwrite every element.
+func growU64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growI32 resizes buf to n zeroed elements.
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	clear(*buf)
+	return *buf
+}
+
+// growArcs resizes buf to n arcs. Contents are unspecified; buildArcs
+// overwrites every slot.
+func growArcs(buf *[]arc, n int) []arc {
+	if cap(*buf) < n {
+		*buf = make([]arc, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Fingerprint returns a canonical hash of the graph's structure: the
 // multiset of CR/CE/CT/OB nodes (kind, API, event, callback name, source
 // location, removal state, containing phase) connected by direct,
@@ -67,23 +109,27 @@ type arc struct {
 // and binding edges), warnings (classified separately), and promise
 // stacks.
 func (g *Graph) Fingerprint() string {
+	if g.fp == nil {
+		g.fp = &fpScratch{}
+	}
+	s := g.fp
 	n := len(g.Nodes)
-	labels := make([]uint64, n)
+	labels := growU64(&s.labels, n)
 	for i, node := range g.Nodes {
 		labels[i] = nodeBaseLabel(g, node)
 	}
 
 	// Adjacency in CSR form: one flat arc slice per direction with a
 	// count-then-fill layout, instead of n append-grown slices.
-	tags := make([]uint64, len(g.Edges))
+	tags := growU64(&s.tags, len(g.Edges))
 	for i, e := range g.Edges {
 		tags[i] = edgeTag(e)
 	}
-	outArcs, outOff := buildArcs(g, n, tags, false)
-	inArcs, inOff := buildArcs(g, n, tags, true)
+	outArcs, outOff := buildArcs(g, n, tags, false, &s.outArcs, &s.outOff, &s.fill)
+	inArcs, inOff := buildArcs(g, n, tags, true, &s.inArcs, &s.inOff, &s.fill)
 
-	next := make([]uint64, n)
-	neigh := make([]uint64, 0, 16)
+	next := growU64(&s.next, n)
+	neigh := s.neigh[:0]
 	for round := 0; round < fingerprintRounds; round++ {
 		for i := 0; i < n; i++ {
 			h := fnvUint64(fnvOffset64, labels[i])
@@ -95,7 +141,7 @@ func (g *Graph) Fingerprint() string {
 				for _, a := range view.arcs[view.off[i]:view.off[i+1]] {
 					neigh = append(neigh, a.tag^mix(labels[a.nbr]))
 				}
-				sort.Slice(neigh, func(x, y int) bool { return neigh[x] < neigh[y] })
+				slices.Sort(neigh)
 				h = fnvUint64(h, uint64(dir)<<32|uint64(len(neigh)))
 				for _, v := range neigh {
 					h = fnvUint64(h, v)
@@ -105,28 +151,33 @@ func (g *Graph) Fingerprint() string {
 		}
 		labels, next = next, labels
 	}
+	s.labels, s.next, s.neigh = labels, next, neigh
 
-	sort.Slice(labels, func(x, y int) bool { return labels[x] < labels[y] })
-	final := sha256.New()
+	slices.Sort(labels)
+	stream := s.stream[:0]
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(n))
-	final.Write(buf[:])
+	stream = append(stream, buf[:]...)
 	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.Edges)))
-	final.Write(buf[:])
+	stream = append(stream, buf[:]...)
 	for _, v := range labels {
 		binary.LittleEndian.PutUint64(buf[:], v)
-		final.Write(buf[:])
+		stream = append(stream, buf[:]...)
 	}
-	sum := final.Sum(nil)
-	return fmt.Sprintf("ag1-%x", sum[:8])
+	s.stream = stream
+	sum := sha256.Sum256(stream)
+	var out [20]byte
+	copy(out[:], "ag1-")
+	hex.Encode(out[4:], sum[:8])
+	return string(out[:])
 }
 
 // buildArcs lays the graph's edges out as a CSR adjacency view for one
 // direction: arcs for node i live at arcs[off[i]:off[i+1]]. Edges with
 // a dangling endpoint are skipped, matching the defensive check the
 // refinement historically performed.
-func buildArcs(g *Graph, n int, tags []uint64, inbound bool) ([]arc, []int32) {
-	off := make([]int32, n+1)
+func buildArcs(g *Graph, n int, tags []uint64, inbound bool, arcBuf *[]arc, offBuf, fillBuf *[]int32) ([]arc, []int32) {
+	off := growI32(offBuf, n+1)
 	valid := func(e Edge) bool {
 		return e.From >= 0 && int(e.From) < n && e.To >= 0 && int(e.To) < n
 	}
@@ -150,8 +201,8 @@ func buildArcs(g *Graph, n int, tags []uint64, inbound bool) ([]arc, []int32) {
 	for i := 0; i < n; i++ {
 		off[i+1] += off[i]
 	}
-	arcs := make([]arc, off[n])
-	fill := make([]int32, n)
+	arcs := growArcs(arcBuf, int(off[n]))
+	fill := growI32(fillBuf, n)
 	for i, e := range g.Edges {
 		if !valid(e) {
 			continue

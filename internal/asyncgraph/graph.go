@@ -184,6 +184,20 @@ type Graph struct {
 	Warnings []Warning
 
 	objNodes map[uint64]NodeID // OB node per runtime object
+
+	// nodeFree and tickFree recycle node and tick records across Reset,
+	// so one allocation set serves a whole stream of runs.
+	nodeFree []*Node
+	tickFree []*Tick
+
+	// fp is Fingerprint's reusable working storage, created on first
+	// use and retained across Reset for the same reason as the free
+	// lists above.
+	fp *fpScratch
+
+	// warnLabels interns rendered node-warning labels across Reset;
+	// see warnLabel.
+	warnLabels map[warnLabelKey]string
 }
 
 // NewGraph creates an empty graph.
@@ -194,6 +208,77 @@ func NewGraph() *Graph {
 		Ticks:    make([]*Tick, 0, 32),
 		objNodes: make(map[uint64]NodeID, 16),
 	}
+}
+
+// Reset empties the graph for reuse, returning node and tick records to
+// the free lists while keeping every backing allocation. The previous
+// contents become invalid: callers that retained the graph (for example
+// through a Report) must be done with it before Reset.
+func (g *Graph) Reset() {
+	for i, t := range g.Ticks {
+		g.recycleTick(t)
+		g.Ticks[i] = nil
+	}
+	g.Ticks = g.Ticks[:0]
+	for i, n := range g.Nodes {
+		g.recycleNode(n)
+		g.Nodes[i] = nil
+	}
+	g.Nodes = g.Nodes[:0]
+	for i := range g.Edges {
+		g.Edges[i] = Edge{}
+	}
+	g.Edges = g.Edges[:0]
+	for i := range g.Warnings {
+		g.Warnings[i] = Warning{}
+	}
+	g.Warnings = g.Warnings[:0]
+	clear(g.objNodes)
+}
+
+// blankNode returns a cleared node from the free list (its Warnings and
+// Stack slices keep their capacity).
+func (g *Graph) blankNode() *Node {
+	if n := len(g.nodeFree); n > 0 {
+		nd := g.nodeFree[n-1]
+		g.nodeFree = g.nodeFree[:n-1]
+		return nd
+	}
+	return &Node{}
+}
+
+// recycleNode clears a node and returns it to the free list.
+func (g *Graph) recycleNode(n *Node) {
+	warnings, stack := n.Warnings, n.Stack
+	for i := range warnings {
+		warnings[i] = ""
+	}
+	for i := range stack {
+		stack[i] = ""
+	}
+	*n = Node{}
+	n.Warnings = warnings[:0]
+	n.Stack = stack[:0]
+	g.nodeFree = append(g.nodeFree, n)
+}
+
+// blankTick returns a tick from the free list with the given phase.
+func (g *Graph) blankTick(phase string) *Tick {
+	if n := len(g.tickFree); n > 0 {
+		t := g.tickFree[n-1]
+		g.tickFree = g.tickFree[:n-1]
+		t.Phase = phase
+		return t
+	}
+	return &Tick{Phase: phase}
+}
+
+// recycleTick clears a tick and returns it to the free list.
+func (g *Graph) recycleTick(t *Tick) {
+	t.Index = 0
+	t.Phase = ""
+	t.Nodes = t.Nodes[:0]
+	g.tickFree = append(g.tickFree, t)
 }
 
 // Node returns the node with the given id, or nil.
@@ -235,8 +320,30 @@ func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind, label string) {
 func (g *Graph) AddWarning(node NodeID, category Category, message string, at loc.Loc) {
 	g.Warnings = append(g.Warnings, Warning{Category: category, Message: message, Node: node, Loc: at})
 	if n := g.Node(node); n != nil {
-		n.Warnings = append(n.Warnings, fmt.Sprintf("%s: %s", category, message))
+		n.Warnings = append(n.Warnings, g.warnLabel(category, message))
 	}
+}
+
+// warnLabel renders "category: message", interned in a cache that
+// survives Reset: a reused graph re-derives the same warnings run after
+// run, so each distinct label is built once per graph lifetime.
+func (g *Graph) warnLabel(category Category, message string) string {
+	k := warnLabelKey{cat: category, msg: message}
+	if s, ok := g.warnLabels[k]; ok {
+		return s
+	}
+	if g.warnLabels == nil {
+		g.warnLabels = make(map[warnLabelKey]string)
+	}
+	s := string(category) + ": " + message
+	g.warnLabels[k] = s
+	return s
+}
+
+// warnLabelKey identifies one interned node-warning label.
+type warnLabelKey struct {
+	cat Category
+	msg string
 }
 
 // NodesOfKind returns all nodes of the given kind, in creation order.

@@ -72,6 +72,26 @@ type Report struct {
 	// (0 when the suite did not include the pair). On a single-core
 	// recording host this is expected to hover near 1.
 	SpeedupParVsSeq float64 `json:"speedupParVsSeq,omitempty"`
+	// SpeedupNote flags recordings whose Seq-vs-Par ratio cannot measure
+	// parallel scaling: with one CPU or GOMAXPROCS=1 the parallel pool's
+	// workers time-slice a single core, so the ratio reflects pool
+	// overhead, not speedup. Readers (Compare, the bench subcommand)
+	// surface the note instead of quoting the meaningless ~1.0x.
+	SpeedupNote string `json:"speedupNote,omitempty"`
+}
+
+// SingleCore reports whether the recording ran without hardware or
+// scheduler parallelism — the condition under which SpeedupParVsSeq is
+// not a scaling measurement.
+func (r *Report) SingleCore() bool { return r.CPUs <= 1 || r.GOMAXPROCS <= 1 }
+
+// speedupNote derives the single-core caveat for a recording
+// environment; empty when the parallel comparison is meaningful.
+func speedupNote(cpus, gomaxprocs int) string {
+	if cpus > 1 && gomaxprocs > 1 {
+		return ""
+	}
+	return fmt.Sprintf("recorded with cpus=%d gomaxprocs=%d: the parallel workers time-slice one core, so speedupParVsSeq measures pool overhead, not parallel scaling", cpus, gomaxprocs)
 }
 
 // RunSuite measures every benchmark in order. Benchmark duration is
@@ -123,6 +143,7 @@ func NewReport(records []Record) *Report {
 	}
 	if seq > 0 && par > 0 {
 		rep.SpeedupParVsSeq = seq / par
+		rep.SpeedupNote = speedupNote(rep.CPUs, rep.GOMAXPROCS)
 	}
 	return rep
 }
@@ -147,6 +168,43 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	return &rep, nil
 }
 
+// Gate checks a fresh measurement against a committed recording: every
+// benchmark present in the committed report must be present in the
+// measurement with allocsPerOp no higher than (1+tolerance)× the
+// committed value. Allocation counts are the gated quantity because
+// they are hardware-independent — ns/op on a shared CI box is noise,
+// but a run path that suddenly allocates more has regressed regardless
+// of the clock. Returns the rendered verdict table and whether the
+// gate passes; benchmarks missing from the measurement fail the gate
+// (a silently shrunken suite must not pass), extra measured benchmarks
+// are ignored.
+func Gate(committed, measured *Report, tolerance float64) (string, bool) {
+	measuredBy := make(map[string]Record, len(measured.Benchmarks))
+	for _, r := range measured.Benchmarks {
+		measuredBy[r.Name] = r
+	}
+	var sb strings.Builder
+	pass := true
+	fmt.Fprintf(&sb, "allocs/op gate (tolerance %+.0f%%):\n", tolerance*100)
+	for _, cr := range committed.Benchmarks {
+		mr, ok := measuredBy[cr.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-24s FAIL: missing from measurement\n", cr.Name)
+			pass = false
+			continue
+		}
+		limit := int64(float64(cr.AllocsPerOp) * (1 + tolerance))
+		verdict := "ok"
+		if mr.AllocsPerOp > limit {
+			verdict = "FAIL"
+			pass = false
+		}
+		fmt.Fprintf(&sb, "%-24s %8d -> %8d allocs/op (limit %d)  %s\n",
+			cr.Name, cr.AllocsPerOp, mr.AllocsPerOp, limit, verdict)
+	}
+	return sb.String(), pass
+}
+
 // Compare renders a per-benchmark delta table between two recordings:
 // old→new ns/op with the percentage change, and allocs/op when it
 // moved. Benchmarks present in only one report are listed as added or
@@ -159,6 +217,13 @@ func Compare(old, new *Report) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "old: %s (%s, %d cpu)\n", old.RecordedAt, old.GoVersion, old.CPUs)
 	fmt.Fprintf(&sb, "new: %s (%s, %d cpu)\n", new.RecordedAt, new.GoVersion, new.CPUs)
+	switch {
+	case old.SingleCore() || new.SingleCore():
+		fmt.Fprintf(&sb, "warning: single-core recording (old cpus=%d gomaxprocs=%d, new cpus=%d gomaxprocs=%d): par-vs-seq speedup is not a scaling measurement and is omitted\n",
+			old.CPUs, old.GOMAXPROCS, new.CPUs, new.GOMAXPROCS)
+	case old.SpeedupParVsSeq > 0 && new.SpeedupParVsSeq > 0:
+		fmt.Fprintf(&sb, "speedup (par vs seq): %.2fx -> %.2fx\n", old.SpeedupParVsSeq, new.SpeedupParVsSeq)
+	}
 	seen := make(map[string]bool)
 	for _, nr := range new.Benchmarks {
 		seen[nr.Name] = true

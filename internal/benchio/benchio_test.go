@@ -85,6 +85,99 @@ func TestReadReportRejectsWrongSchema(t *testing.T) {
 	}
 }
 
+// TestSpeedupNote: a recording without hardware or scheduler
+// parallelism carries the caveat; a genuinely parallel one does not.
+func TestSpeedupNote(t *testing.T) {
+	for _, tc := range []struct {
+		cpus, gomaxprocs int
+		want             bool
+	}{
+		{1, 1, true},
+		{1, 8, true},
+		{8, 1, true},
+		{2, 2, false},
+		{8, 8, false},
+	} {
+		note := speedupNote(tc.cpus, tc.gomaxprocs)
+		if (note != "") != tc.want {
+			t.Errorf("speedupNote(%d, %d) = %q, want note=%v", tc.cpus, tc.gomaxprocs, note, tc.want)
+		}
+	}
+	rep := NewReport([]Record{
+		{Name: BenchExploreSeq, NsPerOp: 1000},
+		{Name: BenchExplorePar, NsPerOp: 900},
+	})
+	if rep.SingleCore() && rep.SpeedupNote == "" {
+		t.Errorf("single-core recording (cpus=%d gomaxprocs=%d) missing speedupNote", rep.CPUs, rep.GOMAXPROCS)
+	}
+	if !rep.SingleCore() && rep.SpeedupNote != "" {
+		t.Errorf("multi-core recording (cpus=%d gomaxprocs=%d) carries speedupNote %q", rep.CPUs, rep.GOMAXPROCS, rep.SpeedupNote)
+	}
+}
+
+// TestCompareSingleCoreWarns: a single-core recording on either side of
+// a comparison replaces the speedup line with a warning — quoting the
+// ~1.0x a one-core host measures would misreport the pool overhead as
+// absent scaling.
+func TestCompareSingleCoreWarns(t *testing.T) {
+	multi := func(ns float64) *Report {
+		return &Report{
+			CPUs: 8, GOMAXPROCS: 8, SpeedupParVsSeq: 3.5,
+			Benchmarks: []Record{{Name: BenchExploreSeq, NsPerOp: ns}},
+		}
+	}
+	single := &Report{
+		CPUs: 1, GOMAXPROCS: 1, SpeedupParVsSeq: 0.98,
+		Benchmarks: []Record{{Name: BenchExploreSeq, NsPerOp: 1000}},
+	}
+	out := Compare(multi(1000), single)
+	if !strings.Contains(out, "warning: single-core recording") {
+		t.Errorf("Compare with a single-core recording missing warning:\n%s", out)
+	}
+	if strings.Contains(out, "speedup (par vs seq)") {
+		t.Errorf("Compare quoted a speedup for a single-core recording:\n%s", out)
+	}
+	out = Compare(multi(1000), multi(800))
+	if !strings.Contains(out, "speedup (par vs seq): 3.50x -> 3.50x") {
+		t.Errorf("Compare between multi-core recordings missing speedup line:\n%s", out)
+	}
+	if strings.Contains(out, "warning") {
+		t.Errorf("Compare between multi-core recordings warns spuriously:\n%s", out)
+	}
+}
+
+// TestGate: within-tolerance measurements pass, regressions and missing
+// benchmarks fail, extra measured benchmarks are ignored.
+func TestGate(t *testing.T) {
+	committed := &Report{Benchmarks: []Record{
+		{Name: "A", AllocsPerOp: 1000},
+		{Name: "B", AllocsPerOp: 200},
+	}}
+	pass := &Report{Benchmarks: []Record{
+		{Name: "A", AllocsPerOp: 1100}, // +10%, inside 25%
+		{Name: "B", AllocsPerOp: 150},  // improved
+		{Name: "New", AllocsPerOp: 1 << 30},
+	}}
+	if text, ok := Gate(committed, pass, 0.25); !ok {
+		t.Errorf("in-tolerance measurement failed the gate:\n%s", text)
+	}
+	regress := &Report{Benchmarks: []Record{
+		{Name: "A", AllocsPerOp: 1300}, // +30%, outside 25%
+		{Name: "B", AllocsPerOp: 200},
+	}}
+	if text, ok := Gate(committed, regress, 0.25); ok {
+		t.Errorf("regressed measurement passed the gate:\n%s", text)
+	} else if !strings.Contains(text, "FAIL") {
+		t.Errorf("gate verdict missing FAIL marker:\n%s", text)
+	}
+	shrunk := &Report{Benchmarks: []Record{{Name: "A", AllocsPerOp: 1000}}}
+	if text, ok := Gate(committed, shrunk, 0.25); ok {
+		t.Errorf("measurement missing a committed benchmark passed the gate:\n%s", text)
+	} else if !strings.Contains(text, "missing from measurement") {
+		t.Errorf("gate verdict missing missing-benchmark finding:\n%s", text)
+	}
+}
+
 // TestCompareRendersDeltas: Compare lists per-benchmark changes plus
 // added and removed entries.
 func TestCompareRendersDeltas(t *testing.T) {

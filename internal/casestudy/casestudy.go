@@ -118,6 +118,71 @@ func session(c Case, extra ...asyncg.Option) *asyncg.Session {
 	return asyncg.New(opts...)
 }
 
+// SessionFor creates the analysis session a case runs under — the same
+// configuration RunBuggy and RunFixed build internally (the case's tick
+// limit plus the caller's extra options). Exported so reusable runners
+// can construct the session once and Reset it between runs.
+func SessionFor(c Case, extra ...asyncg.Option) *asyncg.Session {
+	return session(c, extra...)
+}
+
+// SessionRunner executes one version of a case repeatedly on a reusable
+// session: the first Run builds the session from the given options,
+// later Runs reuse its allocation set. It satisfies the explore
+// package's Runner contract — Reset must be called between Runs, and
+// per-run options (scheduler, context) are re-applied through
+// asyncg.Session.Apply while structural options stay fixed at the first
+// call. Manual graph queries (Case.Manual) are appended to the buggy
+// report exactly as RunBuggy does, so a reused runner's report is
+// byte-identical to a one-shot run's.
+type SessionRunner struct {
+	c       Case
+	program func(ctx *asyncg.Context)
+	manual  func(*asyncg.Report) []asyncgraph.Warning
+	session *asyncg.Session
+}
+
+// NewRunner creates a reusable runner for the case's buggy or fixed
+// version. The fixed version of a case without one runs an empty program
+// (mirroring RunFixed's no-op result path is the caller's concern;
+// explore targets reject such cases before constructing runners).
+func NewRunner(c Case, fixed bool) *SessionRunner {
+	r := &SessionRunner{c: c, program: c.Buggy}
+	if fixed {
+		r.program = c.Fixed
+	} else {
+		r.manual = c.Manual
+	}
+	return r
+}
+
+// Run executes the case once. The runner must be cold: freshly created,
+// or Reset since the previous Run.
+func (r *SessionRunner) Run(extra ...asyncg.Option) (*asyncg.Report, error) {
+	if r.program == nil {
+		// Fixed version of a case without one: mirror RunFixed's no-op.
+		return nil, nil
+	}
+	if r.session == nil {
+		r.session = session(r.c, extra...)
+	} else {
+		r.session.Apply(extra...)
+	}
+	report, err := r.session.Run(r.program)
+	if r.manual != nil {
+		report.Warnings = append(report.Warnings, r.manual(report)...)
+	}
+	return report, err
+}
+
+// Reset returns the runner's session to cold-start state, retaining its
+// allocations. Objects from the previous run's report are invalidated.
+func (r *SessionRunner) Reset() {
+	if r.session != nil {
+		r.session.Reset()
+	}
+}
+
 // RunBuggy executes the buggy program under AsyncG and checks the
 // expected categories.
 func RunBuggy(c Case, extra ...asyncg.Option) Result {

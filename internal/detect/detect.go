@@ -2,6 +2,7 @@ package detect
 
 import (
 	"sort"
+	"strconv"
 
 	"asyncg/internal/asyncgraph"
 	"asyncg/internal/vm"
@@ -150,7 +151,62 @@ type Analyzer struct {
 	mrCands    []mrCandidate     // missing-return candidates
 	bcCands    []bcCandidate     // broken-chain candidates
 
+	// emFree and pFree recycle per-object state records across Reset.
+	emFree []*emState
+	pFree  []*pState
+
+	// pSorted is sortedPromises' reusable scratch (pointers into
+	// a.promises; rebuilt every call).
+	pSorted []*pState
+
+	// msgCache interns warning messages of the prefix+%q(event)+suffix
+	// shape. It deliberately survives Reset: reused analyzers re-derive
+	// the same warnings run after run, and re-rendering the identical
+	// message each run was a measurable share of the steady-state
+	// allocation profile of schedule exploration.
+	msgCache map[msgKey]string
+
 	finished bool
+}
+
+// msgKey identifies one interned warning message: the site's fixed
+// prefix plus the one or two dynamic parts interpolated into it.
+type msgKey struct {
+	prefix string
+	event  string
+	extra  string
+}
+
+// internMsg renders prefix+%q(event)+suffix, caching the result so a
+// reused analyzer allocates each distinct message once.
+func (a *Analyzer) internMsg(prefix, event, suffix string) string {
+	k := msgKey{prefix: prefix, event: event}
+	if m, ok := a.msgCache[k]; ok {
+		return m
+	}
+	if a.msgCache == nil {
+		a.msgCache = make(map[msgKey]string)
+	}
+	m := prefix + strconv.Quote(event) + suffix
+	a.msgCache[k] = m
+	return m
+}
+
+// internRemovalMsg renders the invalid-removal message, byte-identical
+// to fmt.Sprintf("removeListener(%q, %s) did not match ...", event,
+// name), through the same cache.
+func (a *Analyzer) internRemovalMsg(event, name string) string {
+	k := msgKey{prefix: "removeListener", event: event, extra: name}
+	if m, ok := a.msgCache[k]; ok {
+		return m
+	}
+	if a.msgCache == nil {
+		a.msgCache = make(map[msgKey]string)
+	}
+	m := "removeListener(" + strconv.Quote(event) + ", " + name +
+		") did not match any registered listener: the function passed is not the one that was registered"
+	a.msgCache[k] = m
+	return m
 }
 
 // NewAnalyzer creates an analyzer bound to the builder whose graph it
@@ -167,6 +223,51 @@ func NewAnalyzer(b *asyncgraph.Builder, cfg Config) *Analyzer {
 		regRole:    make(map[uint64]string),
 		regDerived: make(map[uint64]uint64),
 	}
+}
+
+// Reset returns the analyzer to its initial state while retaining its
+// allocation set (per-object state records, map buckets, scratch
+// slices), so one analyzer serves a whole stream of runs. The graph it
+// annotates is reset separately (Builder.Reset).
+func (a *Analyzer) Reset() {
+	for i := range a.stack {
+		a.stack[i] = aframe{}
+	}
+	a.stack = a.stack[:0]
+	a.sched.reset()
+	for _, st := range a.emitters {
+		st.name = ""
+		for ev, ls := range st.listeners {
+			for i := range ls {
+				ls[i] = emListener{}
+			}
+			st.listeners[ev] = ls[:0]
+		}
+		a.emFree = append(a.emFree, st)
+	}
+	clear(a.emitters)
+	for _, st := range a.promises {
+		children := st.children
+		for i := range children {
+			children[i] = 0
+		}
+		*st = pState{}
+		st.children = children[:0]
+		a.pFree = append(a.pFree, st)
+	}
+	clear(a.promises)
+	a.races.reset()
+	clear(a.regRole)
+	clear(a.regDerived)
+	for i := range a.mrCands {
+		a.mrCands[i] = mrCandidate{}
+	}
+	a.mrCands = a.mrCands[:0]
+	for i := range a.bcCands {
+		a.bcCands[i] = bcCandidate{}
+	}
+	a.bcCands = a.bcCands[:0]
+	a.finished = false
 }
 
 // Warnings returns the findings so far (including post-hoc ones after

@@ -26,7 +26,12 @@ type emState struct {
 func (a *Analyzer) emitter(id uint64) *emState {
 	st, ok := a.emitters[id]
 	if !ok {
-		st = &emState{listeners: make(map[string][]emListener)}
+		if n := len(a.emFree); n > 0 {
+			st = a.emFree[n-1]
+			a.emFree = a.emFree[:n-1]
+		} else {
+			st = &emState{listeners: make(map[string][]emListener)}
+		}
 		a.emitters[id] = st
 	}
 	return st
@@ -84,7 +89,7 @@ func (a *Analyzer) emitterAPICall(ev *vm.APIEvent) {
 		// §VI-A.2(b): an event emitted with no registered listener.
 		if len(st.listeners[ev.Event]) == 0 {
 			a.g.AddWarning(a.b.NodeByTrigSeq(ev.TriggerSeq), CatDeadEmit,
-				fmt.Sprintf("event %q emitted with no listener registered: the emission is lost", ev.Event),
+				a.internMsg("event ", ev.Event, " emitted with no listener registered: the emission is lost"),
 				ev.Loc)
 		}
 
@@ -99,8 +104,7 @@ func (a *Analyzer) emitterAPICall(ev *vm.APIEvent) {
 				}
 			}
 			a.g.AddWarning(asyncgraph.NoNode, CatInvalidRemoval,
-				fmt.Sprintf("removeListener(%q, %s) did not match any registered listener: the function passed is not the one that was registered",
-					ev.Event, name),
+				a.internRemovalMsg(ev.Event, name),
 				ev.Loc)
 			return
 		}
@@ -150,8 +154,11 @@ func (st *emState) remove(event string, regSeq uint64) {
 // listeners — registrations whose callback never executed (and was never
 // deliberately removed).
 func (a *Analyzer) finishEmitters() {
-	for _, n := range a.g.NodesOfKind(asyncgraph.CR) {
-		if n.Obj.Kind != vm.ObjEmitter {
+	// Iterate g.Nodes directly (it is creation order, the same order
+	// NodesOfKind returns) instead of materializing a filtered slice
+	// on every run of a reused analyzer.
+	for _, n := range a.g.Nodes {
+		if n.Kind != asyncgraph.CR || n.Obj.Kind != vm.ObjEmitter {
 			continue
 		}
 		if n.Event == events.EventError {
@@ -161,7 +168,7 @@ func (a *Analyzer) finishEmitters() {
 		}
 		if n.Executions == 0 && !n.Removed && !n.Loc.IsInternal() {
 			a.g.AddWarning(n.ID, CatDeadListener,
-				fmt.Sprintf("listener for event %q was registered but never executed: the emitter never emits this event", n.Event),
+				a.internMsg("listener for event ", n.Event, " was registered but never executed: the emitter never emits this event"),
 				n.Loc)
 		}
 	}

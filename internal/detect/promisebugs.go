@@ -52,7 +52,13 @@ type bcCandidate struct {
 func (a *Analyzer) promiseState(id uint64) *pState {
 	st, ok := a.promises[id]
 	if !ok {
-		st = &pState{id: id}
+		if n := len(a.pFree); n > 0 {
+			st = a.pFree[n-1]
+			a.pFree = a.pFree[:n-1]
+		} else {
+			st = &pState{}
+		}
+		st.id = id
 		a.promises[id] = st
 	}
 	return st
@@ -242,13 +248,16 @@ func (a *Analyzer) reactionExit(fr aframe, ret vm.Value, thrown *vm.Thrown) {
 }
 
 // sortedPromises returns the promise states in object-id order, so
-// post-hoc warnings are emitted deterministically run after run.
+// post-hoc warnings are emitted deterministically run after run. The
+// returned slice aliases the analyzer's scratch buffer, reused across
+// runs; it is only valid until the next call.
 func (a *Analyzer) sortedPromises() []*pState {
-	out := make([]*pState, 0, len(a.promises))
+	out := a.pSorted[:0]
 	for _, st := range a.promises {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	a.pSorted = out
 	return out
 }
 

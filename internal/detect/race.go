@@ -37,6 +37,16 @@ func newRaceState() *raceState {
 	return &raceState{cellNames: make(map[uint64]string)}
 }
 
+// reset clears the per-run access log. Cell names persist across runs:
+// ids and names are deterministic program structure, re-announced by
+// state.APINew before any access of the next run.
+func (s *raceState) reset() {
+	for i := range s.accesses {
+		s.accesses[i] = access{}
+	}
+	s.accesses = s.accesses[:0]
+}
+
 // raceAPICall records cell traffic.
 func (a *Analyzer) raceAPICall(ev *vm.APIEvent) {
 	switch ev.API {

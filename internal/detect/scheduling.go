@@ -73,6 +73,25 @@ func newSchedState(cfg Config) *schedState {
 	}
 }
 
+// reset returns the detector to its initial state, keeping map buckets
+// and scratch-slice capacity.
+func (s *schedState) reset() {
+	s.curMicroFn = nil
+	clear(s.selfResched)
+	s.microRun = 0
+	s.starved = false
+	for i := range s.tickSimilar {
+		s.tickSimilar[i] = similarReg{}
+	}
+	s.tickSimilar = s.tickSimilar[:0]
+	for i := range s.tickTimeouts {
+		s.tickTimeouts[i] = timeoutEntry{}
+	}
+	s.tickTimeouts = s.tickTimeouts[:0]
+	clear(s.regToGroup)
+	clear(s.settled)
+}
+
 // tickStart runs when a new top-level callback begins.
 func (s *schedState) tickStart(a *Analyzer, fn *vm.Function, info *vm.CallInfo) {
 	if eventloop.Phase(info.Phase).IsMicro() {

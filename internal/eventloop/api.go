@@ -28,13 +28,17 @@ const minTimeout = time.Millisecond
 func (l *Loop) NextTick(at loc.Loc, fn *vm.Function, args ...vm.Value) {
 	seq := l.NextRegSeq()
 	if l.probes.Active() {
-		l.probes.APICall(&vm.APIEvent{
-			API:  APINextTick,
-			Loc:  at,
-			Regs: []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseNextTick), Once: true, Role: "callback"}},
-		})
+		ev := l.BorrowAPIEvent()
+		ev.API = APINextTick
+		ev.Loc = at
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: fn, Phase: string(PhaseNextTick), Once: true, Role: "callback"})
+		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
-	l.nextTickQ.push(task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APINextTick, RegSeq: seq}})
+	d := l.NewDispatch()
+	d.API = APINextTick
+	d.RegSeq = seq
+	l.nextTickQ.push(task{fn: fn, args: args, dispatch: d})
 }
 
 // QueueMicrotask schedules fn on the promise-job microtask queue — the
@@ -43,13 +47,17 @@ func (l *Loop) NextTick(at loc.Loc, fn *vm.Function, args ...vm.Value) {
 func (l *Loop) QueueMicrotask(at loc.Loc, fn *vm.Function, args ...vm.Value) {
 	seq := l.NextRegSeq()
 	if l.probes.Active() {
-		l.probes.APICall(&vm.APIEvent{
-			API:  APIQueueMicrotask,
-			Loc:  at,
-			Regs: []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhasePromise), Once: true, Role: "callback"}},
-		})
+		ev := l.BorrowAPIEvent()
+		ev.API = APIQueueMicrotask
+		ev.Loc = at
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: fn, Phase: string(PhasePromise), Once: true, Role: "callback"})
+		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
-	l.promiseQ.push(task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APIQueueMicrotask, RegSeq: seq}})
+	d := l.NewDispatch()
+	d.API = APIQueueMicrotask
+	d.RegSeq = seq
+	l.promiseQ.push(task{fn: fn, args: args, dispatch: d})
 }
 
 // SetTimeout schedules fn once after delay of virtual time and returns
@@ -75,22 +83,25 @@ func (l *Loop) addTimer(at loc.Loc, api string, fn *vm.Function, delay, interval
 	id := l.timerSeq
 	seq := l.NextRegSeq()
 	if l.probes.Active() {
-		l.probes.APICall(&vm.APIEvent{
-			API:      api,
-			Loc:      at,
-			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
-			Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseTimer), Once: interval == 0, Role: "callback"}},
-			Args:     []vm.Value{delay},
-		})
+		ev := l.BorrowAPIEvent()
+		ev.API = api
+		ev.Loc = at
+		ev.Receiver = vm.ObjRef{ID: id, Kind: vm.ObjTimer}
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: fn, Phase: string(PhaseTimer), Once: interval == 0, Role: "callback"})
+		ev.SetOneArg(delay)
+		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
 	l.orderSeq++
-	t := &timer{
-		task:     task{fn: fn, args: args, dispatch: &vm.Dispatch{API: api, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}},
-		id:       id,
-		due:      l.now + delay,
-		interval: interval,
-		seq:      l.orderSeq,
-	}
+	t := l.borrowTimer()
+	t.fn = fn
+	t.args = args
+	t.disp = vm.Dispatch{API: api, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}
+	t.dispatch = &t.disp
+	t.id = id
+	t.due = l.now + delay
+	t.interval = interval
+	t.seq = l.orderSeq
 	l.timers.add(t)
 	l.timersByID[id] = t
 	l.activeTimers++
@@ -107,17 +118,17 @@ func (l *Loop) ClearInterval(at loc.Loc, id uint64) { l.clearTimer(at, APIClearI
 func (l *Loop) clearTimer(at loc.Loc, api string, id uint64) {
 	t, ok := l.timersByID[id]
 	if l.probes.Active() {
-		ev := &vm.APIEvent{
-			API:      api,
-			Loc:      at,
-			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
-		}
+		ev := l.BorrowAPIEvent()
+		ev.API = api
+		ev.Loc = at
+		ev.Receiver = vm.ObjRef{ID: id, Kind: vm.ObjTimer}
 		if ok && !t.cleared {
 			// Identify the retired registration so tools can drop the
 			// pending CR.
-			ev.Regs = []vm.Registration{{Seq: t.dispatch.RegSeq, Callback: t.fn, Phase: string(PhaseTimer), Once: t.interval == 0, Role: "callback"}}
+			ev.SetOneReg(vm.Registration{Seq: t.dispatch.RegSeq, Callback: t.fn, Phase: string(PhaseTimer), Once: t.interval == 0, Role: "callback"})
 		}
 		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
 	if !ok || t.cleared {
 		return
@@ -134,17 +145,20 @@ func (l *Loop) SetImmediate(at loc.Loc, fn *vm.Function, args ...vm.Value) uint6
 	id := l.timerSeq
 	seq := l.NextRegSeq()
 	if l.probes.Active() {
-		l.probes.APICall(&vm.APIEvent{
-			API:      APISetImmediate,
-			Loc:      at,
-			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
-			Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"}},
-		})
+		ev := l.BorrowAPIEvent()
+		ev.API = APISetImmediate
+		ev.Loc = at
+		ev.Receiver = vm.ObjRef{ID: id, Kind: vm.ObjTimer}
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"})
+		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
-	im := &immediate{
-		task: task{fn: fn, args: args, dispatch: &vm.Dispatch{API: APISetImmediate, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}},
-		id:   id,
-	}
+	im := l.borrowImmediate()
+	im.fn = fn
+	im.args = args
+	im.disp = vm.Dispatch{API: APISetImmediate, RegSeq: seq, Obj: vm.ObjRef{ID: id, Kind: vm.ObjTimer}}
+	im.dispatch = &im.disp
+	im.id = id
 	l.immediates = append(l.immediates, im)
 	l.immediatesByID[id] = im
 	l.activeImmediate++
@@ -155,15 +169,15 @@ func (l *Loop) SetImmediate(at loc.Loc, fn *vm.Function, args ...vm.Value) uint6
 func (l *Loop) ClearImmediate(at loc.Loc, id uint64) {
 	im, ok := l.immediatesByID[id]
 	if l.probes.Active() {
-		ev := &vm.APIEvent{
-			API:      APIClearImmediate,
-			Loc:      at,
-			Receiver: vm.ObjRef{ID: id, Kind: vm.ObjTimer},
-		}
+		ev := l.BorrowAPIEvent()
+		ev.API = APIClearImmediate
+		ev.Loc = at
+		ev.Receiver = vm.ObjRef{ID: id, Kind: vm.ObjTimer}
 		if ok && !im.cleared {
-			ev.Regs = []vm.Registration{{Seq: im.dispatch.RegSeq, Callback: im.fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"}}
+			ev.SetOneReg(vm.Registration{Seq: im.dispatch.RegSeq, Callback: im.fn, Phase: string(PhaseImmediate), Once: true, Role: "callback"})
 		}
 		l.probes.APICall(ev)
+		l.ReturnAPIEvent(ev)
 	}
 	if !ok || im.cleared {
 		return
@@ -204,16 +218,35 @@ func (l *Loop) ScheduleIOAt(readyAt time.Duration, fn *vm.Function, args []vm.Va
 // only one of their orders (partial-order reduction). Key 0 means "may
 // touch anything" and disables the reduction for its batch.
 func (l *Loop) ScheduleIOKeyedAt(readyAt time.Duration, key uint64, fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) {
+	e := l.scheduleIO(readyAt, key, fn, args)
+	e.dispatch = dispatch
+}
+
+// ScheduleIOKeyedDispatch is ScheduleIOKeyedAt with the dispatch stored
+// inline in the loop's pooled event record: the caller fills the
+// returned dispatch before yielding to the loop, and the record —
+// dispatch included — is reclaimed after the event's callback finishes
+// (hooks may read it until FunctionExit returns). Substrate layers use
+// it to schedule completions without allocating a dispatch per delivery.
+func (l *Loop) ScheduleIOKeyedDispatch(readyAt time.Duration, key uint64, fn *vm.Function, args []vm.Value) *vm.Dispatch {
+	e := l.scheduleIO(readyAt, key, fn, args)
+	e.dispatch = &e.disp
+	return &e.disp
+}
+
+func (l *Loop) scheduleIO(readyAt time.Duration, key uint64, fn *vm.Function, args []vm.Value) *ioEvent {
 	if readyAt < l.now {
 		readyAt = l.now
 	}
 	l.orderSeq++
-	l.io.add(&ioEvent{
-		task:    task{fn: fn, args: args, dispatch: dispatch},
-		readyAt: readyAt,
-		seq:     l.orderSeq,
-		key:     key,
-	})
+	e := l.borrowIOEvent()
+	e.fn = fn
+	e.args = args
+	e.readyAt = readyAt
+	e.seq = l.orderSeq
+	e.key = key
+	l.io.add(e)
+	return e
 }
 
 // ScheduleClose enqueues a close handler for the close phase of the

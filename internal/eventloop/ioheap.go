@@ -3,11 +3,15 @@ package eventloop
 import (
 	"container/heap"
 	"time"
+
+	"asyncg/internal/vm"
 )
 
 // ioEvent is an external event that becomes deliverable at a virtual
 // time; the I/O poll phase dispatches events whose readyAt has passed.
-// The simulated network and file-system layers schedule these.
+// The simulated network and file-system layers schedule these. disp
+// backs task.dispatch for events scheduled via ScheduleIOKeyedDispatch,
+// so a pooled event carries its dispatch inline.
 type ioEvent struct {
 	task
 	readyAt time.Duration
@@ -15,7 +19,8 @@ type ioEvent struct {
 	// key is the independence key for partial-order reduction: events
 	// with distinct non-zero keys touch disjoint simulation state, so a
 	// poll batch of such events commutes. 0 (the default) opts out.
-	key uint64
+	key  uint64
+	disp vm.Dispatch
 }
 
 // ioHeap orders events by (readyAt, seq).

@@ -115,13 +115,33 @@ type Loop struct {
 	uncaught []UncaughtError
 	stopErr  error
 	running  bool
+
+	// Free lists and scratch buffers that survive Reset, so one
+	// allocation set serves a whole stream of runs (the zero-allocation
+	// run path). callInfo is the single FunctionEnter payload: probe
+	// dispatch completes before the callback body runs, so one scratch
+	// struct serves arbitrarily nested invocations.
+	callInfo     vm.CallInfo
+	dispFree     []*vm.Dispatch
+	evFree       []*vm.APIEvent
+	timerFree    []*timer
+	immFree      []*immediate
+	ioFree       []*ioEvent
+	dueScratch   []*timer
+	readyScratch []*ioEvent
+	keyScratch   []uint64
+
+	resetHooks []func()
+	substrates map[any]any
 }
 
-// immediate is a pending setImmediate registration.
+// immediate is a pending setImmediate registration. disp backs
+// task.dispatch so a pooled immediate carries its dispatch inline.
 type immediate struct {
 	task
 	id      uint64
 	cleared bool
+	disp    vm.Dispatch
 }
 
 // New creates a loop with the given options.
@@ -146,6 +166,206 @@ func New(opts Options) *Loop {
 // hooks — before Run or from inside callbacks (AsyncG is pluggable at
 // runtime).
 func (l *Loop) Probes() *vm.Probes { return &l.probes }
+
+// SetScheduler swaps the scheduling-choice resolver. Reusable sessions
+// install a fresh recording per run between Reset and Run; the rest of
+// Options stays fixed at construction. Must not be called mid-run.
+func (l *Loop) SetScheduler(s Scheduler) { l.opts.Scheduler = s }
+
+// SetInterrupt swaps the tick-boundary interrupt poll (see
+// Options.Interrupt). Must not be called mid-run.
+func (l *Loop) SetInterrupt(f func() error) { l.opts.Interrupt = f }
+
+// Reset returns the loop to its cold-start state while retaining its
+// allocation set: queues, heaps, sequence counters, virtual time, and
+// recorded errors are cleared, but free lists, scratch buffers, attached
+// probes, substrate state, and the configured Options survive. A
+// freshly-Reset loop behaves byte-identically to a newly-constructed one
+// under the same program. Reset must not be called while Run is active;
+// registered reset hooks (OnReset) fire last, in registration order.
+func (l *Loop) Reset() {
+	// Recycle everything still queued so the free lists stay warm even
+	// after a truncated (limit-stopped or interrupted) run.
+	for {
+		t := l.timers.peek()
+		if t == nil {
+			break
+		}
+		l.recycleTimer(l.timers.removeMin())
+	}
+	for {
+		e := l.io.peek()
+		if e == nil {
+			break
+		}
+		l.recycleIOEvent(l.io.removeMin())
+	}
+	for i := l.immHead; i < len(l.immediates); i++ {
+		if im := l.immediates[i]; im != nil {
+			l.recycleImmediate(im)
+		}
+		l.immediates[i] = nil
+	}
+	l.immediates = l.immediates[:0]
+	l.immHead = 0
+	l.activeImmediate = 0
+	clear(l.immediatesByID)
+	clear(l.timersByID)
+	l.activeTimers = 0
+	l.drainRecycle(&l.nextTickQ)
+	l.drainRecycle(&l.promiseQ)
+	l.drainRecycle(&l.closeQ)
+
+	l.now = 0
+	l.phase = PhaseMain
+	l.depth = 0
+	l.timerSeq, l.orderSeq, l.regSeq, l.trigSeq, l.objSeq, l.ioKeySeq = 0, 0, 0, 0, 0, 0
+	l.iteration = 0
+	l.ticksRun = 0
+	for i := range l.uncaught {
+		l.uncaught[i] = UncaughtError{}
+	}
+	l.uncaught = l.uncaught[:0]
+	l.stopErr = nil
+	l.running = false
+	l.callInfo = vm.CallInfo{}
+
+	for _, hook := range l.resetHooks {
+		hook()
+	}
+}
+
+// OnReset registers a hook invoked at the end of every Reset, after the
+// loop's own state is cleared. Substrate layers (network, DB, file
+// system, promise arenas) use it to return their per-run state to
+// cold-start while keeping their allocation pools.
+func (l *Loop) OnReset(hook func()) {
+	l.resetHooks = append(l.resetHooks, hook)
+}
+
+// Substrate returns per-loop auxiliary state registered under key,
+// creating it with init on first use. The state persists across Reset —
+// init typically registers an OnReset hook for the per-run portion.
+// Library layers use it for per-loop allocation arenas without the loop
+// knowing their types.
+func (l *Loop) Substrate(key any, init func() any) any {
+	if s, ok := l.substrates[key]; ok {
+		return s
+	}
+	if l.substrates == nil {
+		l.substrates = make(map[any]any)
+	}
+	s := init()
+	l.substrates[key] = s
+	return s
+}
+
+// NewDispatch returns a cleared dispatch from the loop's free list,
+// marked Pooled. The loop reclaims it automatically after the top-level
+// callback it is attached to finishes executing; for dispatches used
+// with a direct Invoke, the caller returns it with RecycleDispatch.
+func (l *Loop) NewDispatch() *vm.Dispatch {
+	if n := len(l.dispFree); n > 0 {
+		d := l.dispFree[n-1]
+		l.dispFree = l.dispFree[:n-1]
+		return d
+	}
+	return &vm.Dispatch{Pooled: true}
+}
+
+// RecycleDispatch clears a pooled dispatch and returns it to the free
+// list. Only dispatches obtained from NewDispatch may be recycled, and
+// only once their callback execution (FunctionExit included) is over.
+func (l *Loop) RecycleDispatch(d *vm.Dispatch) {
+	if d == nil || !d.Pooled {
+		return
+	}
+	*d = vm.Dispatch{Pooled: true}
+	l.dispFree = append(l.dispFree, d)
+}
+
+// BorrowAPIEvent returns a cleared probe event from the loop's free
+// list. Emitting layers fill it, pass it to EmitAPIEvent, and hand it
+// back with ReturnAPIEvent once the hooks have run — hooks copy what
+// they keep (see vm.Hooks), so the event is single-dispatch scratch.
+func (l *Loop) BorrowAPIEvent() *vm.APIEvent {
+	if n := len(l.evFree); n > 0 {
+		ev := l.evFree[n-1]
+		l.evFree = l.evFree[:n-1]
+		return ev
+	}
+	return &vm.APIEvent{}
+}
+
+// ReturnAPIEvent clears ev and returns it to the free list; the caller
+// must not touch it afterwards.
+func (l *Loop) ReturnAPIEvent(ev *vm.APIEvent) {
+	*ev = vm.APIEvent{}
+	l.evFree = append(l.evFree, ev)
+}
+
+// drainRecycle empties a task queue, returning pooled dispatches to the
+// free list so truncated runs keep the pools warm.
+func (l *Loop) drainRecycle(q *fifo) {
+	for {
+		t, ok := q.pop()
+		if !ok {
+			break
+		}
+		if d := t.dispatch; d != nil && d.Pooled {
+			l.RecycleDispatch(d)
+		}
+	}
+	q.reset()
+}
+
+// recycleTimer clears a retired timer and returns it to the free list.
+func (l *Loop) recycleTimer(t *timer) {
+	*t = timer{}
+	l.timerFree = append(l.timerFree, t)
+}
+
+// borrowTimer returns a zeroed timer from the free list.
+func (l *Loop) borrowTimer() *timer {
+	if n := len(l.timerFree); n > 0 {
+		t := l.timerFree[n-1]
+		l.timerFree = l.timerFree[:n-1]
+		return t
+	}
+	return &timer{}
+}
+
+// recycleImmediate clears a retired immediate and returns it to the pool.
+func (l *Loop) recycleImmediate(im *immediate) {
+	*im = immediate{}
+	l.immFree = append(l.immFree, im)
+}
+
+// borrowImmediate returns a zeroed immediate from the free list.
+func (l *Loop) borrowImmediate() *immediate {
+	if n := len(l.immFree); n > 0 {
+		im := l.immFree[n-1]
+		l.immFree = l.immFree[:n-1]
+		return im
+	}
+	return &immediate{}
+}
+
+// recycleIOEvent clears a delivered I/O event and returns it to the pool.
+func (l *Loop) recycleIOEvent(e *ioEvent) {
+	*e = ioEvent{}
+	l.ioFree = append(l.ioFree, e)
+}
+
+// borrowIOEvent returns a zeroed I/O event from the free list.
+func (l *Loop) borrowIOEvent() *ioEvent {
+	if n := len(l.ioFree); n > 0 {
+		e := l.ioFree[n-1]
+		l.ioFree = l.ioFree[:n-1]
+		return e
+	}
+	return &ioEvent{}
+}
 
 // Now returns the current virtual time.
 func (l *Loop) Now() time.Duration { return l.now }
@@ -211,11 +431,13 @@ func (l *Loop) Invoke(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) (
 	l.depth++
 	active := l.probes.Active()
 	if active {
-		l.probes.FunctionEnter(fn, &vm.CallInfo{
-			Phase:    string(l.phase),
-			TopLevel: l.depth == 1,
-			Dispatch: dispatch,
-		})
+		// callInfo is single-dispatch scratch: FunctionEnter completes
+		// before the callback body runs, so nested invocations may reuse
+		// it freely (hooks copy what they keep, see vm.Hooks).
+		l.callInfo.Phase = string(l.phase)
+		l.callInfo.TopLevel = l.depth == 1
+		l.callInfo.Dispatch = dispatch
+		l.probes.FunctionEnter(fn, &l.callInfo)
 	}
 	var ret vm.Value
 	thrown := vm.CatchThrown(func() { ret = fn.Invoke(args) })
@@ -229,6 +451,11 @@ func (l *Loop) Invoke(fn *vm.Function, args []vm.Value, dispatch *vm.Dispatch) (
 // invokeTop dispatches one top-level callback in the given phase,
 // enforcing tick and time limits and recording uncaught exceptions.
 func (l *Loop) invokeTop(t task, phase Phase) {
+	if d := t.dispatch; d != nil && d.Pooled {
+		// A pooled dispatch is consumed by its dispatch attempt: hooks may
+		// read it until FunctionExit returns, nothing retains it after.
+		defer l.RecycleDispatch(d)
+	}
 	if l.stopErr != nil {
 		return
 	}
@@ -315,7 +542,7 @@ func (l *Loop) peekActiveTimer() *timer {
 			return nil
 		}
 		if t.cleared {
-			l.timers.removeMin()
+			l.recycleTimer(l.timers.removeMin())
 			continue
 		}
 		return t
@@ -351,7 +578,9 @@ func (l *Loop) Run(main *vm.Function, args ...vm.Value) error {
 	l.running = true
 	defer func() { l.running = false }()
 
-	l.invokeTop(task{fn: main, args: args, dispatch: &vm.Dispatch{API: "main"}}, PhaseMain)
+	d := l.NewDispatch()
+	d.API = "main"
+	l.invokeTop(task{fn: main, args: args, dispatch: d}, PhaseMain)
 	l.drainMicro()
 	for l.stopErr == nil && l.hasWork() {
 		if l.checkInterrupt() {
@@ -400,7 +629,7 @@ func (l *Loop) phaseExit(phase Phase, runnable int) {
 // (deadline, registration) order. Timers scheduled during the phase run
 // in a later iteration, even if already due.
 func (l *Loop) runTimerPhase() {
-	var due []*timer
+	due := l.dueScratch[:0]
 	for {
 		t := l.peekActiveTimer()
 		if t == nil || t.due > l.now {
@@ -411,13 +640,15 @@ func (l *Loop) runTimerPhase() {
 	l.permuteTimerTies(due)
 	span := l.phaseEnter(PhaseTimer, len(due))
 	wantFires := l.probes.WantTimers()
-	for _, t := range due {
+	for i, t := range due {
+		due[i] = nil
 		if l.stopErr != nil {
 			// Not executed: put it back so hasWork stays truthful.
 			l.timers.add(t)
 			continue
 		}
 		if t.cleared { // cleared by an earlier callback in this phase
+			l.recycleTimer(t)
 			continue
 		}
 		if wantFires {
@@ -435,12 +666,14 @@ func (l *Loop) runTimerPhase() {
 		} else {
 			l.activeTimers--
 			delete(l.timersByID, t.id)
+			l.recycleTimer(t)
 		}
 		l.drainMicro()
 	}
 	if span {
 		l.phaseExit(PhaseTimer, len(due))
 	}
+	l.dueScratch = due[:0]
 }
 
 // permuteTimerTies lets the scheduler reorder timers that share one
@@ -464,7 +697,7 @@ func (l *Loop) permuteTimerTies(due []*timer) {
 // runIOPhase delivers external events whose virtual arrival time has
 // passed (the poll phase).
 func (l *Loop) runIOPhase() {
-	var ready []*ioEvent
+	ready := l.readyScratch[:0]
 	for {
 		e := l.io.peek()
 		if e == nil || e.readyAt > l.now {
@@ -478,24 +711,28 @@ func (l *Loop) runIOPhase() {
 	// when the batch commutes.
 	var keys []uint64
 	if l.opts.Scheduler != nil && len(ready) >= 2 {
-		keys = make([]uint64, len(ready))
-		for i, e := range ready {
-			keys[i] = e.key
+		keys = l.keyScratch[:0]
+		for _, e := range ready {
+			keys = append(keys, e.key)
 		}
+		l.keyScratch = keys
 	}
 	l.PermuteKeyed(ChoiceIOOrder, keys, len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
 	span := l.phaseEnter(PhaseIO, len(ready))
-	for _, e := range ready {
+	for i, e := range ready {
+		ready[i] = nil
 		if l.stopErr != nil {
 			l.io.add(e)
 			continue
 		}
 		l.invokeTop(e.task, PhaseIO)
+		l.recycleIOEvent(e)
 		l.drainMicro()
 	}
 	if span {
 		l.phaseExit(PhaseIO, len(ready))
 	}
+	l.readyScratch = ready[:0]
 }
 
 // runImmediatePhase executes the immediates queued before the phase
@@ -510,14 +747,17 @@ func (l *Loop) runImmediatePhase() {
 		l.immediates[l.immHead] = nil
 		l.immHead++
 		if im.cleared {
+			l.recycleImmediate(im)
 			continue
 		}
 		l.activeImmediate--
 		delete(l.immediatesByID, im.id)
 		if l.stopErr != nil {
+			l.recycleImmediate(im)
 			continue
 		}
 		l.invokeTop(im.task, PhaseImmediate)
+		l.recycleImmediate(im)
 		l.drainMicro()
 	}
 	if l.immHead >= len(l.immediates) {

@@ -509,7 +509,7 @@ func TestDispatchCarriesRegistrationSeq(t *testing.T) {
 	}
 	found := false
 	for _, d := range rec.dispatches {
-		if d != nil && d.API == APINextTick && d.RegSeq == regSeq {
+		if d.API == APINextTick && d.RegSeq == regSeq {
 			found = true
 		}
 	}
@@ -557,11 +557,13 @@ func TestAttachMidRunSeesOnlySubsequentEvents(t *testing.T) {
 	}
 }
 
-// recordingHooks is a minimal vm.Hooks for tests.
+// recordingHooks is a minimal vm.Hooks for tests. Hook payloads are
+// pooled scratch that the loop reclaims after each hook returns, so the
+// recorder deep-copies what it keeps (the vm.Hooks contract).
 type recordingHooks struct {
 	enters, exits, topLevelEnters int
-	apiEvents                     []*vm.APIEvent
-	dispatches                    []*vm.Dispatch
+	apiEvents                     []vm.APIEvent
+	dispatches                    []vm.Dispatch
 	phases                        []string
 }
 
@@ -570,7 +572,11 @@ func (r *recordingHooks) FunctionEnter(fn *vm.Function, info *vm.CallInfo) {
 	if info.TopLevel {
 		r.topLevelEnters++
 	}
-	r.dispatches = append(r.dispatches, info.Dispatch)
+	var d vm.Dispatch
+	if info.Dispatch != nil {
+		d = *info.Dispatch
+	}
+	r.dispatches = append(r.dispatches, d)
 	r.phases = append(r.phases, info.Phase)
 }
 
@@ -578,7 +584,13 @@ func (r *recordingHooks) FunctionExit(fn *vm.Function, ret vm.Value, thrown *vm.
 	r.exits++
 }
 
-func (r *recordingHooks) APICall(ev *vm.APIEvent) { r.apiEvents = append(r.apiEvents, ev) }
+func (r *recordingHooks) APICall(ev *vm.APIEvent) {
+	cp := *ev
+	cp.Regs = append([]vm.Registration(nil), ev.Regs...)
+	cp.Args = append([]vm.Value(nil), ev.Args...)
+	cp.Related = append([]vm.ObjRef(nil), ev.Related...)
+	r.apiEvents = append(r.apiEvents, cp)
+}
 
 func (r *recordingHooks) apiNames() []string {
 	names := make([]string, len(r.apiEvents))

@@ -39,3 +39,13 @@ func (q *fifo) pop() (task, bool) {
 }
 
 func (q *fifo) len() int { return len(q.items) - q.head }
+
+// reset empties the queue, dropping task references, while keeping the
+// backing storage for reuse.
+func (q *fifo) reset() {
+	for i := q.head; i < len(q.items); i++ {
+		q.items[i] = task{}
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}

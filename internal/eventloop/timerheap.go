@@ -3,9 +3,12 @@ package eventloop
 import (
 	"container/heap"
 	"time"
+
+	"asyncg/internal/vm"
 )
 
-// timer is a pending setTimeout/setInterval registration.
+// timer is a pending setTimeout/setInterval registration. disp backs
+// task.dispatch so a pooled timer carries its dispatch inline.
 type timer struct {
 	task
 	id       uint64
@@ -14,6 +17,7 @@ type timer struct {
 	seq      uint64        // tie-breaker: registration order
 	index    int           // heap index, -1 when popped
 	cleared  bool
+	disp     vm.Dispatch
 }
 
 // timerHeap orders timers by (due, seq). It implements container/heap.

@@ -9,6 +9,7 @@ package events
 
 import (
 	"fmt"
+	"sync"
 
 	"asyncg/internal/eventloop"
 	"asyncg/internal/loc"
@@ -59,6 +60,31 @@ type Emitter struct {
 	listeners    map[string][]*listener
 	maxListeners int
 	warned       map[string]bool
+
+	// lisFree recycles listener records. Entries are recycled only at
+	// Reinit — never during dispatch — so an in-flight Emit snapshot can
+	// never alias a reused record.
+	lisFree []*listener
+	// snapScratch backs the per-emission listener snapshot; snapBusy
+	// guards it against nested emits, which fall back to allocating.
+	snapScratch []*listener
+	snapBusy    bool
+}
+
+// boxedNames interns emitter names in probe-argument (boxed) form.
+// Substrate pools Reinit emitters under a small rotating set of cached
+// names ("sock#3", ...), and boxing the string into a Value on every
+// creation announcement was the single largest steady-state allocation
+// of schedule exploration. The cache is bounded by the set of distinct
+// names, which the substrate's own name caches already bound.
+var boxedNames sync.Map // string → Value holding that same string
+
+func boxedName(name string) vm.Value {
+	if v, ok := boxedNames.Load(name); ok {
+		return v
+	}
+	v, _ := boxedNames.LoadOrStore(name, vm.Value(name))
+	return v
 }
 
 // New creates an emitter bound to the loop. name is a diagnostic label
@@ -66,20 +92,62 @@ type Emitter struct {
 // Graph's Object Binding node.
 func New(l *eventloop.Loop, name string, at loc.Loc) *Emitter {
 	e := &Emitter{
-		loop:         l,
-		id:           l.NextObjID(),
-		name:         name,
-		listeners:    make(map[string][]*listener),
-		maxListeners: DefaultMaxListeners,
-		warned:       make(map[string]bool),
+		loop:      l,
+		listeners: make(map[string][]*listener),
+		warned:    make(map[string]bool),
 	}
-	l.EmitAPIEvent(&vm.APIEvent{
-		API:      APINew,
-		Loc:      at,
-		Receiver: e.Ref(),
-		Args:     []vm.Value{name},
-	})
+	e.init(name, at)
 	return e
+}
+
+// init assigns a fresh object identity and announces the creation event
+// — the shared tail of New and Reinit.
+func (e *Emitter) init(name string, at loc.Loc) {
+	e.id = e.loop.NextObjID()
+	e.name = name
+	e.maxListeners = DefaultMaxListeners
+	ev := e.loop.BorrowAPIEvent()
+	ev.API = APINew
+	ev.Loc = at
+	ev.Receiver = e.Ref()
+	ev.SetOneArg(boxedName(name))
+	e.loop.EmitAPIEvent(ev)
+	e.loop.ReturnAPIEvent(ev)
+}
+
+// Reinit returns a pooled emitter to its newly-constructed state under a
+// fresh object identity, announcing the creation event exactly as New
+// does — a Reinit-ed emitter is observationally identical to a fresh
+// one, which is what keeps pooled substrate objects (sockets, servers)
+// byte-compatible with cold-start runs. Listener records return to the
+// emitter's free list; the zone tag is cleared.
+func (e *Emitter) Reinit(name string, at loc.Loc) {
+	for event, list := range e.listeners {
+		for i, entry := range list {
+			*entry = listener{}
+			e.lisFree = append(e.lisFree, entry)
+			list[i] = nil
+		}
+		e.listeners[event] = list[:0]
+	}
+	clear(e.warned)
+	scratch := e.snapScratch[:cap(e.snapScratch)]
+	for i := range scratch {
+		scratch[i] = nil
+	}
+	e.snapScratch = scratch[:0]
+	e.zone = ""
+	e.init(name, at)
+}
+
+// borrowListener returns a cleared listener record from the free list.
+func (e *Emitter) borrowListener() *listener {
+	if n := len(e.lisFree); n > 0 {
+		entry := e.lisFree[n-1]
+		e.lisFree = e.lisFree[:n-1]
+		return entry
+	}
+	return &listener{}
 }
 
 // Ref returns the probe-protocol reference for this emitter.
@@ -141,16 +209,21 @@ func (e *Emitter) add(at loc.Loc, api, event string, fn *vm.Function, once, fron
 		e.Emit(loc.Internal, EventNewListener, event, fn)
 	}
 	seq := e.loop.NextRegSeq()
-	e.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      api,
-		Loc:      at,
-		Receiver: e.Ref(),
-		Event:    event,
-		Regs:     []vm.Registration{{Seq: seq, Callback: fn, Phase: PhaseAny, Once: once, Role: "listener"}},
-	})
-	entry := &listener{fn: fn, once: once, regSeq: seq, api: api}
+	ev := e.loop.BorrowAPIEvent()
+	ev.API = api
+	ev.Loc = at
+	ev.Receiver = e.Ref()
+	ev.Event = event
+	ev.SetOneReg(vm.Registration{Seq: seq, Callback: fn, Phase: PhaseAny, Once: once, Role: "listener"})
+	e.loop.EmitAPIEvent(ev)
+	e.loop.ReturnAPIEvent(ev)
+	entry := e.borrowListener()
+	entry.fn, entry.once, entry.regSeq, entry.api = fn, once, seq, api
 	if front {
-		e.listeners[event] = append([]*listener{entry}, e.listeners[event]...)
+		list := append(e.listeners[event], nil)
+		copy(list[1:], list)
+		list[0] = entry
+		e.listeners[event] = list
 	} else {
 		e.listeners[event] = append(e.listeners[event], entry)
 	}
@@ -173,14 +246,15 @@ func (e *Emitter) MaxListenersExceeded(event string) bool { return e.warned[even
 func (e *Emitter) Emit(at loc.Loc, event string, args ...vm.Value) bool {
 	trig := e.loop.NextTrigSeq()
 	snapshot := e.listeners[event]
-	e.loop.EmitAPIEvent(&vm.APIEvent{
-		API:        APIEmit,
-		Loc:        at,
-		Receiver:   e.Ref(),
-		Event:      event,
-		TriggerSeq: trig,
-		Args:       args,
-	})
+	ev := e.loop.BorrowAPIEvent()
+	ev.API = APIEmit
+	ev.Loc = at
+	ev.Receiver = e.Ref()
+	ev.Event = event
+	ev.TriggerSeq = trig
+	ev.Args = args
+	e.loop.EmitAPIEvent(ev)
+	e.loop.ReturnAPIEvent(ev)
 	if len(snapshot) == 0 {
 		if event == EventError {
 			val := vm.Arg(args, 0)
@@ -190,8 +264,19 @@ func (e *Emitter) Emit(at loc.Loc, event string, args ...vm.Value) bool {
 	}
 	// Work over a copy: Node snapshots the listener list at emit time,
 	// so listeners added during dispatch do not run for this emission.
-	copied := make([]*listener, len(snapshot))
-	copy(copied, snapshot)
+	// The outermost emission borrows the emitter's scratch snapshot;
+	// nested emits on the same emitter (meta-events, listener-driven
+	// emits) fall back to allocating.
+	var copied []*listener
+	if !e.snapBusy {
+		e.snapBusy = true
+		defer func() { e.snapBusy = false }()
+		copied = append(e.snapScratch[:0], snapshot...)
+		e.snapScratch = copied[:0]
+	} else {
+		copied = make([]*listener, len(snapshot))
+		copy(copied, snapshot)
+	}
 	if at != loc.Internal {
 		// Opt-in exploration point: ChoiceListenerOrder is stricter than
 		// Node's registration-order contract, so schedulers leave it
@@ -209,14 +294,15 @@ func (e *Emitter) Emit(at loc.Loc, event string, args ...vm.Value) bool {
 		} else if !e.contains(event, entry) {
 			continue // removed during this emission
 		}
-		_, thrown := e.loop.Invoke(entry.fn, args, &vm.Dispatch{
-			API:        entry.api,
-			RegSeq:     entry.regSeq,
-			Obj:        e.Ref(),
-			Event:      event,
-			TriggerSeq: trig,
-			Zone:       e.zone,
-		})
+		d := e.loop.NewDispatch()
+		d.API = entry.api
+		d.RegSeq = entry.regSeq
+		d.Obj = e.Ref()
+		d.Event = event
+		d.TriggerSeq = trig
+		d.Zone = e.zone
+		_, thrown := e.loop.Invoke(entry.fn, args, d)
+		e.loop.RecycleDispatch(d)
 		if thrown != nil {
 			panic(thrown) // propagate synchronously out of Emit
 		}
@@ -237,20 +323,20 @@ func (e *Emitter) RemoveListener(at loc.Loc, event string, fn *vm.Function) *Emi
 			break
 		}
 	}
-	ev := &vm.APIEvent{
-		API:      APIRemoveListener,
-		Loc:      at,
-		Receiver: e.Ref(),
-		Event:    event,
-		Args:     []vm.Value{fn},
-	}
+	ev := e.loop.BorrowAPIEvent()
+	ev.API = APIRemoveListener
+	ev.Loc = at
+	ev.Receiver = e.Ref()
+	ev.Event = event
+	ev.SetOneArg(fn)
 	if removed != nil {
 		// Regs identifies the registration that was removed, so tools
 		// can retire the pending CR; an empty Regs marks an invalid
 		// removal.
-		ev.Regs = []vm.Registration{{Seq: removed.regSeq, Callback: fn, Phase: PhaseAny, Once: removed.once, Role: "listener"}}
+		ev.SetOneReg(vm.Registration{Seq: removed.regSeq, Callback: fn, Phase: PhaseAny, Once: removed.once, Role: "listener"})
 	}
 	e.loop.EmitAPIEvent(ev)
+	e.loop.ReturnAPIEvent(ev)
 	if removed != nil {
 		e.emitRemoveListenerMeta(event, fn)
 	}
@@ -275,18 +361,19 @@ func (e *Emitter) RemoveAllListeners(at loc.Loc, event string) *Emitter {
 		for name := range e.listeners {
 			collect(name)
 		}
-		e.listeners = make(map[string][]*listener)
+		clear(e.listeners)
 	} else {
 		collect(event)
 		delete(e.listeners, event)
 	}
-	e.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      APIRemoveAllListeners,
-		Loc:      at,
-		Receiver: e.Ref(),
-		Event:    event,
-		Regs:     regs,
-	})
+	ev := e.loop.BorrowAPIEvent()
+	ev.API = APIRemoveAllListeners
+	ev.Loc = at
+	ev.Receiver = e.Ref()
+	ev.Event = event
+	ev.Regs = regs
+	e.loop.EmitAPIEvent(ev)
+	e.loop.ReturnAPIEvent(ev)
 	return e
 }
 

@@ -19,37 +19,88 @@ import (
 	"asyncg/internal/workload"
 )
 
-// Target is a program the engine can run repeatedly. Run must build a
-// fresh runtime per call (schedules only compose with a cold start) and
-// thread extra through to asyncg.New so the engine can install its
-// scheduler.
+// Target is a program the engine can run repeatedly. Every run starts
+// from a cold runtime (schedules only compose with a cold start), but
+// "cold" no longer has to mean "freshly allocated": a target that
+// provides NewRunner hands each pool worker a reusable runtime that is
+// Reset between runs, amortizing the session's allocation set across
+// the whole exploration. The Run field remains the one-shot fallback —
+// a fresh runtime per call — and the two are observationally identical:
+// a Reset runner replays the same announcements, object ids, and
+// registration sequences a fresh session would, so Results are
+// byte-identical whichever path executes a schedule.
 type Target struct {
 	// Name labels the target in reports.
 	Name string
 	// Expect lists detector categories of interest (a case study's
 	// Expect set); they are classified even when never observed.
 	Expect []detect.Category
-	// Run executes the program once and returns its report. A limit
-	// error (ErrTickLimit for starvation bugs) is expected and recorded,
-	// not fatal.
+	// Run executes the program once on a fresh runtime and returns its
+	// report, threading extra through to asyncg.New so the engine can
+	// install its scheduler. A limit error (ErrTickLimit for starvation
+	// bugs) is expected and recorded, not fatal. Optional when NewRunner
+	// is set; required otherwise.
 	Run func(extra ...asyncg.Option) (*asyncg.Report, error)
+	// NewRunner, when set, creates a reusable runner. The engine gives
+	// each pool worker its own runner (runners need not be safe for
+	// concurrent use) and calls Reset between Runs.
+	NewRunner func() Runner
 }
 
-// CaseTarget wraps a casestudy case (its buggy or fixed version).
+// Runner executes a target repeatedly on a reusable runtime. Run
+// requires a cold runner — freshly created or Reset since the previous
+// Run — and threads per-run options (the engine's scheduler, context,
+// metrics) into the underlying session; Reset rewinds the runtime while
+// retaining its allocations. See asyncg.Session.Reset for the identity
+// contract reusable runners rely on.
+type Runner interface {
+	Run(extra ...asyncg.Option) (*asyncg.Report, error)
+	Reset()
+}
+
+// funcRunner adapts the fresh-runtime Run fallback to the Runner shape:
+// every Run builds a new runtime, so Reset has nothing to do.
+type funcRunner struct {
+	run func(extra ...asyncg.Option) (*asyncg.Report, error)
+}
+
+func (f funcRunner) Run(extra ...asyncg.Option) (*asyncg.Report, error) { return f.run(extra...) }
+func (funcRunner) Reset()                                               {}
+
+// runner creates the reusable runner a pool worker owns.
+func (t Target) runner() Runner {
+	if t.NewRunner != nil {
+		return t.NewRunner()
+	}
+	return funcRunner{run: t.Run}
+}
+
+// runFresh executes the target once on a cold runtime — the replay and
+// chain-attachment path, which runs outside the worker pool.
+func (t Target) runFresh(extra ...asyncg.Option) (*asyncg.Report, error) {
+	if t.Run != nil {
+		return t.Run(extra...)
+	}
+	return t.NewRunner().Run(extra...)
+}
+
+// CaseTarget wraps a casestudy case (its buggy or fixed version). Both
+// the one-shot fallback and the reusable runner go through
+// casestudy.NewRunner, so every schedule executes the same code path
+// whichever the coordinator picks.
 func CaseTarget(c casestudy.Case, fixed bool) Target {
 	name := c.ID + " (buggy)"
-	run := func(extra ...asyncg.Option) (*asyncg.Report, error) {
-		res := casestudy.RunBuggy(c, extra...)
-		return res.Report, res.Err
-	}
 	if fixed {
 		name = c.ID + " (fixed)"
-		run = func(extra ...asyncg.Option) (*asyncg.Report, error) {
-			res := casestudy.RunFixed(c, extra...)
-			return res.Report, res.Err
-		}
 	}
-	return Target{Name: name, Expect: c.Expect, Run: run}
+	return Target{
+		Name:   name,
+		Expect: c.Expect,
+		Run: func(extra ...asyncg.Option) (*asyncg.Report, error) {
+			return casestudy.NewRunner(c, fixed).Run(extra...)
+		},
+		NewRunner: func() Runner { return casestudy.NewRunner(c, fixed) },
+	}
 }
 
 // CaseTargetByID looks up a case study by ID and wraps it.
@@ -67,31 +118,66 @@ func CaseTargetByID(id string, fixed bool) (Target, error) {
 // AcmeAirTarget wraps the AcmeAir benchmark server under its workload
 // driver (the Fig. 6 setup, scaled down): requests total requests from
 // clients concurrent clients, with the driver's operation mix drawn from
-// seed.
+// seed. Both the one-shot fallback and the reusable runner execute
+// through acmeAirRunner, so every schedule runs the same code path (and
+// the same source locations — graph labels and fingerprints depend on
+// them) whichever the coordinator picks.
 func AcmeAirTarget(requests, clients int, seed int64) Target {
+	newRunner := func() Runner {
+		return &acmeAirRunner{requests: requests, clients: clients, seed: seed}
+	}
 	return Target{
 		Name: fmt.Sprintf("acmeair[requests=%d,clients=%d,seed=%d]", requests, clients, seed),
 		Run: func(extra ...asyncg.Option) (*asyncg.Report, error) {
-			opts := append([]asyncg.Option{asyncg.WithLoop(eventloop.Options{TickLimit: 100_000_000})}, extra...)
-			s := asyncg.New(opts...)
-			loop := s.Loop()
-			net := netio.New(loop, netio.Options{})
-			db := mongosim.New(loop, mongosim.Options{})
-			acmeair.LoadSampleData(db, acmeair.DefaultDataSpec())
-			app := acmeair.New(loop, net, db, acmeair.Config{UsePromises: true})
-			driver := workload.NewDriver(net, workload.Options{
-				Port:     app.Port(),
-				Clients:  clients,
-				Requests: requests,
-				Seed:     seed,
-			})
-			return s.Run(func(*asyncg.Context) {
-				if err := app.Listen(loc.Here()); err != nil {
-					panic(err)
-				}
-				driver.Start()
-			})
+			return newRunner().Run(extra...)
 		},
+		NewRunner: newRunner,
+	}
+}
+
+// acmeAirRunner reuses one session (loop, network, database, graph
+// builder, detectors) across repeated AcmeAir executions. The sample
+// data, application, and workload driver are rebuilt per run — Reset
+// wipes the database and the network's connection state — but their
+// storage comes back out of the session's pools warm.
+type acmeAirRunner struct {
+	requests, clients int
+	seed              int64
+
+	session *asyncg.Session
+	net     *netio.Network
+	db      *mongosim.DB
+}
+
+func (r *acmeAirRunner) Run(extra ...asyncg.Option) (*asyncg.Report, error) {
+	if r.session == nil {
+		opts := append([]asyncg.Option{asyncg.WithLoop(eventloop.Options{TickLimit: 100_000_000})}, extra...)
+		r.session = asyncg.New(opts...)
+		loop := r.session.Loop()
+		r.net = netio.New(loop, netio.Options{})
+		r.db = mongosim.New(loop, mongosim.Options{})
+	} else {
+		r.session.Apply(extra...)
+	}
+	acmeair.LoadSampleData(r.db, acmeair.DefaultDataSpec())
+	app := acmeair.New(r.session.Loop(), r.net, r.db, acmeair.Config{UsePromises: true})
+	driver := workload.NewDriver(r.net, workload.Options{
+		Port:     app.Port(),
+		Clients:  r.clients,
+		Requests: r.requests,
+		Seed:     r.seed,
+	})
+	return r.session.Run(func(*asyncg.Context) {
+		if err := app.Listen(loc.Here()); err != nil {
+			panic(err)
+		}
+		driver.Start()
+	})
+}
+
+func (r *acmeAirRunner) Reset() {
+	if r.session != nil {
+		r.session.Reset()
 	}
 }
 
@@ -113,8 +199,9 @@ type config struct {
 	// runtime.GOMAXPROCS(0); 1 preserves strictly sequential execution.
 	//
 	// Determinism guarantee: every run is an isolated single-threaded
-	// simulation (Target.Run builds a fresh event loop, VM, graph
-	// builder, and scheduler per call) whose outcome depends only on its
+	// simulation — a fresh runtime per call, or a pool worker's reusable
+	// runner Reset to an observationally identical cold state — whose
+	// outcome depends only on its
 	// PickFunc, results and strategy feedback are processed strictly in
 	// run-index order, and well-behaved strategies plan from feedback
 	// counts, not completion order (see Strategy) — so the Result (runs,
@@ -383,32 +470,94 @@ func emitRun(res *Result, cfg *config, rr RunResult, snap *trace.Snapshot) {
 	}
 }
 
-// runOnce executes the target under one scheduler and summarizes it.
-// The run's own ticks honor ctx through asyncg.WithContext; a cancelled
-// run comes back with rr.Err set to the context error, and callers drop
-// it from the Result. A panicking target is recovered here — the one
-// place every execution path shares, including the pool workers of the
-// parallel coordinators — and surfaced as err; coordinators treat it as
-// fatal to the exploration, so a panic fails the caller's job without
-// ever killing a worker goroutine (or the process).
-func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics, debugStacks bool) (rr RunResult, snap *trace.Snapshot, err error) {
+// intern is one pool worker's scratch state. Warning keys recur across
+// thousands of schedules of the same target, so the rendered
+// "category @ location" strings are cached by identity; the per-run
+// dedup set is reused (cleared, not reallocated) between runs.
+type intern struct {
+	keys map[internKey]string
+	seen map[string]bool
+}
+
+// internKey is a warning's identity without its message — exactly the
+// information warnKey renders.
+type internKey struct {
+	cat asyncgraph.Category
+	loc loc.Loc
+}
+
+func newIntern() *intern {
+	return &intern{keys: make(map[internKey]string), seen: make(map[string]bool)}
+}
+
+// key returns the warning's exploration identity, cached.
+func (in *intern) key(w asyncgraph.Warning) string {
+	id := internKey{cat: w.Category, loc: w.Loc}
+	if s, ok := in.keys[id]; ok {
+		return s
+	}
+	s := warnKey(w)
+	in.keys[id] = s
+	return s
+}
+
+// schedProxy is the scheduler a worker's option slice captures once:
+// re-aiming it at each run's chooser lets the worker reuse one slice
+// (and one set of option closures) for the whole exploration instead of
+// rebuilding options per run. It forwards IndependenceScheduler too —
+// every chooser implements it, and the loop type-asserts the installed
+// scheduler to discover independence support.
+type schedProxy struct{ ch *chooser }
+
+func (p *schedProxy) Choose(kind eventloop.ChoiceKind, n int) int { return p.ch.Choose(kind, n) }
+
+func (p *schedProxy) BeginPermute(kind eventloop.ChoiceKind, keys []uint64) {
+	p.ch.BeginPermute(kind, keys)
+}
+
+// workerExtras builds the per-run option slice a worker hands to every
+// Run call: the proxy's chooser is swapped per run, everything else
+// (context bound, metrics, debug stacks) is fixed for the exploration.
+func workerExtras(ctx context.Context, proxy *schedProxy, cfg *config) []asyncg.Option {
+	extra := []asyncg.Option{asyncg.WithScheduler(proxy)}
+	if ctx != nil {
+		extra = append(extra, asyncg.WithContext(ctx))
+	}
+	if cfg.RunMetrics {
+		extra = append(extra, asyncg.WithMetrics())
+	}
+	if cfg.DebugStacks {
+		extra = append(extra, asyncg.WithDebugStacks())
+	}
+	return extra
+}
+
+// runOnce executes the target under one scheduler — on run, a pool
+// worker's reusable runner or the fresh-runtime fallback — and
+// summarizes it. Everything the result needs (token, fingerprint,
+// warning keys) is copied out of the report before returning, so the
+// caller may Reset the runner immediately afterwards. extras is the
+// worker's prebuilt option slice, whose scheduler proxy must already
+// point at ch; a nil extras builds a one-shot slice (the tests' cold
+// path). The run's own ticks honor ctx through asyncg.WithContext; a
+// cancelled run comes back with rr.Err set to the context error, and
+// callers drop it from the Result. A panicking target is recovered
+// here — the one place every execution path shares, including the pool
+// workers of the parallel coordinator — and surfaced as err;
+// coordinators treat it as fatal to the exploration, so a panic fails
+// the caller's job without ever killing a worker goroutine (or the
+// process).
+func runOnce(ctx context.Context, run func(extra ...asyncg.Option) (*asyncg.Report, error), idx int, ch *chooser, extras []asyncg.Option, cfg *config, in *intern) (rr RunResult, snap *trace.Snapshot, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			rr, snap = RunResult{}, nil
 			err = fmt.Errorf("explore: target panicked on run %d: %v", idx, p)
 		}
 	}()
-	extra := []asyncg.Option{asyncg.WithScheduler(ch)}
-	if ctx != nil {
-		extra = append(extra, asyncg.WithContext(ctx))
+	if extras == nil {
+		extras = workerExtras(ctx, &schedProxy{ch: ch}, cfg)
 	}
-	if withMetrics {
-		extra = append(extra, asyncg.WithMetrics())
-	}
-	if debugStacks {
-		extra = append(extra, asyncg.WithDebugStacks())
-	}
-	report, rerr := t.Run(extra...)
+	report, rerr := run(extras...)
 	rr = RunResult{Index: idx, Token: ch.Schedule().Token()}
 	if rerr != nil {
 		rr.Err = rerr.Error()
@@ -420,11 +569,11 @@ func runOnce(ctx context.Context, t Target, idx int, ch *chooser, withMetrics, d
 	if report.Graph != nil {
 		rr.Fingerprint = report.Graph.Fingerprint()
 	}
-	seen := make(map[string]bool)
+	clear(in.seen)
 	for _, w := range report.Warnings {
-		key := warnKey(w)
-		if !seen[key] {
-			seen[key] = true
+		key := in.key(w)
+		if !in.seen[key] {
+			in.seen[key] = true
 			rr.Warnings = append(rr.Warnings, key)
 		}
 	}
@@ -445,7 +594,7 @@ func Replay(t Target, token string, extra ...asyncg.Option) (RunResult, *asyncg.
 	}
 	ch := newChooser(AllKinds(), playbackNext(sched.Picks))
 	opts := append([]asyncg.Option{asyncg.WithScheduler(ch)}, extra...)
-	report, rerr := t.Run(opts...)
+	report, rerr := t.runFresh(opts...)
 	rr := RunResult{Token: token}
 	if rerr != nil {
 		rr.Err = rerr.Error()

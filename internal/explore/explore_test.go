@@ -74,7 +74,7 @@ func TestReplayDeterminism(t *testing.T) {
 		tg := caseTarget(t, id)
 		for seed := int64(0); seed < 50; seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			orig, _, _ := runOnce(context.Background(), tg, 0, newChooser(AllKinds(), randomNext(rng)), false, false)
+			orig, _, _ := runOnce(context.Background(), tg.runFresh, 0, newChooser(AllKinds(), randomNext(rng)), nil, &config{}, newIntern())
 			rep, _, err := Replay(tg, orig.Token)
 			if err != nil {
 				t.Fatalf("%s seed %d: replay: %v", id, seed, err)
@@ -176,7 +176,7 @@ func TestDelayBound(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		ch := newChooser(DefaultKinds(), delayNext(rng, bound))
-		runOnce(context.Background(), tg, 0, ch, false, false)
+		runOnce(context.Background(), tg.runFresh, 0, ch, nil, &config{}, newIntern())
 		nonzero := 0
 		for _, p := range ch.picks {
 			if p != 0 {

@@ -73,19 +73,20 @@ func WithRunFeedback() Option {
 // after aggregation, each distinct witness token is replayed once and
 // every warning's chain is walked backwards on the replayed graph
 // (WarningStat.Chain, rendered by the CLI's -chains flag and carried
-// additively through NDJSON and the serve/fleet surfaces). Chains are a
-// deterministic function of (target, witness token), so results remain
-// byte-identical for any worker count and across fleet merges.
+// additively through NDJSON and the serve/fleet surfaces). See the
+// package comment's "Debug options: one semantics table" for how it
+// relates to [WithDebugStacks] and [asyncg.WithDebugStacks].
 func WithChains() Option {
 	return func(c *config) { c.Chains = true }
 }
 
 // WithDebugStacks runs every schedule (and every witness replay) under
-// asyncg.WithDebugStacks: the graph builder captures the Go call stack
-// at each promise/emitter creation, trigger, and registration, and
-// chain hops carry the frames. Opt-in — stack symbolization per tracked
-// API call dominates the builder's cost (see EXPERIMENTS.md). It never
-// perturbs scheduling, fingerprints, or classification.
+// [asyncg.WithDebugStacks]: the graph builder captures the Go call
+// stack at each promise/emitter creation, trigger, and registration,
+// and chain hops carry the frames. Opt-in — stack symbolization per
+// tracked API call dominates the builder's cost (see EXPERIMENTS.md).
+// See the package comment's "Debug options: one semantics table" for
+// scope, cost, and composition with [WithChains].
 func WithDebugStacks() Option {
 	return func(c *config) { c.DebugStacks = true }
 }

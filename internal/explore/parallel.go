@@ -9,14 +9,23 @@ import (
 // This file implements the engine's single coordinator: one loop drives
 // every strategy at every worker count.
 //
-// Every run is an isolated single-threaded simulation: Target.Run builds
-// a fresh session (event loop, VM object-identity counters, graph
-// builder, detectors, scheduler) per call, and nothing about a run's
-// RunResult depends on cross-run state. That makes the schedule space
-// embarrassingly parallel — the coordinator's work is asking the
-// strategy what to run next, handing each worker its PickFunc, and
-// reassembling results in run-index order so the aggregate Result is
-// byte-identical to a sequential exploration.
+// Every run is an isolated single-threaded simulation, and nothing
+// about a run's RunResult depends on cross-run state. That makes the
+// schedule space embarrassingly parallel — the coordinator's work is
+// asking the strategy what to run next, handing the job to a pool
+// worker, and reassembling results in run-index order so the aggregate
+// Result is byte-identical to a sequential exploration.
+//
+// Workers are persistent: each pool goroutine owns one Runner for the
+// whole exploration (Target.NewRunner when the target provides it, the
+// fresh-runtime fallback otherwise) and Resets it between jobs, so the
+// session's allocation set — event loop queues, graph nodes, detector
+// state, emitter and promise pools — is paid for once per worker, not
+// once per schedule. The Reset contract (asyncg.Session.Reset) makes a
+// reused runtime observationally identical to a fresh one, which is
+// what keeps the worker-count and runner-reuse invariants equivalent:
+// the Result is byte-identical at any worker count, with or without
+// reusable runners.
 //
 // The feedback loop is the part that must not race: strategies plan
 // from what they have observed (the exhaustive frontier grows out of
@@ -28,6 +37,13 @@ import (
 // and the coordinator holds planning until the next completion lands —
 // the sliding window that reproduces the sequential schedule exactly,
 // whatever the completion interleaving.
+//
+// Choosers are pooled on the coordinator goroutine: a recording is
+// handed out at dispatch and recycled after its feedback has been
+// consumed (Observe called, WithRunFeedback copies taken), never
+// earlier — out-of-order completions park in pending with their
+// recordings intact. The pool is capped at 2×Workers: in flight plus
+// parked is bounded by that, so a larger pool could never be touched.
 //
 // Cancellation discipline: the context is polled before every dispatch
 // and at every result receipt; once it fires, no new work is
@@ -42,7 +58,16 @@ import (
 // as doneRun.err. The first such error cancels the coordinator's
 // internal context — stopping dispatch and interrupting in-flight runs
 // exactly like an external cancel — and is returned after the pool
-// drains, so a panic fails the exploration, not the process.
+// drains, so a panic fails the exploration, not the process. A worker
+// whose runner panicked replaces it with a fresh one before taking the
+// next job: the old runtime's state is unknowable mid-panic, and the
+// exploration is ending anyway.
+
+// job is one schedule dispatched to a pool worker.
+type job struct {
+	idx int
+	ch  *chooser
+}
 
 // doneRun carries one finished schedule back to the coordinator; ch
 // holds the recording (picks, domains, independence flags) that becomes
@@ -56,7 +81,7 @@ type doneRun struct {
 }
 
 // runCoordinator executes the exploration: plan → dispatch → observe →
-// emit, with up to cfg.Workers runs in flight.
+// emit, with up to cfg.Workers runs in flight on persistent workers.
 func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) error {
 	// The internal cancel lets a panicking run stop the exploration the
 	// same way an external cancel does (halt dispatch, interrupt
@@ -64,7 +89,44 @@ func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) erro
 	ctx, stop := context.WithCancel(ctx)
 	defer stop()
 
+	jobs := make(chan job)
 	done := make(chan doneRun)
+	defer close(jobs)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			runner := t.runner()
+			in := newIntern()
+			proxy := &schedProxy{}
+			extras := workerExtras(ctx, proxy, &cfg)
+			for j := range jobs {
+				runner.Reset() // no-op on a cold runner
+				proxy.ch = j.ch
+				rr, snap, err := runOnce(ctx, runner.Run, j.idx, j.ch, extras, &cfg, in)
+				if err != nil {
+					// The runtime is mid-panic state; start over.
+					runner = t.runner()
+				}
+				done <- doneRun{idx: j.idx, rr: rr, snap: snap, ch: j.ch, err: err}
+			}
+		}()
+	}
+
+	var chooserPool []*chooser
+	takeChooser := func(next PickFunc) *chooser {
+		if n := len(chooserPool); n > 0 {
+			ch := chooserPool[n-1]
+			chooserPool = chooserPool[:n-1]
+			ch.reset(next)
+			return ch
+		}
+		return newChooser(cfg.Kinds, next)
+	}
+	putChooser := func(ch *chooser) {
+		if len(chooserPool) < 2*cfg.Workers {
+			chooserPool = append(chooserPool, ch)
+		}
+	}
+
 	pending := make(map[int]doneRun)
 	seen := make(map[string]bool) // fingerprints, in run-index order
 	inFlight := 0
@@ -92,11 +154,9 @@ func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) erro
 			idx := nextPlan
 			nextPlan++
 			inFlight++
-			go func() {
-				ch := newChooser(cfg.Kinds, next)
-				rr, snap, err := runOnce(ctx, t, idx, ch, cfg.RunMetrics, cfg.DebugStacks)
-				done <- doneRun{idx: idx, rr: rr, snap: snap, ch: ch, err: err}
-			}()
+			// inFlight < Workers guaranteed an idle worker; the send
+			// blocks at most until it loops back to the jobs receive.
+			jobs <- job{idx: idx, ch: takeChooser(next)}
 		}
 		if inFlight == 0 {
 			break
@@ -140,6 +200,7 @@ func runCoordinator(ctx context.Context, t Target, cfg config, res *Result) erro
 				Err:         rr.Err,
 				Ticks:       rr.Ticks,
 			})
+			putChooser(nd.ch)
 			if cr, ok := cfg.Strategy.(CoverageReporter); ok {
 				stats := cr.CoverageStats()
 				rr.CorpusSize = stats.CorpusSize

@@ -1,17 +1,3 @@
-// Package explore is the schedule-space exploration engine: it runs a
-// program under N systematically-varied schedules — every unspecified
-// ordering in the simulated Node.js runtime (I/O poll completion order,
-// same-deadline timer ties, I/O latency jitter, and opt-in listener and
-// result-set orders) is reduced to a discrete choice point — and reports
-// which detector warnings are schedule-dependent.
-//
-// Each run is summarized by a replayable Schedule token and a canonical
-// Async-Graph fingerprint; aggregation classifies each warning as
-// always, sometimes (with witness and counter-witness tokens), or never.
-// The approach follows the systematic-testing framing of Ganty &
-// Majumdar's "Algorithmic Verification of Asynchronous Programs": our
-// deterministic event loop makes every schedule reproducible, so
-// exploring the schedule space is just enumerating pick vectors.
 package explore
 
 import (

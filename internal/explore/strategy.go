@@ -169,9 +169,26 @@ func StrategyFor(name string, p StrategyParams) (Strategy, error) {
 	}
 }
 
-// randomStrategy: stateless uniform sampling; feedback is ignored.
+// randomStrategy: uniform sampling; feedback is used only to recycle
+// each run's generator.
 type randomStrategy struct {
 	seed int64
+
+	// out and free pool the seeded generators (and the pick closures
+	// bound to them): a generator is handed out at Plan, used by
+	// exactly one in-flight run, and reclaimed when that run's
+	// feedback arrives. Plan and Observe both execute on the
+	// coordinator goroutine, so no locking is needed, and reseeding
+	// with rand.Seed reproduces the exact state rand.NewSource would
+	// build — pooled or fresh, run i draws the same pick sequence.
+	out  map[int]*seededNext
+	free []*seededNext
+}
+
+// seededNext is one pooled generator with its pick closure.
+type seededNext struct {
+	rng  *rand.Rand
+	next PickFunc
 }
 
 // NewRandom returns the uniform-sampling strategy. Run i draws every
@@ -182,10 +199,28 @@ func NewRandom(seed int64) Strategy { return &randomStrategy{seed: seed} }
 func (s *randomStrategy) Name() string { return StrategyRandom }
 
 func (s *randomStrategy) Plan(i int) (PickFunc, PlanState) {
-	return randomNext(rand.New(rand.NewSource(s.seed + int64(i)))), PlanReady
+	var e *seededNext
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		e.rng.Seed(s.seed + int64(i))
+	} else {
+		e = &seededNext{rng: rand.New(rand.NewSource(s.seed + int64(i)))}
+		e.next = randomNext(e.rng)
+	}
+	if s.out == nil {
+		s.out = make(map[int]*seededNext)
+	}
+	s.out[i] = e
+	return e.next, PlanReady
 }
 
-func (s *randomStrategy) Observe(Feedback) {}
+func (s *randomStrategy) Observe(fb Feedback) {
+	if e, ok := s.out[fb.Index]; ok {
+		delete(s.out, fb.Index)
+		s.free = append(s.free, e)
+	}
+}
 
 // delayStrategy: delay-bounded sampling; feedback is ignored.
 type delayStrategy struct {
@@ -465,6 +500,19 @@ func newChooser(kinds []eventloop.ChoiceKind, next PickFunc) *chooser {
 		enabled[k] = true
 	}
 	return &chooser{enabled: enabled, next: next}
+}
+
+// reset rewinds a pooled chooser for its next recording, keeping the
+// enabled set (every run of an exploration perturbs the same kinds) and
+// the recording slices' capacity. Callers must have consumed or copied
+// the previous recording: the coordinator recycles a chooser only after
+// the strategy's Observe call returned.
+func (c *chooser) reset(next PickFunc) {
+	c.next = next
+	c.picks = c.picks[:0]
+	c.domains = c.domains[:0]
+	c.indep = c.indep[:0]
+	c.indepRun = 0
 }
 
 // BeginPermute implements eventloop.IndependenceScheduler. The loop

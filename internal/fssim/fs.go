@@ -43,18 +43,29 @@ type FS struct {
 	keys    map[string]uint64 // per-path independence keys (POR)
 }
 
-// New creates an empty file system.
+// New creates an empty file system and registers its reset hook: when
+// the loop is reset the file system empties itself (contents, mtimes and
+// independence keys — key sequences restart with the loop), keeping the
+// map storage for the next run.
 func New(l *eventloop.Loop, opts Options) *FS {
 	if opts.Latency == 0 {
 		opts.Latency = DefaultLatency
 	}
-	return &FS{
+	f := &FS{
 		loop:    l,
 		latency: opts.Latency,
 		files:   make(map[string][]byte),
 		mtimes:  make(map[string]time.Duration),
 		keys:    make(map[string]uint64),
 	}
+	l.OnReset(f.reset)
+	return f
+}
+
+func (f *FS) reset() {
+	clear(f.files)
+	clear(f.mtimes)
+	clear(f.keys)
 }
 
 // ioKey returns the path's independence key, allocating on first use.
@@ -89,11 +100,12 @@ func (f *FS) run(at loc.Loc, api string, key uint64, cb *vm.Function, op func() 
 	var seq uint64
 	if cb != nil {
 		seq = f.loop.NextRegSeq()
-		f.loop.EmitAPIEvent(&vm.APIEvent{
-			API:  api,
-			Loc:  at,
-			Regs: []vm.Registration{{Seq: seq, Callback: cb, Phase: string(eventloop.PhaseNextTick), Once: true, Role: "callback"}},
-		})
+		ev := f.loop.BorrowAPIEvent()
+		ev.API = api
+		ev.Loc = at
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: cb, Phase: string(eventloop.PhaseNextTick), Once: true, Role: "callback"})
+		f.loop.EmitAPIEvent(ev)
+		f.loop.ReturnAPIEvent(ev)
 	}
 	ioFn := vm.NewFuncAt("(fs.io)", loc.Internal, func([]vm.Value) vm.Value {
 		res, err := op()
@@ -108,10 +120,14 @@ func (f *FS) run(at loc.Loc, api string, key uint64, cb *vm.Function, op func() 
 		if res == nil {
 			res = vm.Undefined
 		}
-		f.loop.ScheduleTickJob(cb, []vm.Value{errVal, res}, &vm.Dispatch{API: api, RegSeq: seq})
+		d := f.loop.NewDispatch()
+		d.API = api
+		d.RegSeq = seq
+		f.loop.ScheduleTickJob(cb, []vm.Value{errVal, res}, d)
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOKeyedAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil, &vm.Dispatch{API: api})
+	dp := f.loop.ScheduleIOKeyedDispatch(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil)
+	dp.API = api
 }
 
 // runP is run with a promise result instead of a callback.
@@ -129,7 +145,8 @@ func (f *FS) runP(at loc.Loc, api string, key uint64, op func() (vm.Value, error
 		p.Resolve(loc.Internal, res)
 		return vm.Undefined
 	})
-	f.loop.ScheduleIOKeyedAt(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil, &vm.Dispatch{API: api})
+	dp := f.loop.ScheduleIOKeyedDispatch(f.loop.Now()+f.loop.PerturbLatency(f.latency), key, ioFn, nil)
+	dp.API = api
 	return p
 }
 

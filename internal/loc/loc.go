@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 )
 
 // Loc identifies a source position. The zero Loc means "internal library"
@@ -21,14 +22,51 @@ type Loc struct {
 // Internal is the zero location used for runtime-internal callbacks.
 var Internal = Loc{}
 
+// pcCache memoizes program counter → Loc. A given PC always resolves to
+// the same logical frame (the mapping lives in the binary's line
+// tables), so the cache is sound; it is keyed on the raw PC from
+// runtime.Callers and shared by every goroutine capturing locations.
+var pcCache sync.Map // uintptr → Loc
+
 // Caller captures the location skip+1 frames above the caller of Caller
 // (skip=0 means the direct caller of the function invoking Caller).
+//
+// It open-codes runtime.Caller as runtime.Callers on a stack-resident
+// PC buffer plus a PC-keyed cache: runtime.Caller heap-allocates its
+// one-element PC slice on every call (and symbolizing the frame costs
+// two more), and Caller sits on every facade API's hot path — each
+// timer, promise and I/O registration captures a location — where those
+// allocations dominated the steady-state profile of schedule
+// exploration. The skip arithmetic matches runtime.Caller(skip+2):
+// runtime.Callers counts itself as frame 0 where runtime.Caller counts
+// its own caller, and both count logical (inline-expanded) frames.
 func Caller(skip int) Loc {
-	_, file, line, ok := runtime.Caller(skip + 2)
-	if !ok {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+3, pcs[:]) < 1 {
 		return Internal
 	}
-	return Loc{File: filepath.Base(file), Line: line}
+	if v, ok := pcCache.Load(pcs[0]); ok {
+		return v.(Loc)
+	}
+	return resolvePC(pcs[0])
+}
+
+// resolvePC symbolizes one PC and fills the cache — the miss path of
+// Caller, kept out of line so Caller's own PC buffer never escapes:
+// runtime.CallersFrames retains the slice it is given, and escape
+// analysis would otherwise heap-allocate the buffer on every call,
+// cache hit or not.
+//
+//go:noinline
+func resolvePC(pc uintptr) Loc {
+	pcs := [1]uintptr{pc}
+	frame, _ := runtime.CallersFrames(pcs[:]).Next()
+	if frame.PC == 0 {
+		return Internal
+	}
+	l := Loc{File: filepath.Base(frame.File), Line: frame.Line}
+	pcCache.Store(pc, l)
+	return l
 }
 
 // Here captures the immediate caller's location.

@@ -30,14 +30,24 @@ const (
 )
 
 // DB is a simulated MongoDB instance bound to one event loop.
+//
+// The DB participates in the session Reset protocol: a loop reset
+// empties every collection and restarts the _id sequence, while the
+// collection objects themselves (and their interned API names) persist
+// for the next run, as do pooled op/hop records and cursor emitters.
 type DB struct {
 	loop        *eventloop.Loop
 	opts        Options
 	collections map[string]*Collection
 	idSeq       int64
+
+	opFree     []*opRecord
+	hopFree    []*hopper
+	allCursors []*events.Emitter
+	cursorFree []*events.Emitter
 }
 
-// New creates a database.
+// New creates a database and registers its reset hook.
 func New(l *eventloop.Loop, opts Options) *DB {
 	if opts.Latency == 0 {
 		opts.Latency = DefaultLatency
@@ -45,11 +55,29 @@ func New(l *eventloop.Loop, opts Options) *DB {
 	if opts.DriverTicks == 0 {
 		opts.DriverTicks = DefaultDriverTicks
 	}
-	return &DB{
+	db := &DB{
 		loop:        l,
 		opts:        opts,
 		collections: make(map[string]*Collection),
 	}
+	l.OnReset(db.reset)
+	return db
+}
+
+func (db *DB) reset() {
+	for _, col := range db.collections {
+		for i := range col.docs {
+			col.docs[i] = nil
+		}
+		col.docs = col.docs[:0]
+		col.key = 0
+	}
+	db.idSeq = 0
+	for i, cur := range db.allCursors {
+		db.cursorFree = append(db.cursorFree, cur)
+		db.allCursors[i] = nil
+	}
+	db.allCursors = db.allCursors[:0]
 }
 
 // C returns (creating on first use) the named collection.
@@ -57,15 +85,38 @@ func (db *DB) C(name string) *Collection {
 	col, ok := db.collections[name]
 	if !ok {
 		col = &Collection{db: db, name: name}
+		col.apis = colAPIs{
+			insert:     "db." + name + ".insert",
+			find:       "db." + name + ".find",
+			findOne:    "db." + name + ".findOne",
+			update:     "db." + name + ".update",
+			remove:     "db." + name + ".remove",
+			count:      "db." + name + ".count",
+			findCursor: "db." + name + ".findCursor",
+			findP:      "db." + name + ".findP",
+			findOneP:   "db." + name + ".findOneP",
+			insertP:    "db." + name + ".insertP",
+			updateP:    "db." + name + ".updateP",
+			removeP:    "db." + name + ".removeP",
+			cursorName: "cursor:" + name,
+		}
 		db.collections[name] = col
 	}
 	return col
+}
+
+// colAPIs interns the per-operation API names, built once per collection.
+type colAPIs struct {
+	insert, find, findOne, update, remove, count, findCursor string
+	findP, findOneP, insertP, updateP, removeP               string
+	cursorName                                               string
 }
 
 // Collection is one document collection.
 type Collection struct {
 	db   *DB
 	name string
+	apis colAPIs
 	docs []Document
 	key  uint64 // independence key for read-only ops (POR)
 }
@@ -109,51 +160,117 @@ func (c *Collection) ioKey() uint64 {
 	return c.key
 }
 
+// opRecord is one pooled in-flight operation: the I/O-phase completion
+// function is allocated once per record and closes over the record; the
+// op/deliver closures are refilled per use and the record frees itself
+// once it has handed the chain to a hopper.
+type opRecord struct {
+	db      *DB
+	fn      *vm.Function
+	op      func() result
+	deliver func(result)
+}
+
+func (db *DB) borrowOp() *opRecord {
+	if n := len(db.opFree); n > 0 {
+		r := db.opFree[n-1]
+		db.opFree[n-1] = nil
+		db.opFree = db.opFree[:n-1]
+		return r
+	}
+	r := &opRecord{db: db}
+	r.fn = vm.NewFuncAt("(db.io)", loc.Internal, r.invoke)
+	return r
+}
+
+func (r *opRecord) invoke([]vm.Value) vm.Value {
+	res := r.op()
+	h := r.db.borrowHopper()
+	h.k = r.db.opts.DriverTicks
+	h.res = res
+	h.deliver = r.deliver
+	r.op, r.deliver = nil, nil
+	r.db.opFree = append(r.db.opFree, r)
+	h.step()
+	return vm.Undefined
+}
+
+// hopper walks an operation result through the driver's internal
+// process.nextTick deferrals. Each hop schedules a distinct function
+// (fns[k]) as the original per-hop closures did, so a hop never appears
+// to reschedule itself to the recursive-microtask detector.
+type hopper struct {
+	db      *DB
+	fns     []*vm.Function
+	k       int
+	res     result
+	deliver func(result)
+}
+
+func (db *DB) borrowHopper() *hopper {
+	if n := len(db.hopFree); n > 0 {
+		h := db.hopFree[n-1]
+		db.hopFree[n-1] = nil
+		db.hopFree = db.hopFree[:n-1]
+		return h
+	}
+	h := &hopper{db: db, fns: make([]*vm.Function, db.opts.DriverTicks)}
+	for i := range h.fns {
+		h.fns[i] = vm.NewFuncAt("(driver.hop)", loc.Internal, func([]vm.Value) vm.Value {
+			h.step()
+			return vm.Undefined
+		})
+	}
+	return h
+}
+
+// step performs one driver deferral, or delivers and frees the hopper
+// when the hops are exhausted. Internal driver deferrals are real
+// nextTicks with an internal-library source location.
+func (h *hopper) step() {
+	if h.k == 0 {
+		deliver, res := h.deliver, h.res
+		h.deliver, h.res = nil, result{}
+		h.db.hopFree = append(h.db.hopFree, h)
+		deliver(res)
+		return
+	}
+	h.k--
+	h.db.loop.NextTick(loc.Internal, h.fns[h.k])
+}
+
 // run schedules the operation op on the I/O phase after the DB latency,
 // hops through the driver's internal nextTicks, and finally delivers via
 // deliver. api names the user-facing operation in probe events. key is
 // the independence key of the completion (see ioKey).
 func (c *Collection) run(api string, key uint64, op func() result, deliver func(result)) {
 	l := c.db.loop
-	ticks := c.db.opts.DriverTicks
-	ioFn := vm.NewFuncAt("(db.io)", loc.Internal, func([]vm.Value) vm.Value {
-		res := op()
-		// Internal driver deferrals: each hop is a real nextTick with
-		// an internal-library source location.
-		var hop func(k int)
-		hop = func(k int) {
-			if k == 0 {
-				deliver(res)
-				return
-			}
-			l.NextTick(loc.Internal, vm.NewFuncAt("(driver.hop)", loc.Internal,
-				func([]vm.Value) vm.Value {
-					hop(k - 1)
-					return vm.Undefined
-				}))
-		}
-		hop(ticks)
-		return vm.Undefined
-	})
-	l.ScheduleIOKeyedAt(l.Now()+l.PerturbLatency(c.db.opts.Latency), key, ioFn, nil, &vm.Dispatch{API: api})
+	r := c.db.borrowOp()
+	r.op, r.deliver = op, deliver
+	dp := l.ScheduleIOKeyedDispatch(l.Now()+l.PerturbLatency(c.db.opts.Latency), key, r.fn, nil)
+	dp.API = api
 }
 
 // registerCallback announces the user callback registration under the
 // operation's API name and returns the registration sequence.
 func (c *Collection) registerCallback(at loc.Loc, api string, cb *vm.Function) uint64 {
 	seq := c.db.loop.NextRegSeq()
-	c.db.loop.EmitAPIEvent(&vm.APIEvent{
-		API:  api,
-		Loc:  at,
-		Regs: []vm.Registration{{Seq: seq, Callback: cb, Phase: string(eventloop.PhaseNextTick), Once: true, Role: "callback"}},
-	})
+	ev := c.db.loop.BorrowAPIEvent()
+	ev.API = api
+	ev.Loc = at
+	ev.SetOneReg(vm.Registration{Seq: seq, Callback: cb, Phase: string(eventloop.PhaseNextTick), Once: true, Role: "callback"})
+	c.db.loop.EmitAPIEvent(ev)
+	c.db.loop.ReturnAPIEvent(ev)
 	return seq
 }
 
 // dispatchCallback delivers (err, payload...) to cb on the nextTick
 // queue under the operation's API name.
 func (c *Collection) dispatchCallback(api string, seq uint64, cb *vm.Function, args ...vm.Value) {
-	c.db.loop.ScheduleTickJob(cb, args, &vm.Dispatch{API: api, RegSeq: seq})
+	d := c.db.loop.NewDispatch()
+	d.API = api
+	d.RegSeq = seq
+	c.db.loop.ScheduleTickJob(cb, args, d)
 }
 
 // errValue renders an error for callback delivery (nil → Undefined).
@@ -166,7 +283,7 @@ func errValue(err error) vm.Value {
 
 // Insert stores a document and calls cb(err, doc).
 func (c *Collection) Insert(at loc.Loc, doc Document, cb *vm.Function) {
-	api := "db." + c.name + ".insert"
+	api := c.apis.insert
 	var seq uint64
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
@@ -182,7 +299,7 @@ func (c *Collection) Insert(at loc.Loc, doc Document, cb *vm.Function) {
 
 // Find queries documents and calls cb(err, []Document).
 func (c *Collection) Find(at loc.Loc, query string, cb *vm.Function) {
-	api := "db." + c.name + ".find"
+	api := c.apis.find
 	seq := c.registerCallback(at, api, cb)
 	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
@@ -195,7 +312,7 @@ func (c *Collection) Find(at loc.Loc, query string, cb *vm.Function) {
 // FindOne queries the first matching document and calls cb(err, doc);
 // doc is Undefined when nothing matches.
 func (c *Collection) FindOne(at loc.Loc, query string, cb *vm.Function) {
-	api := "db." + c.name + ".findOne"
+	api := c.apis.findOne
 	seq := c.registerCallback(at, api, cb)
 	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
@@ -215,7 +332,7 @@ func (c *Collection) FindOne(at loc.Loc, query string, cb *vm.Function) {
 
 // Update merges set into every matching document and calls cb(err, n).
 func (c *Collection) Update(at loc.Loc, query string, set Document, cb *vm.Function) {
-	api := "db." + c.name + ".update"
+	api := c.apis.update
 	var seq uint64
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
@@ -232,7 +349,7 @@ func (c *Collection) Update(at loc.Loc, query string, set Document, cb *vm.Funct
 
 // Remove deletes matching documents and calls cb(err, n).
 func (c *Collection) Remove(at loc.Loc, query string, cb *vm.Function) {
-	api := "db." + c.name + ".remove"
+	api := c.apis.remove
 	var seq uint64
 	if cb != nil {
 		seq = c.registerCallback(at, api, cb)
@@ -249,7 +366,7 @@ func (c *Collection) Remove(at loc.Loc, query string, cb *vm.Function) {
 
 // Count calls cb(err, n) with the number of matching documents.
 func (c *Collection) Count(at loc.Loc, query string, cb *vm.Function) {
-	api := "db." + c.name + ".count"
+	api := c.apis.count
 	seq := c.registerCallback(at, api, cb)
 	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
@@ -264,8 +381,17 @@ func (c *Collection) Count(at loc.Loc, query string, cb *vm.Function) {
 // the driver's cursor interface, whose emitter traffic is part of the
 // per-request emitter executions of Fig. 6(b).
 func (c *Collection) FindCursor(at loc.Loc, query string) *events.Emitter {
-	cursor := events.New(c.db.loop, "cursor:"+c.name, at)
-	api := "db." + c.name + ".findCursor"
+	var cursor *events.Emitter
+	if n := len(c.db.cursorFree); n > 0 {
+		cursor = c.db.cursorFree[n-1]
+		c.db.cursorFree[n-1] = nil
+		c.db.cursorFree = c.db.cursorFree[:n-1]
+		cursor.Reinit(c.apis.cursorName, at)
+	} else {
+		cursor = events.New(c.db.loop, c.apis.cursorName, at)
+	}
+	c.db.allCursors = append(c.db.allCursors, cursor)
+	api := c.apis.findCursor
 	c.run(api, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, docs: docs}
@@ -287,7 +413,7 @@ func (c *Collection) FindCursor(at loc.Loc, query string) *events.Emitter {
 // FindP returns a promise of []Document.
 func (c *Collection) FindP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".findP", c.ioKey(), func() result {
+	c.run(c.apis.findP, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		return result{err: err, docs: docs}
 	}, func(res result) {
@@ -303,7 +429,7 @@ func (c *Collection) FindP(at loc.Loc, query string) *promise.Promise {
 // FindOneP returns a promise of a Document (Undefined when no match).
 func (c *Collection) FindOneP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".findOneP", c.ioKey(), func() result {
+	c.run(c.apis.findOneP, c.ioKey(), func() result {
 		docs, err := c.findSync(query)
 		res := result{err: err}
 		if len(docs) > 0 {
@@ -326,7 +452,7 @@ func (c *Collection) FindOneP(at loc.Loc, query string) *promise.Promise {
 // InsertP returns a promise of the stored Document.
 func (c *Collection) InsertP(at loc.Loc, doc Document) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".insertP", 0, func() result {
+	c.run(c.apis.insertP, 0, func() result {
 		return result{doc: c.InsertSync(doc)}
 	}, func(res result) {
 		p.Resolve(loc.Internal, res.doc)
@@ -337,7 +463,7 @@ func (c *Collection) InsertP(at loc.Loc, doc Document) *promise.Promise {
 // UpdateP returns a promise of the number of updated documents.
 func (c *Collection) UpdateP(at loc.Loc, query string, set Document) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".updateP", 0, func() result {
+	c.run(c.apis.updateP, 0, func() result {
 		n, err := c.updateSync(query, set)
 		return result{err: err, n: n}
 	}, func(res result) {
@@ -353,7 +479,7 @@ func (c *Collection) UpdateP(at loc.Loc, query string, set Document) *promise.Pr
 // RemoveP returns a promise of the number of removed documents.
 func (c *Collection) RemoveP(at loc.Loc, query string) *promise.Promise {
 	p := promise.New(c.db.loop, at, nil)
-	c.run("db."+c.name+".removeP", 0, func() result {
+	c.run(c.apis.removeP, 0, func() result {
 		n, err := c.removeSync(query)
 		return result{err: err, n: n}
 	}, func(res result) {

@@ -9,6 +9,13 @@
 // registration happens through the events package, which means the Async
 // Graph models network I/O with the same OB/CR/CT/CE machinery as any
 // other emitter (exactly how Node's net module looks to AsyncG).
+//
+// The network participates in the session Reset protocol: it registers a
+// reset hook on its loop, and returns every socket, server and in-flight
+// delivery record to internal free lists when the loop is reset. A reset
+// network replays the next run with the same announcements (emitter
+// re-creation via events.Reinit, interned names) a freshly-constructed
+// network would make.
 package netio
 
 import (
@@ -42,6 +49,13 @@ type Options struct {
 	Latency time.Duration
 }
 
+// nameKey interns the per-connection diagnostic names: connection ids
+// restart from 1 after a reset, so the same names recur run after run.
+type nameKey struct {
+	form byte // 'c'/'s' conn client/server, 'a'/'b' pipe ends, 'L' listener
+	n    int
+}
+
 // Network owns the simulated wires: port bindings and in-flight
 // deliveries. One Network per loop.
 type Network struct {
@@ -49,18 +63,81 @@ type Network struct {
 	latency   time.Duration
 	listeners map[int]*Server
 	connSeq   int
+
+	// Allocation reuse across loop resets: every socket/server ever
+	// handed out is tracked in all*, returned to the free lists by
+	// reset(), and revived through events.Reinit on its next use.
+	allSocks  []*Socket
+	sockFree  []*Socket
+	allSrvs   []*Server
+	srvFree   []*Server
+	delivFree [dkCount][]*delivery
+	names     map[nameKey]string
 }
 
-// New creates a network bound to the loop.
+// New creates a network bound to the loop and registers its reset hook.
 func New(l *eventloop.Loop, opts Options) *Network {
 	if opts.Latency == 0 {
 		opts.Latency = DefaultLatency
 	}
-	return &Network{
+	n := &Network{
 		loop:      l,
 		latency:   opts.Latency,
 		listeners: make(map[int]*Server),
+		names:     make(map[nameKey]string),
 	}
+	l.OnReset(n.reset)
+	return n
+}
+
+// reset returns the network to its cold state, keeping sockets, servers
+// and delivery records for reuse. Name interning survives: ids repeat.
+func (n *Network) reset() {
+	clear(n.listeners)
+	n.connSeq = 0
+	for i, s := range n.allSocks {
+		s.peer = nil
+		s.ended = false
+		s.closed = false
+		s.key = 0
+		n.sockFree = append(n.sockFree, s)
+		n.allSocks[i] = nil
+	}
+	n.allSocks = n.allSocks[:0]
+	for i, s := range n.allSrvs {
+		s.open = false
+		s.key = 0
+		for j := range s.sockets {
+			s.sockets[j] = nil
+		}
+		s.sockets = s.sockets[:0]
+		n.srvFree = append(n.srvFree, s)
+		n.allSrvs[i] = nil
+	}
+	n.allSrvs = n.allSrvs[:0]
+}
+
+// cachedName interns the fmt.Sprintf-built diagnostic labels.
+func (n *Network) cachedName(form byte, id int) string {
+	key := nameKey{form: form, n: id}
+	if s, ok := n.names[key]; ok {
+		return s
+	}
+	var s string
+	switch form {
+	case 'c':
+		s = fmt.Sprintf("conn%d:client", id)
+	case 's':
+		s = fmt.Sprintf("conn%d:server", id)
+	case 'a':
+		s = fmt.Sprintf("pipe%d:a", id)
+	case 'b':
+		s = fmt.Sprintf("pipe%d:b", id)
+	case 'L':
+		s = fmt.Sprintf("server:%d", id)
+	}
+	n.names[key] = s
+	return s
 }
 
 // Loop returns the event loop this network schedules on.
@@ -69,22 +146,126 @@ func (n *Network) Loop() *eventloop.Loop { return n.loop }
 // Latency returns the configured one-way latency.
 func (n *Network) Latency() time.Duration { return n.latency }
 
-// deliver schedules fn on the I/O poll phase after the network latency.
-// Internal deliveries dispatch with the given API tag and no
-// registration: the Async Graph shows the externally-triggered work via
-// the emitter events fired inside, as with real Node internals.
+// Delivery kinds. Each kind has its own free list because the wrapped
+// vm.Function — allocated once per record — carries the kind's API name.
+type delivKind uint8
+
+const (
+	dkListening delivKind = iota
+	dkHandshake
+	dkConnected
+	dkData
+	dkEnd
+	dkReset
+	dkCount
+)
+
+var delivAPIs = [dkCount]string{
+	dkListening: "net.listening",
+	dkHandshake: "net.handshake",
+	dkConnected: "net.connected",
+	dkData:      "net.data",
+	dkEnd:       "net.end",
+	dkReset:     "net.reset",
+}
+
+// delivery is one in-flight I/O callback. Records are pooled per kind:
+// the vm.Function wrapper closes over the record and is created once; the
+// payload fields are refilled per delivery and the record returns itself
+// to the free list when its run completes.
+type delivery struct {
+	net  *Network
+	kind delivKind
+	fn   *vm.Function
+
+	sock *Socket // primary endpoint (client for handshake/connected)
+	peer *Socket
+	srv  *Server
+	buf  []byte
+	port int
+	id   int
+}
+
+func (n *Network) borrowDelivery(kind delivKind) *delivery {
+	free := n.delivFree[kind]
+	if len(free) > 0 {
+		d := free[len(free)-1]
+		free[len(free)-1] = nil
+		n.delivFree[kind] = free[:len(free)-1]
+		return d
+	}
+	d := &delivery{net: n, kind: kind}
+	d.fn = vm.NewFuncAt("("+delivAPIs[kind]+")", loc.Internal, d.invoke)
+	return d
+}
+
+// release clears the payload and returns the record to its free list.
+func (d *delivery) release() {
+	d.sock, d.peer, d.srv, d.buf = nil, nil, nil, nil
+	d.port, d.id = 0, 0
+	d.net.delivFree[d.kind] = append(d.net.delivFree[d.kind], d)
+}
+
+// invoke is the delivery's run body, dispatched on the I/O poll phase.
+func (d *delivery) invoke([]vm.Value) vm.Value {
+	// The body may schedule further deliveries (which borrow fresh
+	// records); this record frees itself only after the body is done.
+	switch d.kind {
+	case dkListening:
+		d.srv.Emit(loc.Internal, EventListening)
+	case dkHandshake:
+		d.handshake()
+	case dkConnected:
+		if !d.sock.closed {
+			d.sock.Emit(loc.Internal, EventConnect)
+		}
+	case dkData:
+		if !d.peer.closed {
+			d.peer.Emit(loc.Internal, EventData, d.buf)
+		}
+	case dkEnd:
+		if d.peer != nil && !d.peer.closed {
+			d.peer.Emit(loc.Internal, EventEnd)
+			d.peer.scheduleClose()
+		}
+		d.sock.scheduleClose()
+	case dkReset:
+		d.peer.scheduleClose()
+	}
+	d.release()
+	return vm.Undefined
+}
+
+func (d *delivery) handshake() {
+	n, client := d.net, d.sock
+	srv, ok := n.listeners[d.port]
+	if !ok || !srv.open {
+		client.closed = true
+		client.Emit(loc.Internal, EventError, fmt.Sprintf("connect ECONNREFUSED :%d", d.port))
+		return
+	}
+	remote := n.newSocket(loc.Internal, n.cachedName('s', d.id), true)
+	remote.key = client.key
+	client.peer = remote
+	remote.peer = client
+	srv.sockets = append(srv.sockets, remote)
+	srv.Emit(loc.Internal, EventConnection, remote)
+	next := n.borrowDelivery(dkConnected)
+	next.sock = client
+	n.send(next, client.key)
+}
+
+// send queues a filled delivery record on the I/O poll phase after the
+// network latency, dispatching with a loop-pooled dispatch.
 //
 // key is the delivery's independence key for partial-order reduction:
 // deliveries on distinct connections (distinct non-zero keys) touch
 // disjoint socket state, so their poll-batch order commutes. Deliveries
 // that touch shared network state (handshakes mutate the listener's
 // accept queue and allocate the server-side socket) pass 0.
-func (n *Network) deliver(api string, key uint64, fn func()) {
-	wrapped := vm.NewFuncAt("("+api+")", loc.Internal, func([]vm.Value) vm.Value {
-		fn()
-		return vm.Undefined
-	})
-	n.loop.ScheduleIOKeyedAt(n.loop.Now()+n.loop.PerturbLatency(n.latency), key, wrapped, nil, &vm.Dispatch{API: api})
+func (n *Network) send(d *delivery, key uint64) {
+	dp := n.loop.ScheduleIOKeyedDispatch(n.loop.Now()+n.loop.PerturbLatency(n.latency), key, d.fn, nil)
+	dp.API = delivAPIs[d.kind]
 }
 
 // Server is a listening endpoint. It is an event emitter: 'connection'
@@ -97,6 +278,7 @@ type Server struct {
 	open    bool
 	sockets []*Socket
 	key     uint64 // independence key for server-scoped deliveries
+	closeFn *vm.Function
 }
 
 // Listen binds a server to the port. Binding an occupied port returns an
@@ -105,23 +287,36 @@ func (n *Network) Listen(at loc.Loc, port int) (*Server, error) {
 	if _, taken := n.listeners[port]; taken {
 		return nil, fmt.Errorf("netio: listen :%d: address already in use", port)
 	}
-	s := &Server{
-		Emitter: events.New(n.loop, fmt.Sprintf("server:%d", port), at),
-		net:     n,
-		port:    port,
-		open:    true,
-		key:     n.loop.NextIOKey(),
+	name := n.cachedName('L', port)
+	var s *Server
+	if len(n.srvFree) > 0 {
+		s = n.srvFree[len(n.srvFree)-1]
+		n.srvFree[len(n.srvFree)-1] = nil
+		n.srvFree = n.srvFree[:len(n.srvFree)-1]
+		s.Emitter.Reinit(name, at)
+	} else {
+		s = &Server{net: n, Emitter: events.New(n.loop, name, at)}
+		srv := s
+		s.closeFn = vm.NewFuncAt("(server.close)", loc.Internal, func([]vm.Value) vm.Value {
+			srv.Emit(loc.Internal, EventClose)
+			return vm.Undefined
+		})
 	}
+	s.port = port
+	s.open = true
+	s.key = n.loop.NextIOKey()
+	n.allSrvs = append(n.allSrvs, s)
 	n.listeners[port] = s
-	n.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      "server.listen",
-		Loc:      at,
-		Receiver: s.Ref(),
-		Args:     []vm.Value{port},
-	})
-	n.deliver("net.listening", s.key, func() {
-		s.Emit(loc.Internal, EventListening)
-	})
+	ev := n.loop.BorrowAPIEvent()
+	ev.API = "server.listen"
+	ev.Loc = at
+	ev.Receiver = s.Ref()
+	ev.SetOneArg(port)
+	n.loop.EmitAPIEvent(ev)
+	n.loop.ReturnAPIEvent(ev)
+	d := n.borrowDelivery(dkListening)
+	d.srv = s
+	n.send(d, s.key)
 	return s, nil
 }
 
@@ -139,12 +334,9 @@ func (s *Server) Close(at loc.Loc) {
 	}
 	s.open = false
 	delete(s.net.listeners, s.port)
-	emitter := s.Emitter
-	closeFn := vm.NewFuncAt("(server.close)", loc.Internal, func([]vm.Value) vm.Value {
-		emitter.Emit(loc.Internal, EventClose)
-		return vm.Undefined
-	})
-	s.net.loop.ScheduleClose(closeFn, nil, &vm.Dispatch{API: "server.close"})
+	d := s.net.loop.NewDispatch()
+	d.API = "server.close"
+	s.net.loop.ScheduleClose(s.closeFn, nil, d)
 }
 
 // Socket is one endpoint of a connection. It is an event emitter:
@@ -161,15 +353,27 @@ type Socket struct {
 	// key is the connection's independence key, shared by both endpoints
 	// (an end/reset delivery touches both sides of its connection but no
 	// other connection). 0 until the socket joins a connection.
-	key uint64
+	key     uint64
+	closeFn *vm.Function
 }
 
 func (n *Network) newSocket(at loc.Loc, name string, server bool) *Socket {
-	s := &Socket{
-		Emitter: events.New(n.loop, name, at),
-		net:     n,
-		server:  server,
+	var s *Socket
+	if len(n.sockFree) > 0 {
+		s = n.sockFree[len(n.sockFree)-1]
+		n.sockFree[len(n.sockFree)-1] = nil
+		n.sockFree = n.sockFree[:len(n.sockFree)-1]
+		s.Emitter.Reinit(name, at)
+		s.server = server
+	} else {
+		s = &Socket{net: n, Emitter: events.New(n.loop, name, at), server: server}
+		sock := s
+		s.closeFn = vm.NewFuncAt("(socket.close)", loc.Internal, func([]vm.Value) vm.Value {
+			sock.Emit(loc.Internal, EventClose)
+			return vm.Undefined
+		})
 	}
+	n.allSocks = append(n.allSocks, s)
 	if !server {
 		// Initiating sockets belong to the simulated client process;
 		// measurement hooks scoped to the server skip their dispatches.
@@ -185,36 +389,23 @@ func (n *Network) newSocket(at loc.Loc, name string, server bool) *Socket {
 func (n *Network) Connect(at loc.Loc, port int) *Socket {
 	n.connSeq++
 	id := n.connSeq
-	client := n.newSocket(at, fmt.Sprintf("conn%d:client", id), false)
-	n.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      "net.connect",
-		Loc:      at,
-		Receiver: client.Ref(),
-		Args:     []vm.Value{port},
-	})
+	client := n.newSocket(at, n.cachedName('c', id), false)
+	ev := n.loop.BorrowAPIEvent()
+	ev.API = "net.connect"
+	ev.Loc = at
+	ev.Receiver = client.Ref()
+	ev.SetOneArg(port)
+	n.loop.EmitAPIEvent(ev)
+	n.loop.ReturnAPIEvent(ev)
 	client.key = n.loop.NextIOKey()
 	// The handshake mutates the listener map and allocates the
 	// server-side socket (shared state and object identities), so it is
 	// never independent: key 0.
-	n.deliver("net.handshake", 0, func() {
-		srv, ok := n.listeners[port]
-		if !ok || !srv.open {
-			client.closed = true
-			client.Emit(loc.Internal, EventError, fmt.Sprintf("connect ECONNREFUSED :%d", port))
-			return
-		}
-		remote := n.newSocket(loc.Internal, fmt.Sprintf("conn%d:server", id), true)
-		remote.key = client.key
-		client.peer = remote
-		remote.peer = client
-		srv.sockets = append(srv.sockets, remote)
-		srv.Emit(loc.Internal, EventConnection, remote)
-		n.deliver("net.connected", client.key, func() {
-			if !client.closed {
-				client.Emit(loc.Internal, EventConnect)
-			}
-		})
-	})
+	d := n.borrowDelivery(dkHandshake)
+	d.sock = client
+	d.port = port
+	d.id = id
+	n.send(d, 0)
 	return client
 }
 
@@ -223,8 +414,8 @@ func (n *Network) Connect(at loc.Loc, port int) *Socket {
 func (n *Network) Pipe(at loc.Loc) (*Socket, *Socket) {
 	n.connSeq++
 	id := n.connSeq
-	a := n.newSocket(at, fmt.Sprintf("pipe%d:a", id), false)
-	z := n.newSocket(at, fmt.Sprintf("pipe%d:b", id), true)
+	a := n.newSocket(at, n.cachedName('a', id), false)
+	z := n.newSocket(at, n.cachedName('b', id), true)
 	a.peer, z.peer = z, a
 	a.key = n.loop.NextIOKey()
 	z.key = a.key
@@ -238,23 +429,22 @@ func (s *Socket) Connected() bool { return s.peer != nil && !s.closed }
 // after the network latency. Writing on an ended or closed socket emits
 // 'error'.
 func (s *Socket) Write(at loc.Loc, data []byte) bool {
-	s.net.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      "socket.write",
-		Loc:      at,
-		Receiver: s.Ref(),
-		Args:     []vm.Value{len(data)},
-	})
+	ev := s.net.loop.BorrowAPIEvent()
+	ev.API = "socket.write"
+	ev.Loc = at
+	ev.Receiver = s.Ref()
+	ev.SetOneArg(len(data))
+	s.net.loop.EmitAPIEvent(ev)
+	s.net.loop.ReturnAPIEvent(ev)
 	if s.ended || s.closed || s.peer == nil {
 		s.Emit(loc.Internal, EventError, "write after end")
 		return false
 	}
-	peer := s.peer
-	buf := append([]byte(nil), data...)
-	s.net.deliver("net.data", s.key, func() {
-		if !peer.closed {
-			peer.Emit(loc.Internal, EventData, buf)
-		}
-	})
+	// The chunk is copied: listeners may retain it past the delivery.
+	d := s.net.borrowDelivery(dkData)
+	d.peer = s.peer
+	d.buf = append([]byte(nil), data...)
+	s.net.send(d, s.key)
 	return true
 }
 
@@ -273,20 +463,17 @@ func (s *Socket) End(at loc.Loc, data []byte) {
 	if len(data) > 0 {
 		s.Write(at, data)
 	}
-	s.net.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      "socket.end",
-		Loc:      at,
-		Receiver: s.Ref(),
-	})
+	ev := s.net.loop.BorrowAPIEvent()
+	ev.API = "socket.end"
+	ev.Loc = at
+	ev.Receiver = s.Ref()
+	s.net.loop.EmitAPIEvent(ev)
+	s.net.loop.ReturnAPIEvent(ev)
 	s.ended = true
-	peer := s.peer
-	s.net.deliver("net.end", s.key, func() {
-		if peer != nil && !peer.closed {
-			peer.Emit(loc.Internal, EventEnd)
-			peer.scheduleClose()
-		}
-		s.scheduleClose()
-	})
+	d := s.net.borrowDelivery(dkEnd)
+	d.sock = s
+	d.peer = s.peer
+	s.net.send(d, s.key)
 }
 
 // Destroy closes both directions immediately (no 'end' events).
@@ -294,15 +481,19 @@ func (s *Socket) Destroy(at loc.Loc) {
 	if s.closed {
 		return
 	}
-	s.net.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      "socket.destroy",
-		Loc:      at,
-		Receiver: s.Ref(),
-	})
+	ev := s.net.loop.BorrowAPIEvent()
+	ev.API = "socket.destroy"
+	ev.Loc = at
+	ev.Receiver = s.Ref()
+	s.net.loop.EmitAPIEvent(ev)
+	s.net.loop.ReturnAPIEvent(ev)
 	peer := s.peer
+	key := s.key
 	s.scheduleClose()
 	if peer != nil {
-		s.net.deliver("net.reset", s.key, func() { peer.scheduleClose() })
+		d := s.net.borrowDelivery(dkReset)
+		d.peer = peer
+		s.net.send(d, key)
 	}
 }
 
@@ -313,10 +504,7 @@ func (s *Socket) scheduleClose() {
 		return
 	}
 	s.closed = true
-	emitter := s.Emitter
-	closeFn := vm.NewFuncAt("(socket.close)", loc.Internal, func([]vm.Value) vm.Value {
-		emitter.Emit(loc.Internal, EventClose)
-		return vm.Undefined
-	})
-	s.net.loop.ScheduleClose(closeFn, nil, &vm.Dispatch{API: "socket.close"})
+	d := s.net.loop.NewDispatch()
+	d.API = "socket.close"
+	s.net.loop.ScheduleClose(s.closeFn, nil, d)
 }

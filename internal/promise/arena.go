@@ -1,0 +1,88 @@
+package promise
+
+import (
+	"asyncg/internal/eventloop"
+)
+
+// arenaChunk is the number of Promise structs per slab.
+const arenaChunk = 256
+
+// arenaKey is the loop-substrate key under which the package keeps its
+// per-loop arena.
+var arenaKey byte
+
+// arena bump-allocates Promise and reaction structs for one loop. It is
+// registered as a loop substrate: the structures persist across loop
+// resets, and the loop's reset hook rewinds the arena wholesale — no
+// promise is ever freed individually, which is safe because a reset
+// abandons every object the previous run created.
+type arena struct {
+	chunks [][]Promise
+	count  int // promises handed out since the last rewind
+
+	reacts []*reaction // every reaction ever created, bump-reused
+	rused  int
+}
+
+// arenaFor returns (creating on first use) the loop's promise arena.
+func arenaFor(l *eventloop.Loop) *arena {
+	return l.Substrate(&arenaKey, func() any {
+		a := &arena{}
+		l.OnReset(a.rewind)
+		return a
+	}).(*arena)
+}
+
+// alloc returns a zeroed Promise slot (its reactions slice keeps the
+// capacity it grew in earlier runs).
+func (a *arena) alloc() *Promise {
+	chunk, used := a.count/arenaChunk, a.count%arenaChunk
+	if chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Promise, arenaChunk))
+	}
+	a.count++
+	return &a.chunks[chunk][used]
+}
+
+// allocReaction returns a zeroed reaction.
+func (a *arena) allocReaction() *reaction {
+	if a.rused < len(a.reacts) {
+		r := a.reacts[a.rused]
+		a.rused++
+		return r
+	}
+	r := &reaction{}
+	a.reacts = append(a.reacts, r)
+	a.rused++
+	return r
+}
+
+// rewind zeroes every slot handed out since the last rewind and makes
+// them available again. Reaction-slice backing arrays are kept (their
+// entries are arena-owned reactions, cleared here for GC hygiene).
+func (a *arena) rewind() {
+	n := a.count
+	for _, chunk := range a.chunks {
+		if n == 0 {
+			break
+		}
+		live := chunk
+		if n < len(live) {
+			live = live[:n]
+		}
+		for i := range live {
+			p := &live[i]
+			rs := p.reactions[:cap(p.reactions)]
+			for j := range rs {
+				rs[j] = nil
+			}
+			*p = Promise{reactions: rs[:0]}
+		}
+		n -= len(live)
+	}
+	a.count = 0
+	for i := 0; i < a.rused; i++ {
+		*a.reacts[i] = reaction{}
+	}
+	a.rused = 0
+}

@@ -61,13 +61,19 @@ func Go(l *eventloop.Loop, at loc.Loc, name string, body func(aw *Awaiter) vm.Va
 		f.pump()
 		return vm.Undefined
 	})
-	l.EmitAPIEvent(&vm.APIEvent{
-		API:      APIAsync,
-		Loc:      at,
-		Receiver: result.Ref(),
-		Regs:     []vm.Registration{{Seq: seq, Callback: start, Phase: "sync", Once: true, Role: "async"}},
-	})
-	_, thrown := l.Invoke(start, nil, &vm.Dispatch{API: APIAsync, RegSeq: seq, Obj: result.Ref()})
+	ev := l.BorrowAPIEvent()
+	ev.API = APIAsync
+	ev.Loc = at
+	ev.Receiver = result.Ref()
+	ev.SetOneReg(vm.Registration{Seq: seq, Callback: start, Phase: "sync", Once: true, Role: "async"})
+	l.EmitAPIEvent(ev)
+	l.ReturnAPIEvent(ev)
+	d := l.NewDispatch()
+	d.API = APIAsync
+	d.RegSeq = seq
+	d.Obj = result.Ref()
+	_, thrown := l.Invoke(start, nil, d)
+	l.RecycleDispatch(d)
 	if thrown != nil {
 		// Cannot happen through the protocol (body throws are routed
 		// through yield), but keep the invariant visible.
@@ -125,20 +131,21 @@ func (f *frame) pump() {
 		f.pump() // body continues inside this callback execution
 		return vm.Undefined
 	})
-	f.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      APIAwait,
-		Loc:      at,
-		Receiver: awaited.Ref(),
-		Event:    "await",
-		Regs:     []vm.Registration{{Seq: seq, Callback: resumeFn, Phase: string(eventloop.PhasePromise), Once: true, Role: "await"}},
-	})
-	awaited.addReaction(at, &reaction{
-		onFulfilled: resumeFn,
-		onRejected:  resumeFn,
-		regFul:      seq,
-		regRej:      seq,
-		api:         APIAwait,
-	})
+	ev := f.loop.BorrowAPIEvent()
+	ev.API = APIAwait
+	ev.Loc = at
+	ev.Receiver = awaited.Ref()
+	ev.Event = "await"
+	ev.SetOneReg(vm.Registration{Seq: seq, Callback: resumeFn, Phase: string(eventloop.PhasePromise), Once: true, Role: "await"})
+	f.loop.EmitAPIEvent(ev)
+	f.loop.ReturnAPIEvent(ev)
+	r := arenaFor(f.loop).allocReaction()
+	r.onFulfilled = resumeFn
+	r.onRejected = resumeFn
+	r.regFul = seq
+	r.regRej = seq
+	r.api = APIAwait
+	awaited.addReaction(at, r)
 }
 
 // Await suspends the async body until p settles, returning the

@@ -37,12 +37,12 @@ func refs(ps []*Promise) []vm.ObjRef {
 // observe attaches an internal reaction to p that calls done with the
 // outcome once p settles. Combinators count as handling rejections.
 func observe(p *Promise, done func(state State, v vm.Value)) {
-	p.addReaction(loc.Internal, &reaction{
-		api: APIPassthrough,
-		after: func(ret vm.Value, thrown *vm.Thrown) {
-			done(p.state, p.value)
-		},
-	})
+	r := arenaFor(p.loop).allocReaction()
+	r.api = APIPassthrough
+	r.after = func(ret vm.Value, thrown *vm.Thrown) {
+		done(p.state, p.value)
+	}
+	p.addReaction(loc.Internal, r)
 }
 
 // All resolves with the slice of fulfillment values once every input

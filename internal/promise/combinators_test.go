@@ -186,9 +186,9 @@ func TestCombinatorCreateEventCarriesInputRelations(t *testing.T) {
 		t.Fatal(err)
 	}
 	var found *vm.APIEvent
-	for _, ev := range rec.events {
-		if ev.API == APICreate && ev.Event == "all" {
-			found = ev
+	for i := range rec.events {
+		if rec.events[i].API == APICreate && rec.events[i].Event == "all" {
+			found = &rec.events[i]
 		}
 	}
 	if found == nil {

@@ -99,17 +99,19 @@ func New(l *eventloop.Loop, at loc.Loc, executor *vm.Function) *Promise {
 	p := newPromise(l, at, "constructor", nil)
 	if executor != nil {
 		seq := l.NextRegSeq()
-		l.EmitAPIEvent(&vm.APIEvent{
-			API:      APIExecutor,
-			Loc:      executor.Loc,
-			Receiver: p.Ref(),
-			Regs:     []vm.Registration{{Seq: seq, Callback: executor, Phase: "sync", Once: true, Role: "executor"}},
-		})
-		_, thrown := l.Invoke(executor, []vm.Value{p}, &vm.Dispatch{
-			API:    APIExecutor,
-			RegSeq: seq,
-			Obj:    p.Ref(),
-		})
+		ev := l.BorrowAPIEvent()
+		ev.API = APIExecutor
+		ev.Loc = executor.Loc
+		ev.Receiver = p.Ref()
+		ev.SetOneReg(vm.Registration{Seq: seq, Callback: executor, Phase: "sync", Once: true, Role: "executor"})
+		l.EmitAPIEvent(ev)
+		l.ReturnAPIEvent(ev)
+		d := l.NewDispatch()
+		d.API = APIExecutor
+		d.RegSeq = seq
+		d.Obj = p.Ref()
+		_, thrown := l.Invoke(executor, []vm.Value{p}, d)
+		l.RecycleDispatch(d)
 		if thrown != nil {
 			p.settle(thrown.Loc, Rejected, thrown.Value, APIReject)
 		}
@@ -131,18 +133,23 @@ func RejectedP(l *eventloop.Loop, at loc.Loc, reason vm.Value) *Promise {
 	return p
 }
 
-// newPromise allocates a promise and announces its Object Binding node.
-// kind describes how the promise came to be; related carries relation
-// edges (the source promise of a then, the inputs of a combinator).
+// newPromise allocates a promise from the loop's arena and announces its
+// Object Binding node. kind describes how the promise came to be;
+// related carries relation edges (the source promise of a then, the
+// inputs of a combinator).
 func newPromise(l *eventloop.Loop, at loc.Loc, kind string, related []vm.ObjRef) *Promise {
-	p := &Promise{loop: l, id: l.NextObjID(), createdAt: at}
-	l.EmitAPIEvent(&vm.APIEvent{
-		API:      APICreate,
-		Event:    kind,
-		Loc:      at,
-		Receiver: p.Ref(),
-		Related:  related,
-	})
+	p := arenaFor(l).alloc()
+	p.loop = l
+	p.id = l.NextObjID()
+	p.createdAt = at
+	ev := l.BorrowAPIEvent()
+	ev.API = APICreate
+	ev.Event = kind
+	ev.Loc = at
+	ev.Receiver = p.Ref()
+	ev.Related = related
+	l.EmitAPIEvent(ev)
+	l.ReturnAPIEvent(ev)
 	return p
 }
 
@@ -192,24 +199,28 @@ func (p *Promise) Reject(at loc.Loc, reason vm.Value) {
 
 func (p *Promise) settle(at loc.Loc, state State, v vm.Value, api string) {
 	trig := p.loop.NextTrigSeq()
-	ev := &vm.APIEvent{
-		API:        api,
-		Loc:        at,
-		Receiver:   p.Ref(),
-		TriggerSeq: trig,
-		Args:       []vm.Value{v},
-	}
+	ev := p.loop.BorrowAPIEvent()
+	ev.API = api
+	ev.Loc = at
+	ev.Receiver = p.Ref()
+	ev.TriggerSeq = trig
+	ev.SetOneArg(v)
 	if p.state != Pending {
 		ev.Event = "already-settled"
 		p.loop.EmitAPIEvent(ev)
+		p.loop.ReturnAPIEvent(ev)
 		return
 	}
 	p.loop.EmitAPIEvent(ev)
+	p.loop.ReturnAPIEvent(ev)
 	p.state = state
 	p.value = v
 	p.settleTrig = trig
 	pending := p.reactions
-	p.reactions = nil
+	// Truncate rather than nil: nothing is ever appended to a settled
+	// promise's reaction list, and the backing array (arena-owned
+	// entries) is kept for the slot's next life.
+	p.reactions = pending[:0]
 	for _, r := range pending {
 		p.scheduleReaction(r)
 	}
@@ -219,23 +230,24 @@ func (p *Promise) settle(at loc.Loc, state State, v vm.Value, api string) {
 // reactions are engine-internal; the Async Graph links the two promises
 // with a "link" relation edge instead of showing the plumbing.
 func (p *Promise) adopt(at loc.Loc, inner *Promise) {
-	p.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      APILink,
-		Loc:      at,
-		Receiver: inner.Ref(),
-		Related:  []vm.ObjRef{p.Ref()},
-	})
-	inner.addReaction(loc.Internal, &reaction{
-		api: APIPassthrough,
-		after: func(ret vm.Value, thrown *vm.Thrown) {
-			switch inner.state {
-			case Fulfilled:
-				p.settle(loc.Internal, Fulfilled, inner.value, APIResolve)
-			case Rejected:
-				p.settle(loc.Internal, Rejected, inner.value, APIReject)
-			}
-		},
-	})
+	ev := p.loop.BorrowAPIEvent()
+	ev.API = APILink
+	ev.Loc = at
+	ev.Receiver = inner.Ref()
+	ev.SetOneRelated(p.Ref())
+	p.loop.EmitAPIEvent(ev)
+	p.loop.ReturnAPIEvent(ev)
+	r := arenaFor(p.loop).allocReaction()
+	r.api = APIPassthrough
+	r.after = func(ret vm.Value, thrown *vm.Thrown) {
+		switch inner.state {
+		case Fulfilled:
+			p.settle(loc.Internal, Fulfilled, inner.value, APIResolve)
+		case Rejected:
+			p.settle(loc.Internal, Rejected, inner.value, APIReject)
+		}
+	}
+	inner.addReaction(loc.Internal, r)
 }
 
 // Then registers fulfillment and rejection handlers and returns the
@@ -255,31 +267,32 @@ func (p *Promise) Catch(at loc.Loc, onRejected *vm.Function) *Promise {
 func (p *Promise) Finally(at loc.Loc, onFinally *vm.Function) *Promise {
 	derived := newPromise(p.loop, at, "finally", nil)
 	seq := p.loop.NextRegSeq()
-	p.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      APIFinally,
-		Loc:      at,
-		Receiver: p.Ref(),
-		Event:    "finally",
-		Related:  []vm.ObjRef{derived.Ref()},
-		Regs:     []vm.Registration{{Seq: seq, Callback: onFinally, Phase: string(eventloop.PhasePromise), Once: true, Role: "finally"}},
-	})
-	p.addReaction(at, &reaction{
-		onFulfilled: onFinally,
-		onRejected:  onFinally,
-		regFul:      seq,
-		regRej:      seq,
-		api:         APIFinally,
-		after: func(ret vm.Value, thrown *vm.Thrown) {
-			switch {
-			case thrown != nil:
-				derived.settle(loc.Internal, Rejected, thrown.Value, APIReject)
-			case p.state == Fulfilled:
-				derived.settle(loc.Internal, Fulfilled, p.value, APIResolve)
-			default:
-				derived.settle(loc.Internal, Rejected, p.value, APIReject)
-			}
-		},
-	})
+	ev := p.loop.BorrowAPIEvent()
+	ev.API = APIFinally
+	ev.Loc = at
+	ev.Receiver = p.Ref()
+	ev.Event = "finally"
+	ev.SetOneRelated(derived.Ref())
+	ev.SetOneReg(vm.Registration{Seq: seq, Callback: onFinally, Phase: string(eventloop.PhasePromise), Once: true, Role: "finally"})
+	p.loop.EmitAPIEvent(ev)
+	p.loop.ReturnAPIEvent(ev)
+	r := arenaFor(p.loop).allocReaction()
+	r.onFulfilled = onFinally
+	r.onRejected = onFinally
+	r.regFul = seq
+	r.regRej = seq
+	r.api = APIFinally
+	r.after = func(ret vm.Value, thrown *vm.Thrown) {
+		switch {
+		case thrown != nil:
+			derived.settle(loc.Internal, Rejected, thrown.Value, APIReject)
+		case p.state == Fulfilled:
+			derived.settle(loc.Internal, Fulfilled, p.value, APIResolve)
+		default:
+			derived.settle(loc.Internal, Rejected, p.value, APIReject)
+		}
+	}
+	p.addReaction(at, r)
 	return derived
 }
 
@@ -287,29 +300,34 @@ func (p *Promise) Finally(at loc.Loc, onFinally *vm.Function) *Promise {
 // the registration with a relation edge, and wires result propagation.
 func (p *Promise) chain(at loc.Loc, api, relation string, onFulfilled, onRejected *vm.Function) *Promise {
 	derived := newPromise(p.loop, at, relation, nil)
-	r := &reaction{
-		onFulfilled: onFulfilled,
-		onRejected:  onRejected,
-		derived:     derived,
-		api:         api,
-	}
-	var regs []vm.Registration
-	if onFulfilled != nil {
+	r := arenaFor(p.loop).allocReaction()
+	r.onFulfilled = onFulfilled
+	r.onRejected = onRejected
+	r.derived = derived
+	r.api = api
+	ev := p.loop.BorrowAPIEvent()
+	ev.API = api
+	ev.Loc = at
+	ev.Receiver = p.Ref()
+	ev.Event = relation
+	ev.SetOneRelated(derived.Ref())
+	switch {
+	case onFulfilled != nil && onRejected != nil:
 		r.regFul = p.loop.NextRegSeq()
-		regs = append(regs, vm.Registration{Seq: r.regFul, Callback: onFulfilled, Phase: string(eventloop.PhasePromise), Once: true, Role: "fulfill"})
-	}
-	if onRejected != nil {
 		r.regRej = p.loop.NextRegSeq()
-		regs = append(regs, vm.Registration{Seq: r.regRej, Callback: onRejected, Phase: string(eventloop.PhasePromise), Once: true, Role: "reject"})
+		ev.Regs = []vm.Registration{
+			{Seq: r.regFul, Callback: onFulfilled, Phase: string(eventloop.PhasePromise), Once: true, Role: "fulfill"},
+			{Seq: r.regRej, Callback: onRejected, Phase: string(eventloop.PhasePromise), Once: true, Role: "reject"},
+		}
+	case onFulfilled != nil:
+		r.regFul = p.loop.NextRegSeq()
+		ev.SetOneReg(vm.Registration{Seq: r.regFul, Callback: onFulfilled, Phase: string(eventloop.PhasePromise), Once: true, Role: "fulfill"})
+	case onRejected != nil:
+		r.regRej = p.loop.NextRegSeq()
+		ev.SetOneReg(vm.Registration{Seq: r.regRej, Callback: onRejected, Phase: string(eventloop.PhasePromise), Once: true, Role: "reject"})
 	}
-	p.loop.EmitAPIEvent(&vm.APIEvent{
-		API:      api,
-		Loc:      at,
-		Receiver: p.Ref(),
-		Event:    relation,
-		Related:  []vm.ObjRef{derived.Ref()},
-		Regs:     regs,
-	})
+	p.loop.EmitAPIEvent(ev)
+	p.loop.ReturnAPIEvent(ev)
 	p.addReaction(at, r)
 	return derived
 }
@@ -360,10 +378,10 @@ func (p *Promise) scheduleReaction(r *reaction) {
 			}
 		}
 	}
-	p.loop.SchedulePromiseJob(handler, []vm.Value{p.value}, &vm.Dispatch{
-		API:        api,
-		RegSeq:     regSeq,
-		Obj:        p.Ref(),
-		TriggerSeq: p.settleTrig,
-	}, after)
+	d := p.loop.NewDispatch()
+	d.API = api
+	d.RegSeq = regSeq
+	d.Obj = p.Ref()
+	d.TriggerSeq = p.settleTrig
+	p.loop.SchedulePromiseJob(handler, []vm.Value{p.value}, d, after)
 }

@@ -349,8 +349,17 @@ func TestFinallyThrowRejectsDerived(t *testing.T) {
 	}
 }
 
-type apiRecorder struct{ events []*vm.APIEvent }
+type apiRecorder struct{ events []vm.APIEvent }
 
 func (r *apiRecorder) FunctionEnter(*vm.Function, *vm.CallInfo)        {}
 func (r *apiRecorder) FunctionExit(*vm.Function, vm.Value, *vm.Thrown) {}
-func (r *apiRecorder) APICall(ev *vm.APIEvent)                         { r.events = append(r.events, ev) }
+
+// APICall deep-copies the event: payloads are scratch owned by the
+// emitting API and are recycled after the hook returns.
+func (r *apiRecorder) APICall(ev *vm.APIEvent) {
+	cp := *ev
+	cp.Regs = append([]vm.Registration(nil), ev.Regs...)
+	cp.Args = append([]vm.Value(nil), ev.Args...)
+	cp.Related = append([]vm.ObjRef(nil), ev.Related...)
+	r.events = append(r.events, cp)
+}

@@ -63,6 +63,20 @@ func NewExporter(clock Clock, cfg ExporterConfig) *Exporter {
 	return &Exporter{clock: clock, cfg: cfg, ring: NewRing(cfg.Capacity, cfg.Policy)}
 }
 
+// Reset returns the exporter to its initial state — empty ring, sequence
+// and tick counters back to zero — while keeping the ring's backing
+// storage, so a reset exporter records a subsequent run exactly as a
+// fresh one would.
+func (e *Exporter) Reset() {
+	e.ring.Reset()
+	e.seq = 0
+	e.tick = 0
+	for i := range e.stack {
+		e.stack[i] = frame{}
+	}
+	e.stack = e.stack[:0]
+}
+
 // emit stamps the sequence number and pushes the event.
 func (e *Exporter) emit(ev Event) {
 	e.seq++

@@ -175,6 +175,26 @@ func NewMetrics(clock Clock, cfg MetricsConfig) *Metrics {
 	}
 }
 
+// Reset returns the registry to its initial state while retaining its
+// allocations: per-phase and per-API entries are zeroed in place (and
+// skipped by Snapshot until they count again), so a reset registry is
+// indistinguishable from a fresh one to every consumer.
+func (m *Metrics) Reset() {
+	m.ticks, m.executions, m.iterations = 0, 0, 0
+	for _, ps := range m.perPhase {
+		*ps = PhaseStats{}
+	}
+	for _, as := range m.perAPI {
+		*as = APIStats{}
+	}
+	m.highWater = vm.QueueDepths{}
+	m.lag = LagStats{}
+	for i := range m.stack {
+		m.stack[i] = mframe{}
+	}
+	m.stack = m.stack[:0]
+}
+
 // inScope mirrors instrument.Counter's population: dispatched callbacks
 // only, excluding the synthetic main tick, engine-internal promise
 // plumbing, and (by default) the client zone.
@@ -288,9 +308,15 @@ func (m *Metrics) Snapshot() *Snapshot {
 		TimerLag:       m.lag,
 	}
 	for phase, ps := range m.perPhase {
+		if ps.Ticks == 0 && ps.Busy == 0 {
+			continue // zeroed by Reset, not yet re-counted
+		}
 		s.PerPhase[phase] = *ps
 	}
 	for api, as := range m.perAPI {
+		if as.Count == 0 {
+			continue // zeroed by Reset, not yet re-counted
+		}
 		s.PerAPI[api] = *as
 	}
 	return s

@@ -79,6 +79,35 @@ type APIEvent struct {
 	// Args carries API-specific details (timeout durations, emitted
 	// values, resolve values) for tools that want them.
 	Args []Value
+
+	// Inline backing arrays for the One* helpers below. They let a
+	// pooled event carry the single registration / argument / relation
+	// that dominates the probe protocol without allocating a slice.
+	regs1    [1]Registration
+	args1    [1]Value
+	related1 [1]ObjRef
+}
+
+// SetOneReg points Regs at a single registration stored inline in the
+// event, avoiding the slice allocation. The registration is only valid
+// while the event is; hooks must copy what they keep (they already must —
+// see Hooks).
+func (ev *APIEvent) SetOneReg(r Registration) {
+	ev.regs1[0] = r
+	ev.Regs = ev.regs1[:1]
+}
+
+// SetOneArg points Args at a single value stored inline in the event.
+func (ev *APIEvent) SetOneArg(v Value) {
+	ev.args1[0] = v
+	ev.Args = ev.args1[:1]
+}
+
+// SetOneRelated points Related at a single object reference stored
+// inline in the event.
+func (ev *APIEvent) SetOneRelated(r ObjRef) {
+	ev.related1[0] = r
+	ev.Related = ev.related1[:1]
 }
 
 // Dispatch describes why a callback execution is happening: which API
@@ -97,6 +126,13 @@ type Dispatch struct {
 	// scope themselves to the server process, as the paper's
 	// instrumentation (which runs inside the server) naturally does.
 	Zone string
+	// Pooled marks a dispatch borrowed from the owning loop's free list
+	// (eventloop.Loop.NewDispatch); the loop reclaims it after the
+	// callback it is attached to finishes executing. Hooks may read a
+	// pooled dispatch until their FunctionExit for that callback returns,
+	// and must copy fields they keep longer — the contract Hooks already
+	// states for every probe payload.
+	Pooled bool
 }
 
 // CallInfo accompanies every FunctionEnter probe event.
@@ -117,7 +153,10 @@ type CallInfo struct {
 // functionExit, and interception of async-API calls.
 //
 // All hook methods run on the event-loop goroutine; implementations need
-// no locking but must not block.
+// no locking but must not block. Event payloads (*APIEvent, *CallInfo,
+// and a pooled *Dispatch) may be recycled by the runtime after the hook
+// returns, so hooks copy the fields they retain rather than the pointers
+// — every in-tree hook already does.
 type Hooks interface {
 	FunctionEnter(fn *Function, info *CallInfo)
 	FunctionExit(fn *Function, ret Value, thrown *Thrown)

@@ -23,35 +23,16 @@ func countdown(ctx *asyncg.Context) {
 	}))
 }
 
-func TestNewFromOptionsShimMatchesNew(t *testing.T) {
-	legacy, err := asyncg.NewFromOptions(asyncg.Options{
-		Loop: eventloop.Options{TickLimit: 50},
-	}).Run(countdown)
+func TestWithLoopConfiguresTickLimit(t *testing.T) {
+	report, err := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 50})).Run(countdown)
 	if err != nil {
 		t.Fatal(err)
 	}
-	modern, err := asyncg.New(asyncg.WithLoop(eventloop.Options{TickLimit: 50})).Run(countdown)
-	if err != nil {
-		t.Fatal(err)
+	if report.Graph == nil {
+		t.Fatal("session lost the graph")
 	}
-	if legacy.Graph == nil || modern.Graph == nil {
-		t.Fatal("shim or modern session lost the graph")
-	}
-	if legacy.Ticks != modern.Ticks {
-		t.Fatalf("shim ran %d ticks, functional options %d", legacy.Ticks, modern.Ticks)
-	}
-	if len(legacy.Graph.Nodes) != len(modern.Graph.Nodes) {
-		t.Fatalf("graphs differ: %d vs %d nodes", len(legacy.Graph.Nodes), len(modern.Graph.Nodes))
-	}
-}
-
-func TestNewFromOptionsDisableTool(t *testing.T) {
-	report, err := asyncg.NewFromOptions(asyncg.Options{DisableTool: true}).Run(countdown)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if report.Graph != nil {
-		t.Fatal("DisableTool still built a graph")
+	if report.Ticks == 0 {
+		t.Fatal("no ticks ran")
 	}
 }
 

@@ -14,6 +14,9 @@ for d in internal/*/ cmd/*/ examples/*/; do
 done
 "$GO" run ./cmd/doclint docs "${pkgs[@]}"
 
+echo "doclint: doc-comment cross-references"
+"$GO" run ./cmd/doclint xref "${pkgs[@]}"
+
 echo "doclint: markdown links"
 "$GO" run ./cmd/doclint links \
   README.md \
